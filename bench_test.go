@@ -1,0 +1,310 @@
+// Paper-level benchmarks: one testing.B target per evaluation table/figure
+// of Shintani & Kitsuregawa (SIGMOD 1998), plus ablations for the design
+// choices DESIGN.md calls out. Each benchmark runs a scaled-down version of
+// the paper's workload and reports the experiment's headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` regenerates the evaluation
+// in miniature; `pgarm-bench` produces the full tables.
+package pgarm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pgarm/internal/core"
+	"pgarm/internal/cumulate"
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/seq"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// benchScale keeps a single bench iteration around a second on a small box
+// while preserving the paper datasets' frequency structure.
+const benchScale = 0.002 // 6,400 of 3.2M transactions
+
+var (
+	benchOnce sync.Once
+	benchData *gen.Dataset
+)
+
+func benchDataset(b *testing.B) *gen.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := gen.Generate(gen.R30F5().Scaled(benchScale))
+		if err != nil {
+			panic(err)
+		}
+		benchData = ds
+	})
+	return benchData
+}
+
+func benchParts(ds *gen.Dataset, n int) []txn.Scanner {
+	parts := txn.Partition(ds.DB, n)
+	out := make([]txn.Scanner, n)
+	for i := range parts {
+		out[i] = parts[i]
+	}
+	return out
+}
+
+func mustMine(b *testing.B, ds *gen.Dataset, cfg core.Config, nodes int) *core.Result {
+	b.Helper()
+	res, err := core.Mine(ds.Taxonomy, benchParts(ds, nodes), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable6 measures the communication volume HPGM and H-HPGM incur
+// at pass 2 (Table 6 of the paper: H-HPGM receives ~26-29x less).
+func BenchmarkTable6(b *testing.B) {
+	ds := benchDataset(b)
+	for _, alg := range []core.Algorithm{core.HPGM, core.HHPGM} {
+		for _, nodes := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s/%dnodes", alg, nodes), func(b *testing.B) {
+				var recv float64
+				for i := 0; i < b.N; i++ {
+					res := mustMine(b, ds, core.Config{Algorithm: alg, MinSupport: 0.01, MaxK: 2}, nodes)
+					recv = res.Stats.Pass(2).AvgBytesReceived()
+				}
+				b.ReportMetric(recv/1024, "KB-recv/node")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13 measures pass-2 modeled execution time for HPGM vs H-HPGM
+// across the support sweep (Figure 13).
+func BenchmarkFig13(b *testing.B) {
+	ds := benchDataset(b)
+	cost := metrics.DefaultCostModel()
+	for _, alg := range []core.Algorithm{core.HPGM, core.HHPGM} {
+		for _, minsup := range []float64{0.02, 0.01, 0.005} {
+			b.Run(fmt.Sprintf("%s/minsup%.3g", alg, minsup), func(b *testing.B) {
+				var modeled float64
+				for i := 0; i < b.N; i++ {
+					res := mustMine(b, ds, core.Config{Algorithm: alg, MinSupport: minsup, MaxK: 2}, 16)
+					modeled = cost.PassTime(*res.Stats.Pass(2)).Seconds()
+				}
+				b.ReportMetric(modeled*1000, "modeled-ms")
+			})
+		}
+	}
+}
+
+// benchBudget gives the duplicating variants the Figure 14/15/16 memory
+// regime at bench scale: candidates exceed one node's share but free space
+// remains for duplication.
+const benchBudget = 12 << 20
+
+// BenchmarkFig14 measures pass-2 modeled time of all algorithms under the
+// per-node memory budget (Figure 14: NPGM collapses, FGD wins).
+func BenchmarkFig14(b *testing.B) {
+	ds := benchDataset(b)
+	cost := metrics.DefaultCostModel()
+	for _, alg := range []core.Algorithm{core.NPGM, core.HHPGM, core.HHPGMTGD, core.HHPGMPGD, core.HHPGMFGD} {
+		b.Run(string(alg), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				res := mustMine(b, ds, core.Config{
+					Algorithm: alg, MinSupport: 0.005, MaxK: 2, MemoryBudget: benchBudget,
+				}, 16)
+				modeled = cost.PassTime(*res.Stats.Pass(2)).Seconds()
+			}
+			b.ReportMetric(modeled*1000, "modeled-ms")
+		})
+	}
+}
+
+// BenchmarkFig15 measures the per-node probe-load imbalance (Figure 15:
+// max/mean flattens from H-HPGM to FGD).
+func BenchmarkFig15(b *testing.B) {
+	ds := benchDataset(b)
+	for _, alg := range []core.Algorithm{core.HHPGM, core.HHPGMTGD, core.HHPGMPGD, core.HHPGMFGD} {
+		b.Run(string(alg), func(b *testing.B) {
+			var maxOverMean float64
+			for i := 0; i < b.N; i++ {
+				res := mustMine(b, ds, core.Config{
+					Algorithm: alg, MinSupport: 0.005, MaxK: 2, MemoryBudget: benchBudget,
+				}, 16)
+				maxOverMean = res.Stats.Pass(2).ProbeSkew().MaxOverMean
+			}
+			b.ReportMetric(maxOverMean, "max/mean-probes")
+		})
+	}
+}
+
+// BenchmarkFig16 measures modeled speedup from 4 to 16 nodes (Figure 16:
+// FGD closest to linear).
+func BenchmarkFig16(b *testing.B) {
+	ds := benchDataset(b)
+	cost := metrics.DefaultCostModel()
+	for _, alg := range []core.Algorithm{core.HHPGM, core.HHPGMFGD} {
+		b.Run(string(alg), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{Algorithm: alg, MinSupport: 0.005, MaxK: 2, MemoryBudget: benchBudget}
+				t4 := cost.PassTime(*mustMine(b, ds, cfg, 4).Stats.Pass(2))
+				t16 := cost.PassTime(*mustMine(b, ds, cfg, 16).Stats.Pass(2))
+				speedup = 4 * t4.Seconds() / t16.Seconds()
+			}
+			b.ReportMetric(speedup, "speedup-at-16")
+		})
+	}
+}
+
+// BenchmarkAblationPartitioning isolates the Table 6 delta: identical
+// workload, itemset-hash vs root-hash placement, items shipped.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	ds := benchDataset(b)
+	for _, alg := range []core.Algorithm{core.HPGM, core.HHPGM} {
+		b.Run(string(alg), func(b *testing.B) {
+			var items float64
+			for i := 0; i < b.N; i++ {
+				res := mustMine(b, ds, core.Config{Algorithm: alg, MinSupport: 0.01, MaxK: 2}, 8)
+				items = float64(res.Stats.Pass(2).TotalItemsSent())
+			}
+			b.ReportMetric(items, "items-shipped")
+		})
+	}
+}
+
+// BenchmarkAblationDuplication sweeps the memory budget to show how much
+// free space FGD needs before the load flattens.
+func BenchmarkAblationDuplication(b *testing.B) {
+	ds := benchDataset(b)
+	for _, budget := range []int64{benchBudget / 4, benchBudget, benchBudget * 4} {
+		b.Run(fmt.Sprintf("budget%dMB", budget>>20), func(b *testing.B) {
+			var maxOverMean float64
+			for i := 0; i < b.N; i++ {
+				res := mustMine(b, ds, core.Config{
+					Algorithm: core.HHPGMFGD, MinSupport: 0.005, MaxK: 2, MemoryBudget: budget,
+				}, 16)
+				maxOverMean = res.Stats.Pass(2).ProbeSkew().MaxOverMean
+			}
+			b.ReportMetric(maxOverMean, "max/mean-probes")
+		})
+	}
+}
+
+// BenchmarkAblationFabric compares the in-process channel fabric with the
+// loopback TCP fabric carrying identical payloads.
+func BenchmarkAblationFabric(b *testing.B) {
+	ds := benchDataset(b)
+	for name, kind := range map[string]core.FabricKind{"chan": core.FabricChan, "tcp": core.FabricTCP} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustMine(b, ds, core.Config{
+					Algorithm: core.HHPGM, MinSupport: 0.01, MaxK: 2, Fabric: kind,
+				}, 8)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndex compares flat-map subset probing against the
+// classic hash-tree candidate index on the same counting workload.
+func BenchmarkAblationIndex(b *testing.B) {
+	ds := benchDataset(b)
+	res, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.01, MaxK: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l1 := res.LargeK(1)
+	flat := make([]item.Item, len(l1))
+	large := make([]bool, ds.Taxonomy.NumItems())
+	for i, c := range l1 {
+		flat[i] = c.Items[0]
+		large[c.Items[0]] = true
+	}
+	prev := make([][]item.Item, len(l1))
+	for i, c := range l1 {
+		prev[i] = c.Items
+	}
+	cands := cumulate.GenerateCandidates(ds.Taxonomy, prev, 2)
+	view := taxonomy.NewView(ds.Taxonomy, large, cumulate.KeepSet(ds.Taxonomy, cands))
+	member := cumulate.MemberSet(ds.Taxonomy, cands)
+
+	b.Run("flat-map", func(b *testing.B) {
+		table := itemset.NewTable(len(cands))
+		for _, c := range cands {
+			table.Add(c)
+		}
+		scratch := make([]item.Item, 0, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds.DB.Scan(func(t txn.Transaction) error {
+				ext := cumulate.ExtendFiltered(view, member, scratch[:0], t.Items)
+				scratch = ext
+				itemset.ForEachSubset(ext, 2, func(sub []item.Item) bool {
+					if id := table.Lookup(sub); id >= 0 {
+						table.Increment(id)
+					}
+					return true
+				})
+				return nil
+			})
+		}
+	})
+	b.Run("hash-tree", func(b *testing.B) {
+		table := itemset.NewTable(len(cands))
+		tree := itemset.NewHashTree(2, 16, 32)
+		for _, c := range cands {
+			tree.Insert(table.Add(c), c)
+		}
+		scratch := make([]item.Item, 0, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds.DB.Scan(func(t txn.Transaction) error {
+				ext := cumulate.ExtendFiltered(view, member, scratch[:0], t.Items)
+				scratch = ext
+				tree.Match(ext, func(id int32) { table.Increment(id) })
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkSequentialCumulate is the single-node baseline all speedups are
+// ultimately against.
+func BenchmarkSequentialCumulate(b *testing.B) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.01, MaxK: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialPatterns covers the future-work extension: generalized
+// sequential pattern mining, sequential GSP vs the two parallel variants.
+func BenchmarkSequentialPatterns(b *testing.B) {
+	tax := taxonomy.MustBalanced(2000, 10, 5)
+	p := seq.DefaultGenParams()
+	p.NumCustomers = 1500
+	db := seq.GenerateSequences(tax, p)
+	b.Run("GSP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := seq.Mine(tax, db, seq.Config{MinSupport: 0.03, MaxK: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, alg := range []seq.Algorithm{seq.NPSPM, seq.SPSPM} {
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := seq.MineParallel(tax, seq.Partition(db, 8), seq.ParallelConfig{
+					Algorithm: alg, MinSupport: 0.03, MaxK: 3,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Command pgarm-bench regenerates the paper's evaluation tables and
+// figures (§4) on scaled versions of the Table 5 datasets.
+//
+// Usage:
+//
+//	pgarm-bench -experiment table6
+//	pgarm-bench -experiment fig14 -scale 0.02 -nodes 16
+//	pgarm-bench -experiment all -scale 0.01 | tee results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"pgarm/internal/core"
+	"pgarm/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgarm-bench: ")
+
+	def := experiment.Defaults()
+	var (
+		exp     = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16 or all")
+		scale   = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
+		nodes   = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
+		budget  = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
+		minsups = flag.String("minsups", "", "comma-separated support sweep, e.g. 0.02,0.01,0.005,0.003")
+		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP")
+	)
+	flag.Parse()
+
+	opt := def
+	opt.Scale = *scale
+	opt.Nodes = *nodes
+	opt.Budget = *budget
+	if *tcp {
+		opt.Fabric = core.FabricTCP
+	}
+	if *minsups != "" {
+		opt.MinSups = nil
+		for _, s := range strings.Split(*minsups, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("bad -minsups entry %q: %v", s, err)
+			}
+			opt.MinSups = append(opt.MinSups, v)
+		}
+	}
+	env, err := experiment.NewEnv(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table5") {
+		ran = true
+		fmt.Println(env.Table5().Render())
+	}
+	if want("table6") {
+		ran = true
+		step("Table 6")
+		t, err := env.Table6()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if want("fig13") {
+		ran = true
+		step("Figure 13")
+		ts, err := env.Fig13()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts {
+			fmt.Println(t.Render())
+		}
+	}
+	if want("fig14") {
+		ran = true
+		step("Figure 14")
+		ts, err := env.Fig14()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts {
+			fmt.Println(t.Render())
+		}
+	}
+	if want("fig15") {
+		ran = true
+		step("Figure 15")
+		t, charts, err := env.Fig15()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Render())
+		for _, alg := range []string{"H-HPGM", "H-HPGM-TGD", "H-HPGM-PGD", "H-HPGM-FGD"} {
+			fmt.Printf("%s probes per node:\n%s\n", alg, charts[alg])
+		}
+	}
+	if want("fig16") {
+		ran = true
+		step("Figure 16")
+		ts, err := env.Fig16()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts {
+			fmt.Println(t.Render())
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func step(name string) {
+	fmt.Fprintf(os.Stderr, "running %s...\n", name)
+}

@@ -1,0 +1,73 @@
+// Command pgarm-gen generates the paper's synthetic datasets (Table 5) and
+// writes them as binary transaction files, optionally pre-partitioned into
+// per-node local-disk files.
+//
+// Usage:
+//
+//	pgarm-gen -dataset R30F5 -scale 0.01 -out /tmp/r30f5.ptx
+//	pgarm-gen -dataset R30F3 -scale 0.01 -nodes 16 -out /tmp/r30f3    # writes r30f3.n00.ptx ... n15.ptx
+//	pgarm-gen -describe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pgarm/internal/gen"
+	"pgarm/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgarm-gen: ")
+
+	var (
+		dataset  = flag.String("dataset", "R30F5", "dataset configuration: R30F5, R30F3 or R30F10")
+		scale    = flag.Float64("scale", 0.01, "fraction of the paper's 3.2M transactions to generate")
+		seed     = flag.Int64("seed", 1998, "generator seed")
+		nodes    = flag.Int("nodes", 0, "partition into this many per-node files (0 = single file)")
+		out      = flag.String("out", "", "output path (single file) or path prefix (with -nodes)")
+		describe = flag.Bool("describe", false, "print the Table 5 parameter sheet and exit")
+	)
+	flag.Parse()
+
+	if *describe {
+		for _, name := range []string{"R30F5", "R30F3", "R30F10"} {
+			p, _ := gen.ByName(name)
+			fmt.Print(p.Describe())
+			fmt.Println()
+		}
+		return
+	}
+	if *out == "" {
+		log.Fatal("missing -out path")
+	}
+	p, err := gen.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p = p.Scaled(*scale)
+	p.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating %s: %d transactions over %d items...\n", p.Name, p.NumTxns, p.NumItems)
+	ds, err := gen.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *nodes <= 0 {
+		if err := txn.WriteFile(*out, ds.DB); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions, avg size %.1f)\n", *out, ds.DB.Len(), ds.DB.AvgSize())
+		return
+	}
+	parts := txn.Partition(ds.DB, *nodes)
+	for i, part := range parts {
+		path := fmt.Sprintf("%s.n%02d.ptx", *out, i)
+		if err := txn.WriteFile(path, part); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions)\n", path, part.Len())
+	}
+}

@@ -1,0 +1,145 @@
+// Command pgarm-mine runs one parallel mining job and prints the large
+// itemsets, the derived generalized association rules and per-pass
+// statistics.
+//
+// The transaction source is either generated on the fly (-scale) or loaded
+// from files produced by pgarm-gen (-in, repeatable or comma-separated);
+// the classification hierarchy is reconstructed deterministically from the
+// dataset configuration.
+//
+// Examples:
+//
+//	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
+//	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pgarm/internal/core"
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/rules"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgarm-mine: ")
+
+	var (
+		algName = flag.String("algorithm", "H-HPGM-FGD", "NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD")
+		dataset = flag.String("dataset", "R30F5", "dataset configuration (defines the hierarchy): R30F5, R30F3 or R30F10")
+		scale   = flag.Float64("scale", 0.005, "generate this fraction of the paper dataset (ignored with -in)")
+		seed    = flag.Int64("seed", 1998, "generator seed (ignored with -in)")
+		inFiles = flag.String("in", "", "comma-separated per-node transaction files from pgarm-gen")
+		nodes   = flag.Int("nodes", 8, "cluster size (ignored with -in: one node per file)")
+		minsup  = flag.Float64("minsup", 0.005, "minimum support as a fraction (0.005 = 0.5%)")
+		minconf = flag.Float64("rules", 0, "derive rules at this minimum confidence (0 = skip)")
+		budget  = flag.Int64("budget", 0, "per-node candidate memory budget in bytes (0 = unlimited)")
+		maxK    = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
+		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
+		quiet   = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
+		topN    = flag.Int("top", 25, "how many itemsets/rules to list per section")
+	)
+	flag.Parse()
+
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := gen.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tax *taxonomy.Taxonomy
+	var parts []txn.Scanner
+	if *inFiles != "" {
+		tax, err = taxonomy.Balanced(params.NumItems, params.Roots, params.Fanout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, path := range strings.Split(*inFiles, ",") {
+			f, err := txn.OpenFile(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatal(err)
+			}
+			parts = append(parts, f)
+		}
+	} else {
+		params = params.Scaled(*scale)
+		params.Seed = *seed
+		fmt.Fprintf(os.Stderr, "generating %s (%d transactions)...\n", params.Name, params.NumTxns)
+		ds, err := gen.Generate(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tax = ds.Taxonomy
+		for _, p := range txn.Partition(ds.DB, *nodes) {
+			parts = append(parts, p)
+		}
+	}
+
+	cfg := core.Config{
+		Algorithm:    alg,
+		MinSupport:   *minsup,
+		MaxK:         *maxK,
+		MemoryBudget: *budget,
+	}
+	if *tcp {
+		cfg.Fabric = core.FabricTCP
+	}
+	fmt.Fprintf(os.Stderr, "mining with %s on %d nodes, minsup %.3g%%...\n", alg, len(parts), *minsup*100)
+	res, err := core.Mine(tax, parts, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Stats.String())
+	if !*quiet {
+		for k := 1; k <= len(res.Large); k++ {
+			lk := res.LargeK(k)
+			fmt.Printf("\nL_%d: %d itemsets", k, len(lk))
+			if k == 1 {
+				fmt.Println()
+				continue
+			}
+			fmt.Println(":")
+			for i, c := range lk {
+				if i >= *topN {
+					fmt.Printf("  ... %d more\n", len(lk)-i)
+					break
+				}
+				fmt.Printf("  %s  sup_cou=%d\n", item.Format(c.Items), c.Count)
+			}
+		}
+	}
+
+	if *minconf > 0 {
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		rs, err := rules.Derive(tax, res.All(), res.SupportIndex(), rules.Config{
+			MinConfidence: *minconf,
+			NumTxns:       total,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%d rules at confidence >= %.0f%%:\n", len(rs), *minconf*100)
+		for i, r := range rs {
+			if i >= *topN {
+				fmt.Printf("  ... %d more\n", len(rs)-i)
+				break
+			}
+			fmt.Printf("  %s\n", r)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command pgarm-worker runs one shared-nothing mining node as its own OS
+// process, joining a full TCP mesh with its peers — the closest deployment
+// shape to the paper's 16-node SP-2 that a collection of machines (or one
+// machine with N processes) can offer.
+//
+// Start one worker per node, all with the same -addrs list and mining
+// parameters; workers may start in any order. Node 0 is the coordinator and
+// prints the result.
+//
+//	pgarm-gen -dataset R30F5 -scale 0.002 -nodes 3 -out /tmp/r
+//	pgarm-worker -node 0 -addrs :7001,:7002,:7003 -in /tmp/r.n00.ptx -minsup 0.01 &
+//	pgarm-worker -node 1 -addrs :7001,:7002,:7003 -in /tmp/r.n01.ptx -minsup 0.01 &
+//	pgarm-worker -node 2 -addrs :7001,:7002,:7003 -in /tmp/r.n02.ptx -minsup 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/core"
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	var (
+		nodeID  = flag.Int("node", -1, "this worker's node id (0 = coordinator)")
+		addrs   = flag.String("addrs", "", "comma-separated listen addresses of every node, in id order")
+		inFile  = flag.String("in", "", "this node's transaction partition (from pgarm-gen -nodes)")
+		dataset = flag.String("dataset", "R30F5", "dataset configuration defining the hierarchy")
+		algName = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm")
+		minsup  = flag.Float64("minsup", 0.005, "minimum support fraction")
+		budget  = flag.Int64("budget", 0, "per-node candidate memory budget in bytes")
+		maxK    = flag.Int("maxk", 0, "stop after this pass (0 = completion)")
+		timeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
+		topN    = flag.Int("top", 20, "itemsets to list per level (coordinator)")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("pgarm-worker[%d]: ", *nodeID))
+
+	addrList := strings.Split(*addrs, ",")
+	if *nodeID < 0 || *nodeID >= len(addrList) {
+		log.Fatalf("-node %d out of range of %d addresses", *nodeID, len(addrList))
+	}
+	if *inFile == "" {
+		log.Fatal("missing -in partition file")
+	}
+	alg, err := core.ParseAlgorithm(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := gen.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tax, err := taxonomy.Balanced(params.NumItems, params.Roots, params.Fanout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := txn.OpenFile(*inFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("joining mesh as node %d of %d...", *nodeID, len(addrList))
+	ep, closer, err := cluster.DialMesh(*nodeID, addrList, cluster.MeshOptions{DialTimeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closer.Close()
+
+	log.Printf("mining %s over %d local transactions...", alg, local.Len())
+	res, err := core.MineWorker(tax, local, core.Config{
+		Algorithm:    alg,
+		MinSupport:   *minsup,
+		MaxK:         *maxK,
+		MemoryBudget: *budget,
+	}, ep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *nodeID == 0 {
+		fmt.Print(res.Stats.String())
+		for k := 1; k <= len(res.Large); k++ {
+			lk := res.LargeK(k)
+			fmt.Printf("L_%d: %d itemsets\n", k, len(lk))
+			if k == 1 {
+				continue
+			}
+			for i, c := range lk {
+				if i >= *topN {
+					fmt.Printf("  ... %d more\n", len(lk)-i)
+					break
+				}
+				fmt.Printf("  %s  sup_cou=%d\n", item.Format(c.Items), c.Count)
+			}
+		}
+	} else {
+		log.Printf("done: %d large levels", len(res.Large))
+	}
+}

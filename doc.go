@@ -1,0 +1,11 @@
+// Package pgarm is a Go reproduction of Shintani & Kitsuregawa, "Parallel
+// Mining Algorithms for Generalized Association Rules with Classification
+// Hierarchy" (SIGMOD 1998).
+//
+// The library lives under internal/: the six parallel algorithms in
+// internal/core, their substrates in sibling packages, and the evaluation
+// harness in internal/experiment. Executables are under cmd/, runnable
+// examples under examples/. The root package exists to carry the module
+// documentation and the paper-level benchmarks in bench_test.go, one per
+// evaluation table and figure.
+package pgarm

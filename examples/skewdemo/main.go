@@ -1,0 +1,82 @@
+// Skewdemo: make the paper's load-balancing story visible. A deliberately
+// skewed basket stream concentrates support in a handful of hot product
+// trees; plain H-HPGM then funnels most of the counting work to the node
+// owning those trees, while the TGD/PGD/FGD variants copy the hot candidate
+// itemsets everywhere and flatten the per-node probe load (the Figure 15
+// effect, at example scale).
+//
+//	go run ./examples/skewdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pgarm/internal/core"
+	"pgarm/internal/experiment"
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+func main() {
+	// 6 trees × 3 levels, fanout 4.
+	tax := taxonomy.MustBalanced(500, 6, 4)
+	leaves := tax.Leaves()
+
+	// 80% of basket items come from tree 0's leaves (the "hot" department),
+	// the rest spread uniformly.
+	var hot []item.Item
+	for _, l := range leaves {
+		if tax.Root(l) == tax.Roots()[0] {
+			hot = append(hot, l)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	db := &txn.DB{}
+	for tid := int64(0); tid < 12000; tid++ {
+		items := make([]item.Item, 0, 6)
+		for len(items) < 6 {
+			if rng.Float64() < 0.8 {
+				items = append(items, hot[rng.Intn(len(hot))])
+			} else {
+				items = append(items, leaves[rng.Intn(len(leaves))])
+			}
+		}
+		db.Append(txn.Transaction{TID: tid, Items: item.Dedup(items)})
+	}
+
+	parts := make([]txn.Scanner, 0, 8)
+	for _, p := range txn.Partition(db, 8) {
+		parts = append(parts, p)
+	}
+
+	// A budget small enough that duplication choices matter.
+	const budget = 640 << 10
+	fmt.Println("per-node probe counts at pass 2 (8 nodes, hot-tree skewed data):")
+	for _, alg := range []core.Algorithm{core.HHPGM, core.HHPGMTGD, core.HHPGMPGD, core.HHPGMFGD} {
+		res, err := core.Mine(tax, parts, core.Config{
+			Algorithm:    alg,
+			MinSupport:   0.01,
+			MaxK:         2,
+			MemoryBudget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps := res.Stats.Pass(2)
+		if ps == nil {
+			log.Fatalf("%s: no pass 2", alg)
+		}
+		labels := make([]string, len(ps.Nodes))
+		vals := make([]float64, len(ps.Nodes))
+		for i, ns := range ps.Nodes {
+			labels[i] = fmt.Sprintf("node %d", ns.Node)
+			vals[i] = float64(ns.Probes)
+		}
+		fmt.Printf("\n%s  (duplicated %d of %d candidates; skew %s)\n%s",
+			alg, ps.Duplicated, ps.Candidates, ps.ProbeSkew(), experiment.Bars(labels, vals, 46))
+	}
+	fmt.Println("\nfiner duplication granules flatten the distribution, as in Figure 15 of the paper.")
+}

@@ -1,0 +1,3 @@
+module pgarm
+
+go 1.22

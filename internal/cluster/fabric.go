@@ -1,0 +1,113 @@
+// Package cluster provides the shared-nothing substrate the parallel miners
+// run on: N nodes with private state exchanging messages over a Fabric. It
+// emulates the paper's 16-node IBM SP-2 — each node is a goroutine with its
+// own memory and simulated local disk — with two interconnects standing in
+// for the High-Performance Switch:
+//
+//   - ChanFabric: in-process buffered channels (fast, deterministic), and
+//   - TCPFabric: loopback TCP with length-prefixed frames, paying real
+//     serialization and kernel socket costs.
+//
+// Every byte that crosses the fabric is accounted per node, which is how the
+// repo reproduces the paper's communication-volume results (Table 6).
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Message is one unit of inter-node communication. Kind is an
+// application-defined tag; Payload is opaque to the fabric.
+type Message struct {
+	From    int
+	Kind    uint8
+	Payload []byte
+}
+
+// Endpoint is one node's attachment to the fabric. A node sends from its own
+// goroutine and drains Inbox from at most one receiver goroutine.
+type Endpoint interface {
+	// ID returns this node's index in [0, N).
+	ID() int
+	// N returns the cluster size.
+	N() int
+	// Send delivers a message to node `to`. Sending to yourself is allowed
+	// (it loops back through the inbox) but the mining algorithms avoid it:
+	// local work must not count as communication.
+	Send(to int, kind uint8, payload []byte) error
+	// Inbox returns the stream of incoming messages. It is closed when the
+	// fabric shuts down.
+	Inbox() <-chan Message
+	// Stats returns a snapshot of this endpoint's traffic counters.
+	Stats() Stats
+	// ResetStats zeroes the traffic counters (used between passes so each
+	// pass's communication can be reported separately).
+	ResetStats()
+}
+
+// Fabric is a cluster interconnect: N endpoints plus lifecycle.
+type Fabric interface {
+	// N returns the cluster size.
+	N() int
+	// Endpoint returns node i's attachment.
+	Endpoint(i int) Endpoint
+	// Close shuts the fabric down, closing all inboxes. Safe to call twice.
+	Close() error
+}
+
+// Stats are per-endpoint traffic counters. Bytes count payload sizes; the
+// fixed per-message envelope is excluded so both fabrics report identical
+// volumes.
+type Stats struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+		BytesSent: s.BytesSent + o.BytesSent,
+		BytesRecv: s.BytesRecv + o.BytesRecv,
+	}
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B",
+		s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
+}
+
+// counters is the shared atomic implementation of Stats.
+type counters struct {
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+}
+
+func (c *counters) onSend(n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(n))
+}
+
+func (c *counters) onRecv(n int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(n))
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.msgsSent.Store(0)
+	c.msgsRecv.Store(0)
+	c.bytesSent.Store(0)
+	c.bytesRecv.Store(0)
+}

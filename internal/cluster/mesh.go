@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MeshOptions configure DialMesh.
+type MeshOptions struct {
+	// Listener, when non-nil, is the pre-bound listener for this node's
+	// address (useful when ports are allocated dynamically); otherwise
+	// DialMesh listens on addrs[self].
+	Listener net.Listener
+	// InboxBuffer sizes the delivery channel (default 1024).
+	InboxBuffer int
+	// DialTimeout bounds how long to keep retrying peers that have not
+	// started yet (default 30s).
+	DialTimeout time.Duration
+}
+
+// meshCloser tears down a DialMesh endpoint.
+type meshCloser struct {
+	ep   *tcpEndpoint
+	once sync.Once
+	err  error
+}
+
+// Close shuts the endpoint down: connections are closed, reader goroutines
+// drained, and the inbox closed.
+func (c *meshCloser) Close() error {
+	c.once.Do(func() {
+		close(c.ep.closed)
+		for _, tc := range c.ep.conns {
+			if tc != nil {
+				if err := tc.close(); err != nil && c.err == nil {
+					c.err = err
+				}
+			}
+		}
+		c.ep.readers.Wait()
+		close(c.ep.inbox)
+	})
+	return c.err
+}
+
+// DialMesh joins this process into a cross-process shared-nothing mesh: one
+// node per process, full TCP mesh between them — the deployment shape of the
+// paper's SP-2, with OS processes standing in for nodes. addrs lists every
+// node's listen address in node-id order; self is this process's id.
+//
+// Connection protocol (identical to the in-process TCPFabric): node i dials
+// every j > i with a 2-byte hello carrying its id, and accepts connections
+// from every j < i. Dials retry until the peer's listener is up or
+// DialTimeout expires, so workers may start in any order.
+func DialMesh(self int, addrs []string, opts MeshOptions) (Endpoint, io.Closer, error) {
+	n := len(addrs)
+	if self < 0 || self >= n {
+		return nil, nil, fmt.Errorf("cluster: self %d out of range of %d addrs", self, n)
+	}
+	if opts.InboxBuffer <= 0 {
+		opts.InboxBuffer = 1024
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 30 * time.Second
+	}
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addrs[self])
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: listen %s: %w", addrs[self], err)
+		}
+	}
+	ep := &tcpEndpoint{
+		id:     self,
+		n:      n,
+		inbox:  make(chan Message, opts.InboxBuffer),
+		conns:  make([]*tcpConn, n),
+		closed: make(chan struct{}),
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	// Accept from every lower-numbered node.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < self; k++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("cluster: accept at node %d: %w", self, err)
+				return
+			}
+			var hello [2]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				errs <- fmt.Errorf("cluster: read hello at node %d: %w", self, err)
+				return
+			}
+			from := int(binary.BigEndian.Uint16(hello[:]))
+			if from >= n || from >= self {
+				errs <- fmt.Errorf("cluster: node %d got hello from unexpected node %d", self, from)
+				return
+			}
+			ep.setConn(from, c)
+		}
+	}()
+	// Dial every higher-numbered node, retrying while it boots.
+	for j := self + 1; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			deadline := time.Now().Add(opts.DialTimeout)
+			for {
+				c, err := net.DialTimeout("tcp", addrs[j], time.Second)
+				if err != nil {
+					if time.Now().After(deadline) {
+						errs <- fmt.Errorf("cluster: dial %d->%d (%s): %w", self, j, addrs[j], err)
+						return
+					}
+					time.Sleep(100 * time.Millisecond)
+					continue
+				}
+				var hello [2]byte
+				binary.BigEndian.PutUint16(hello[:], uint16(self))
+				if _, err := c.Write(hello[:]); err != nil {
+					errs <- fmt.Errorf("cluster: hello %d->%d: %w", self, j, err)
+					return
+				}
+				ep.setConn(j, c)
+				return
+			}
+		}(j)
+	}
+	wg.Wait()
+	ln.Close()
+	close(errs)
+	if err := <-errs; err != nil {
+		for _, tc := range ep.conns {
+			if tc != nil {
+				tc.close()
+			}
+		}
+		return nil, nil, err
+	}
+	for peer, tc := range ep.conns {
+		if tc != nil {
+			ep.readers.Add(1)
+			go ep.readLoop(peer, tc)
+		}
+	}
+	return ep, &meshCloser{ep: ep}, nil
+}

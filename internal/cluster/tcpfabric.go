@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPFabric connects N nodes over loopback TCP, one full-duplex connection
+// per unordered node pair, with length-prefixed frames:
+//
+//	frame = len uint32 | from uint16 | kind uint8 | payload
+//
+// Unlike ChanFabric, payloads are really copied through the kernel, so this
+// fabric charges genuine serialization and transport cost — the closest
+// one-box stand-in for the SP-2's High-Performance Switch.
+type TCPFabric struct {
+	endpoints []*tcpEndpoint
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewTCPFabric builds an n-node loopback TCP mesh. inboxBuffer sizes each
+// node's delivery channel (default 1024 when non-positive).
+func NewTCPFabric(n, inboxBuffer int) (*TCPFabric, error) {
+	if inboxBuffer <= 0 {
+		inboxBuffer = 1024
+	}
+	f := &TCPFabric{endpoints: make([]*tcpEndpoint, n)}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, p := range listeners[:i] {
+				p.Close()
+			}
+			return nil, fmt.Errorf("cluster: listen for node %d: %w", i, err)
+		}
+		listeners[i] = l
+		f.endpoints[i] = &tcpEndpoint{
+			id:     i,
+			n:      n,
+			inbox:  make(chan Message, inboxBuffer),
+			conns:  make([]*tcpConn, n),
+			closed: make(chan struct{}),
+		}
+	}
+	// Dial the mesh: node i dials node j for all i < j; the accepting side
+	// learns the dialer from a 2-byte hello.
+	var wg sync.WaitGroup
+	errs := make(chan error, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				c, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					errs <- fmt.Errorf("cluster: dial %d->%d: %w", i, j, err)
+					return
+				}
+				var hello [2]byte
+				binary.BigEndian.PutUint16(hello[:], uint16(i))
+				if _, err := c.Write(hello[:]); err != nil {
+					errs <- fmt.Errorf("cluster: hello %d->%d: %w", i, j, err)
+					return
+				}
+				f.endpoints[i].setConn(j, c)
+			}(i, j)
+		}
+		// Node i accepts i connections (from every lower-numbered node).
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < i; k++ {
+				c, err := listeners[i].Accept()
+				if err != nil {
+					errs <- fmt.Errorf("cluster: accept at node %d: %w", i, err)
+					return
+				}
+				var hello [2]byte
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					errs <- fmt.Errorf("cluster: read hello at node %d: %w", i, err)
+					return
+				}
+				from := int(binary.BigEndian.Uint16(hello[:]))
+				f.endpoints[i].setConn(from, c)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, l := range listeners {
+		l.Close()
+	}
+	close(errs)
+	if err := <-errs; err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Start one reader per connection side.
+	for _, ep := range f.endpoints {
+		for peer, c := range ep.conns {
+			if c != nil {
+				ep.readers.Add(1)
+				go ep.readLoop(peer, c)
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the cluster size.
+func (f *TCPFabric) N() int { return len(f.endpoints) }
+
+// Endpoint returns node i's attachment.
+func (f *TCPFabric) Endpoint(i int) Endpoint { return f.endpoints[i] }
+
+// Close tears down every connection and closes all inboxes.
+func (f *TCPFabric) Close() error {
+	f.closeOnce.Do(func() {
+		for _, ep := range f.endpoints {
+			close(ep.closed)
+			for _, c := range ep.conns {
+				if c != nil {
+					if err := c.close(); err != nil && f.closeErr == nil {
+						f.closeErr = err
+					}
+				}
+			}
+		}
+		for _, ep := range f.endpoints {
+			ep.readers.Wait()
+			close(ep.inbox)
+		}
+	})
+	return f.closeErr
+}
+
+// tcpConn is one side of a pairwise connection with a serialized writer.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func (tc *tcpConn) close() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.w.Flush()
+	return tc.c.Close()
+}
+
+type tcpEndpoint struct {
+	id      int
+	n       int
+	inbox   chan Message
+	conns   []*tcpConn
+	connsMu sync.Mutex
+	stats   counters
+	readers sync.WaitGroup
+	closed  chan struct{}
+}
+
+func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
+	e.connsMu.Lock()
+	defer e.connsMu.Unlock()
+	e.conns[peer] = &tcpConn{c: c, w: bufio.NewWriterSize(c, 64<<10)}
+}
+
+func (e *tcpEndpoint) ID() int { return e.id }
+
+func (e *tcpEndpoint) N() int { return e.n }
+
+func (e *tcpEndpoint) Send(to int, kind uint8, payload []byte) error {
+	if to == e.id {
+		// Loopback without touching the network, mirroring ChanFabric.
+		select {
+		case e.inbox <- Message{From: e.id, Kind: kind, Payload: payload}:
+		case <-e.closed:
+			return fmt.Errorf("cluster: node %d self-send after close", e.id)
+		}
+		e.stats.onSend(len(payload))
+		e.stats.onRecv(len(payload))
+		return nil
+	}
+	if to < 0 || to >= e.n || e.conns[to] == nil {
+		return fmt.Errorf("cluster: node %d has no connection to %d", e.id, to)
+	}
+	tc := e.conns[to]
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var hdr [7]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(e.id))
+	hdr[6] = kind
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+	}
+	if _, err := tc.w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+	}
+	// Flush eagerly: the mining protocol interleaves small control messages
+	// with data and has no other flush point.
+	if err := tc.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flush %d->%d: %w", e.id, to, err)
+	}
+	e.stats.onSend(len(payload))
+	return nil
+}
+
+func (e *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
+	defer e.readers.Done()
+	r := bufio.NewReaderSize(tc.c, 64<<10)
+	for {
+		var hdr [7]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return // connection closed
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		from := int(binary.BigEndian.Uint16(hdr[4:6]))
+		kind := hdr[6]
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		e.stats.onRecv(int(n))
+		select {
+		case e.inbox <- Message{From: from, Kind: kind, Payload: payload}:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Inbox() <-chan Message { return e.inbox }
+
+func (e *tcpEndpoint) Stats() Stats { return e.stats.snapshot() }
+
+func (e *tcpEndpoint) ResetStats() { e.stats.reset() }

@@ -1,0 +1,223 @@
+// Package core implements the paper's contribution: six parallel algorithms
+// for mining generalized association rules with a classification hierarchy
+// on a shared-nothing cluster.
+//
+//	NPGM        replicates the candidate itemsets on every node, fragmenting
+//	            them when they exceed one node's memory (re-scanning the
+//	            local database once per fragment).
+//	HPGM        hash-partitions the candidates over the nodes; every
+//	            k-subset of every (ancestor-extended) transaction is shipped
+//	            to its owner.
+//	H-HPGM      partitions by the hash of the candidate's *root* items, so a
+//	            whole hierarchy lives on one node and only the
+//	            closest-to-bottom large items travel.
+//	H-HPGM-TGD  H-HPGM plus duplication of the hottest whole trees into the
+//	            nodes' free memory (counted locally everywhere).
+//	H-HPGM-PGD  duplicates the hottest leaf-level candidates plus all their
+//	            ancestor candidates (path grain).
+//	H-HPGM-FGD  duplicates the hottest candidates at any level plus their
+//	            ancestor candidates (fine grain).
+//
+// Every algorithm produces exactly the large itemsets and support counts of
+// sequential Cumulate; only communication volume, memory use and load
+// balance differ — which is what the paper (and this repo's experiment
+// harness) measures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// Algorithm selects one of the paper's six parallel miners.
+type Algorithm string
+
+// The six algorithms of the paper, §3.
+const (
+	NPGM     Algorithm = "NPGM"
+	HPGM     Algorithm = "HPGM"
+	HHPGM    Algorithm = "H-HPGM"
+	HHPGMTGD Algorithm = "H-HPGM-TGD"
+	HHPGMPGD Algorithm = "H-HPGM-PGD"
+	HHPGMFGD Algorithm = "H-HPGM-FGD"
+)
+
+// Algorithms lists every implemented algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{NPGM, HPGM, HHPGM, HHPGMTGD, HHPGMPGD, HHPGMFGD}
+}
+
+// ParseAlgorithm resolves a name (as printed by the Algorithm constants,
+// case-sensitive) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// FabricKind selects the interconnect emulation.
+type FabricKind int
+
+const (
+	// FabricChan runs the nodes over in-process channels (default).
+	FabricChan FabricKind = iota
+	// FabricTCP runs the nodes over loopback TCP connections.
+	FabricTCP
+)
+
+// Config parameterizes a parallel mining run.
+type Config struct {
+	Algorithm  Algorithm
+	MinSupport float64 // fraction of |D|, e.g. 0.003 for 0.3%
+	MaxK       int     // 0 = run until L_k is empty
+
+	// MemoryBudget is the per-node candidate memory in bytes (the paper's
+	// M, 256MB on the SP-2). It drives NPGM fragmentation and the free
+	// space available for TGD/PGD/FGD duplication. 0 means unlimited: NPGM
+	// never fragments and the duplicating variants copy everything.
+	MemoryBudget int64
+
+	Fabric       FabricKind
+	FabricBuffer int // per-inbox message buffer; 0 = default
+	BatchBytes   int // count-support send batching threshold; 0 = default (4KB)
+}
+
+func (c *Config) batchBytes() int {
+	if c.BatchBytes <= 0 {
+		return 4 << 10
+	}
+	return c.BatchBytes
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	// Large[k-1] holds the global large k-itemsets with exact support
+	// counts, lexicographically ordered — identical to sequential Cumulate.
+	Large [][]itemset.Counted
+	Stats *metrics.RunStats
+}
+
+// LargeK returns the large k-itemsets, or nil when the run ended before k.
+func (r *Result) LargeK(k int) []itemset.Counted {
+	if k < 1 || k > len(r.Large) {
+		return nil
+	}
+	return r.Large[k-1]
+}
+
+// All returns every large itemset across all passes.
+func (r *Result) All() []itemset.Counted {
+	var out []itemset.Counted
+	for _, l := range r.Large {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// SupportIndex builds itemset-key -> support over all large itemsets.
+func (r *Result) SupportIndex() map[string]int64 {
+	idx := make(map[string]int64)
+	for _, level := range r.Large {
+		for _, c := range level {
+			idx[itemset.Key(c.Items)] = c.Count
+		}
+	}
+	return idx
+}
+
+// Mine runs the configured algorithm over a cluster of len(parts) nodes;
+// parts[i] is node i's local database partition (its simulated local disk).
+// The taxonomy is shared read-only, as the paper assumes (the hierarchy is
+// catalog metadata, replicated on every node).
+func Mine(tax *taxonomy.Taxonomy, parts []txn.Scanner, cfg Config) (*Result, error) {
+	n := len(parts)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no database partitions")
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("core: minimum support %g out of (0,1]", cfg.MinSupport)
+	}
+	if _, err := ParseAlgorithm(string(cfg.Algorithm)); err != nil {
+		return nil, err
+	}
+
+	var fabric cluster.Fabric
+	switch cfg.Fabric {
+	case FabricChan:
+		fabric = cluster.NewChanFabric(n, cfg.FabricBuffer)
+	case FabricTCP:
+		f, err := cluster.NewTCPFabric(n, cfg.FabricBuffer)
+		if err != nil {
+			return nil, err
+		}
+		fabric = f
+	default:
+		return nil, fmt.Errorf("core: unknown fabric kind %d", cfg.Fabric)
+	}
+	defer fabric.Close()
+
+	cache := newCandCache(tax)
+	nodes := make([]*node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newNode(i, tax, parts[i], fabric.Endpoint(i), cfg, cache)
+	}
+
+	start := time.Now()
+	errs := make(chan error, n)
+	for _, nd := range nodes {
+		go func(nd *node) { errs <- nd.run() }(nd)
+	}
+	var firstErr error
+	for range nodes {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	elapsed := time.Since(start)
+
+	coord := nodes[0]
+	res := &Result{Large: coord.large}
+	res.Stats = assembleStats(cfg, nodes, elapsed)
+	return res, nil
+}
+
+// assembleStats merges each node's per-pass counters with the coordinator's
+// per-pass metadata into a RunStats.
+func assembleStats(cfg Config, nodes []*node, elapsed time.Duration) *metrics.RunStats {
+	coord := nodes[0]
+	rs := &metrics.RunStats{
+		Algorithm: string(cfg.Algorithm),
+		Nodes:     len(nodes),
+		MinSup:    cfg.MinSupport,
+		Elapsed:   elapsed,
+	}
+	for pi, meta := range coord.passMeta {
+		ps := metrics.PassStats{
+			Pass:       meta.pass,
+			Candidates: meta.candidates,
+			Duplicated: meta.duplicated,
+			Fragments:  meta.fragments,
+			Large:      meta.large,
+			Elapsed:    meta.elapsed,
+		}
+		for _, nd := range nodes {
+			if pi < len(nd.perPass) {
+				ps.Nodes = append(ps.Nodes, nd.perPass[pi])
+			}
+		}
+		rs.Passes = append(rs.Passes, ps)
+	}
+	return rs
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+)
+
+// dupKind selects the duplication granule of §3.4.
+type dupKind int
+
+const (
+	dupNone dupKind = iota // plain H-HPGM: no duplication
+	dupTree                // H-HPGM-TGD: whole trees (root k-itemsets)
+	dupPath                // H-HPGM-PGD: frequent leaf itemsets + ancestors
+	dupFine                // H-HPGM-FGD: frequent any-level itemsets + ancestors
+)
+
+// selectDuplicates picks the candidates to copy onto every node, keyed by
+// index into cands. The decision is a pure function of globally replicated
+// state (L1 counts, candidates, owners), so every node computes the same
+// set without communication — the paper's step 1 of Figures 7/9/11.
+func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys []string, owners []int) map[int32]bool {
+	dup := make(map[int32]bool)
+	if kind == dupNone || len(cands) == 0 {
+		return dup
+	}
+
+	// With no budget configured memory is unlimited and everything is
+	// duplicated — every variant degenerates to fully local counting.
+	if n.cfg.MemoryBudget <= 0 {
+		for i := range cands {
+			dup[int32(i)] = true
+		}
+		return dup
+	}
+	// Free space: per-node budget minus the largest partitioned share
+	// ("count the number of candidates allocated for each node").
+	capLeft := len(cands)
+	{
+		ownedPerNode := make([]int, n.ep.N())
+		for _, o := range owners {
+			ownedPerNode[o]++
+		}
+		maxOwned := 0
+		for _, c := range ownedPerNode {
+			if c > maxOwned {
+				maxOwned = c
+			}
+		}
+		slots := int(n.cfg.MemoryBudget / candBytes(k))
+		capLeft = slots - maxOwned
+		if capLeft <= 0 {
+			return dup
+		}
+	}
+
+	switch kind {
+	case dupTree:
+		selectTreeGrain(n, cands, vecKeys, capLeft, dup)
+	case dupPath:
+		lowest := make([]bool, n.tax.NumItems())
+		for _, x := range lowestLargeItems(n.tax, n.largeFlags) {
+			lowest[x] = true
+		}
+		selectItemGrain(n, cands, capLeft, dup, func(x item.Item) bool { return lowest[x] })
+	case dupFine:
+		selectItemGrain(n, cands, capLeft, dup, func(item.Item) bool { return true })
+	}
+	return dup
+}
+
+// selectTreeGrain duplicates whole root k-itemset groups ("trees") in
+// decreasing order of root frequency until the next group no longer fits —
+// the coarse grain that wastes free space at small minimum support
+// (Figure 14's TGD-equals-H-HPGM regime).
+func selectTreeGrain(n *node, cands [][]item.Item, vecKeys []string, capLeft int, dup map[int32]bool) {
+	groups := make(map[string][]int32)
+	for i := range cands {
+		groups[vecKeys[i]] = append(groups[vecKeys[i]], int32(i))
+	}
+	type scored struct {
+		key   string
+		score int64
+	}
+	order := make([]scored, 0, len(groups))
+	for key := range groups {
+		var s int64
+		for _, r := range itemset.ParseKey(key) {
+			s += n.itemCounts[r]
+		}
+		order = append(order, scored{key: key, score: s})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].key < order[j].key
+	})
+	for _, g := range order {
+		members := groups[g.key]
+		if len(members) > capLeft {
+			break // tree grain: the whole hierarchy group or nothing
+		}
+		for _, idx := range members {
+			dup[idx] = true
+		}
+		capLeft -= len(members)
+	}
+}
+
+// selectItemGrain implements the shared shape of PGD and FGD: consider the
+// candidates whose members all satisfy the eligibility predicate (lowest
+// large items for PGD, any large item for FGD) in decreasing order of their
+// items' summed frequency — the order the paper obtains by generating
+// k-itemsets from the frequency-sorted item list — and duplicate each one
+// together with all its ancestor candidates, while the free space lasts.
+func selectItemGrain(n *node, cands [][]item.Item, capLeft int, dup map[int32]bool, eligible func(item.Item) bool) {
+	type scored struct {
+		idx   int32
+		score int64
+	}
+	candIdx := make(map[string]int32, len(cands))
+	order := make([]scored, 0, len(cands))
+	for i, c := range cands {
+		candIdx[itemset.Key(c)] = int32(i)
+		ok := true
+		var s int64
+		for _, x := range c {
+			if !eligible(x) {
+				ok = false
+				break
+			}
+			s += n.itemCounts[x]
+		}
+		if ok {
+			order = append(order, scored{idx: int32(i), score: s})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].idx < order[j].idx
+	})
+
+	group := make([]int32, 0, 16)
+	for _, sc := range order {
+		if dup[sc.idx] {
+			continue
+		}
+		// The chosen itemset plus all its ancestor candidates form one
+		// duplication group.
+		group = group[:0]
+		group = append(group, sc.idx)
+		forEachAncestorCombo(n.tax, cands[sc.idx], func(anc []item.Item) {
+			if aidx, ok := candIdx[itemset.Key(anc)]; ok && !dup[aidx] {
+				group = append(group, aidx)
+			}
+		})
+		if len(group) > capLeft {
+			break // ordered by frequency: later groups are colder
+		}
+		for _, g := range group {
+			dup[g] = true
+		}
+		capLeft -= len(group)
+		if capLeft <= 0 {
+			break
+		}
+	}
+}
+
+// lowestLargeItems returns the large items closest to the bottom of the
+// hierarchy: large items none of whose descendants are large (the item pool
+// PGD sorts). Large leaves qualify trivially.
+func lowestLargeItems(tax *taxonomy.Taxonomy, large []bool) []item.Item {
+	var out []item.Item
+	var hasLarge func(x item.Item) bool // does x's strict subtree contain a large item?
+	memo := make(map[item.Item]bool)
+	hasLarge = func(x item.Item) bool {
+		if v, ok := memo[x]; ok {
+			return v
+		}
+		v := false
+		for _, c := range tax.Children(x) {
+			if large[c] || hasLarge(c) {
+				v = true
+				// No break: memoize the whole subtree anyway via recursion
+				// triggered below when needed; cheap to stop here instead.
+				break
+			}
+		}
+		memo[x] = v
+		return v
+	}
+	for i := 0; i < tax.NumItems(); i++ {
+		x := item.Item(i)
+		if large[x] && !hasLarge(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// forEachAncestorCombo enumerates every k-itemset obtainable by replacing
+// members of set with one of their strict-or-self ancestors, excluding set
+// itself and any combination that collapses below k distinct items. Each
+// result is canonical; the slice is only valid during the call.
+func forEachAncestorCombo(tax *taxonomy.Taxonomy, set []item.Item, fn func(combo []item.Item)) {
+	k := len(set)
+	chains := make([][]item.Item, k)
+	for i, x := range set {
+		chains[i] = tax.SelfAndAncestors(nil, x)
+	}
+	combo := make([]item.Item, k)
+	out := make([]item.Item, k)
+	var rec func(pos int, allSelf bool)
+	rec = func(pos int, allSelf bool) {
+		if pos == k {
+			if allSelf {
+				return // the original itemset
+			}
+			copy(out, combo)
+			out = item.Dedup(out)
+			if len(out) == k {
+				fn(out)
+			}
+			out = out[:k]
+			return
+		}
+		for ci, a := range chains[pos] {
+			combo[pos] = a
+			rec(pos+1, allSelf && ci == 0)
+		}
+	}
+	rec(0, true)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// engine is one algorithm's per-pass behaviour. The pass driver (node.go)
+// owns candidate generation and the L_k barrier; the engine owns candidate
+// partitioning, the count-support phase and the hand-off to gatherLarge.
+type engine interface {
+	pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error)
+}
+
+// newEngine instantiates the engine for the node's configured algorithm.
+func newEngine(n *node) (engine, error) {
+	switch n.cfg.Algorithm {
+	case NPGM:
+		return &npgmEngine{n: n}, nil
+	case HPGM:
+		return &hpgmEngine{n: n}, nil
+	case HHPGM:
+		return &hierEngine{n: n, dup: dupNone}, nil
+	case HHPGMTGD:
+		return &hierEngine{n: n, dup: dupTree}, nil
+	case HHPGMPGD:
+		return &hierEngine{n: n, dup: dupPath}, nil
+	case HHPGMFGD:
+		return &hierEngine{n: n, dup: dupFine}, nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %q", n.cfg.Algorithm)
+}
+
+// candBytes estimates the per-candidate memory footprint the paper's M
+// models: k 4-byte items plus table entry overhead (hash bucket, count,
+// header). The absolute constant only shifts where fragmentation and
+// duplication kick in; the experiments sweep MemoryBudget relative to it.
+func candBytes(k int) int64 { return 48 + 4*int64(k) }
+
+// fragmentCount returns how many memory-sized fragments NPGM must split
+// |C_k| candidates into.
+func fragmentCount(numCands, k int, budget int64) int {
+	if budget <= 0 {
+		return 1
+	}
+	perNode := budget / candBytes(k)
+	if perNode < 1 {
+		perNode = 1
+	}
+	f := (int64(numCands) + perNode - 1) / perNode
+	if f < 1 {
+		f = 1
+	}
+	return int(f)
+}
+
+// npgmEngine implements NPGM (§3.1): the candidate itemsets are replicated
+// on every node, so each node counts its local partition independently and
+// the coordinator reduces the counts. When C_k exceeds the per-node memory
+// budget, the candidates are split into fragments and the local database is
+// re-scanned once per fragment — the cost that makes NPGM collapse at small
+// minimum support (Figure 14).
+type npgmEngine struct {
+	n *node
+}
+
+func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error) {
+	n := e.n
+	frags := fragmentCount(len(cands), k, n.cfg.MemoryBudget)
+	view := taxonomy.NewView(n.tax, n.largeFlags, cumulate.KeepSet(n.tax, cands))
+	member := cumulate.MemberSet(n.tax, cands)
+
+	// The candidate set is replicated: one shared index plus a per-node
+	// count vector stands in for N identical hash tables (see candCache).
+	// Each fragment covers the id range [f*per, f*per+per); a probe that
+	// hits outside the current fragment is the simulated table miss.
+	index := n.cands.fullIndex(k, cands)
+	counts := make([]int64, len(cands))
+	scratch := make([]item.Item, 0, 64)
+	started := time.Now()
+	per := (len(cands) + frags - 1) / frags
+	for f := 0; f < frags; f++ {
+		lo := int32(f * per)
+		hi := lo + int32(per)
+		if hi > int32(len(cands)) {
+			hi = int32(len(cands))
+		}
+		err := n.db.Scan(func(t txn.Transaction) error {
+			n.cur.TxnsScanned++
+			ext := cumulate.ExtendFiltered(view, member, scratch[:0], t.Items)
+			scratch = ext
+			itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+				n.cur.Probes++
+				if id := index.Lookup(sub); id >= lo && id < hi {
+					counts[id]++
+					n.cur.Increments++
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, passMeta{}, fmt.Errorf("fragment %d scan: %w", f, err)
+		}
+	}
+	n.cur.ScanTime = time.Since(started)
+
+	// NPGM has no count-support communication: the only exchange is the
+	// reduce of the replicated counts, which gatherLarge performs. (The
+	// paper broadcasts each fragment's L_k^d as it completes; reducing once
+	// after the last fragment yields the same L_k with one barrier.)
+	lk, err := n.gatherLarge(nil, nil, cands, counts)
+	if err != nil {
+		return nil, passMeta{}, err
+	}
+	return lk, passMeta{fragments: frags, duplicated: len(cands)}, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/item"
+	"pgarm/internal/wire"
+)
+
+// countPhase runs the count-support exchange of one pass. The node's main
+// goroutine scans its local partition and routes payload units (single
+// k-itemsets for HPGM, per-transaction item groups for the H-HPGM family)
+// while a receiver goroutine owns the node's partitioned candidate table and
+// applies every unit — remote units from the fabric inbox and local units
+// through an in-memory loopback queue. Splitting producer and consumer this
+// way is what prevents the classic all-to-all deadlock of two nodes blocked
+// sending into each other's full inboxes.
+//
+// Termination: after its scan the main goroutine flushes its batches, sends
+// kDone to every peer and closes the loopback; the receiver finishes once it
+// has seen kDone from every peer and loopback close. Per-sender FIFO
+// delivery guarantees no data trails a peer's kDone.
+type countPhase struct {
+	n     *node
+	apply func(items []item.Item)
+	selfq chan []byte
+	done  chan error
+	stash []cluster.Message // non-count-phase messages that arrived early
+	// itemsRecv/bytesRecv count items and payload bytes decoded from
+	// *remote* batches (loopback units excluded) — the receiver-side half
+	// of the paper's communication metrics. Counting at delivery rather
+	// than from fabric counters keeps pass attribution exact even when a
+	// peer's pass-end control messages arrive early.
+	itemsRecv int64
+	bytesRecv int64
+}
+
+// startCountPhase launches the receiver. apply is invoked once per payload
+// unit, from the receiver goroutine only — it has exclusive access to the
+// tables it touches until finish returns.
+func (n *node) startCountPhase(apply func(items []item.Item)) *countPhase {
+	cp := &countPhase{
+		n:     n,
+		apply: apply,
+		selfq: make(chan []byte, 64),
+		done:  make(chan error, 1),
+	}
+	// Hand any already-stashed count-phase messages (a fast peer may have
+	// started this pass before our previous barrier receive completed) to
+	// the receiver.
+	var pre []cluster.Message
+	rest := cp.n.pending[:0]
+	for _, m := range n.pending {
+		if m.Kind == kData || m.Kind == kDone {
+			pre = append(pre, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	n.pending = rest
+	go func() { cp.done <- cp.loop(pre) }()
+	return cp
+}
+
+// loop is the receiver body.
+func (cp *countPhase) loop(pre []cluster.Message) error {
+	peersLeft := cp.n.numPeers()
+	for _, m := range pre {
+		switch m.Kind {
+		case kData:
+			if err := cp.applyBatch(m.Payload, true); err != nil {
+				return err
+			}
+		case kDone:
+			peersLeft--
+		}
+	}
+	selfq := cp.selfq
+	inbox := cp.n.ep.Inbox()
+	for peersLeft > 0 || selfq != nil {
+		select {
+		case m, ok := <-inbox:
+			if !ok {
+				return fmt.Errorf("core: node %d inbox closed mid count phase", cp.n.id)
+			}
+			switch m.Kind {
+			case kData:
+				if err := cp.applyBatch(m.Payload, true); err != nil {
+					return err
+				}
+			case kDone:
+				peersLeft--
+			default:
+				cp.stash = append(cp.stash, m)
+			}
+		case b, ok := <-selfq:
+			if !ok {
+				selfq = nil
+				continue
+			}
+			if err := cp.applyBatch(b, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyBatch decodes a batch — a concatenation of wire itemsets — and
+// applies each unit.
+func (cp *countPhase) applyBatch(b []byte, remote bool) error {
+	if remote {
+		cp.bytesRecv += int64(len(b))
+	}
+	scratch := make([]item.Item, 0, 32)
+	for off := 0; off < len(b); {
+		items, used, err := wire.Items(b[off:], scratch[:0])
+		if err != nil {
+			return fmt.Errorf("core: node %d decode count batch: %w", cp.n.id, err)
+		}
+		off += used
+		if remote {
+			cp.itemsRecv += int64(len(items))
+		}
+		cp.apply(items)
+	}
+	return nil
+}
+
+// finish is called by the main goroutine after its scan: it signals end of
+// stream, waits for the receiver, and re-queues any stashed messages for
+// the pass-end protocol.
+func (cp *countPhase) finish() error {
+	for p := 0; p < cp.n.ep.N(); p++ {
+		if p == cp.n.id {
+			continue
+		}
+		if err := cp.n.ep.Send(p, kDone, nil); err != nil {
+			return err
+		}
+	}
+	close(cp.selfq)
+	err := <-cp.done
+	cp.n.pending = append(cp.n.pending, cp.stash...)
+	cp.stash = nil
+	cp.n.cur.ItemsReceived += cp.itemsRecv
+	cp.n.cur.DataBytesReceived += cp.bytesRecv
+	return err
+}
+
+// batcher accumulates payload units per destination and flushes them as
+// kData messages once a batch exceeds the configured threshold; units for
+// the local node go through the loopback queue without touching the fabric.
+type batcher struct {
+	cp    *countPhase
+	bufs  [][]byte
+	limit int
+}
+
+func (cp *countPhase) newBatcher() *batcher {
+	return &batcher{
+		cp:    cp,
+		bufs:  make([][]byte, cp.n.ep.N()),
+		limit: cp.n.cfg.batchBytes(),
+	}
+}
+
+// add appends one itemset unit for dest, flushing if the batch is full.
+func (b *batcher) add(dest int, items []item.Item) error {
+	b.bufs[dest] = wire.AppendItems(b.bufs[dest], items)
+	if len(b.bufs[dest]) >= b.limit {
+		return b.flush(dest)
+	}
+	return nil
+}
+
+func (b *batcher) flush(dest int) error {
+	buf := b.bufs[dest]
+	if len(buf) == 0 {
+		return nil
+	}
+	b.bufs[dest] = nil // receiver takes ownership of the buffer
+	if dest == b.cp.n.id {
+		b.cp.selfq <- buf
+		return nil
+	}
+	return b.cp.n.ep.Send(dest, kData, buf)
+}
+
+// flushAll drains every destination buffer.
+func (b *batcher) flushAll() error {
+	for dest := range b.bufs {
+		if err := b.flush(dest); err != nil {
+			return err
+		}
+	}
+	return nil
+}

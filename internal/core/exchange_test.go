@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/wire"
+)
+
+// newTestNodes wires bare nodes (no taxonomy, no database) to a channel
+// fabric for exercising the count-phase machinery directly.
+func newTestNodes(t *testing.T, n int) ([]*node, cluster.Fabric) {
+	t.Helper()
+	f := cluster.NewChanFabric(n, 16)
+	nodes := make([]*node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &node{id: i, ep: f.Endpoint(i), cfg: Config{BatchBytes: 64}}
+	}
+	return nodes, f
+}
+
+func TestCountPhaseDeliversAllUnits(t *testing.T) {
+	nodes, f := newTestNodes(t, 3)
+	defer f.Close()
+
+	const unitsPerPeer = 500
+	var wg sync.WaitGroup
+	received := make([]map[string]int, 3)
+	for i, nd := range nodes {
+		received[i] = map[string]int{}
+		wg.Add(1)
+		go func(i int, nd *node) {
+			defer wg.Done()
+			recv := received[i]
+			cp := nd.startCountPhase(func(items []item.Item) {
+				recv[itemset.Key(items)]++
+			})
+			bat := cp.newBatcher()
+			for u := 0; u < unitsPerPeer; u++ {
+				// Unit value encodes the sender so receivers can verify.
+				unit := []item.Item{item.Item(i), item.Item(100 + u)}
+				for dest := 0; dest < 3; dest++ {
+					if err := bat.add(dest, unit); err != nil {
+						t.Errorf("add: %v", err)
+					}
+				}
+			}
+			if err := bat.flushAll(); err != nil {
+				t.Errorf("flush: %v", err)
+			}
+			if err := cp.finish(); err != nil {
+				t.Errorf("finish: %v", err)
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+	for i := range nodes {
+		total := 0
+		for _, c := range received[i] {
+			total += c
+		}
+		if total != 3*unitsPerPeer {
+			t.Errorf("node %d received %d units, want %d", i, total, 3*unitsPerPeer)
+		}
+		// Every unit must arrive exactly once.
+		for key, c := range received[i] {
+			if c != 1 {
+				t.Errorf("node %d unit %v delivered %d times", i, itemset.ParseKey(key), c)
+			}
+		}
+	}
+}
+
+func TestCountPhaseSingleNodeLoopback(t *testing.T) {
+	nodes, f := newTestNodes(t, 1)
+	defer f.Close()
+	nd := nodes[0]
+	got := 0
+	cp := nd.startCountPhase(func(items []item.Item) { got += len(items) })
+	bat := cp.newBatcher()
+	for i := 0; i < 10; i++ {
+		if err := bat.add(0, []item.Item{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.flushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Errorf("received %d items, want 30", got)
+	}
+}
+
+func TestBatcherFlushesAtThreshold(t *testing.T) {
+	nodes, f := newTestNodes(t, 2)
+	defer f.Close()
+	a, b := nodes[0], nodes[1]
+
+	var recvUnits int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cp := b.startCountPhase(func([]item.Item) { recvUnits++ })
+		bcp := cp.newBatcher()
+		_ = bcp
+		if err := cp.finish(); err != nil {
+			t.Errorf("b finish: %v", err)
+		}
+	}()
+
+	cp := a.startCountPhase(func([]item.Item) {})
+	bat := cp.newBatcher()
+	// BatchBytes is 64; a 2-item unit encodes to ~3-9 bytes, so well before
+	// 100 units at least one flush must have happened without flushAll.
+	for i := 0; i < 100; i++ {
+		if err := bat.add(1, []item.Item{item.Item(i), item.Item(i + 1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.ep.Stats().MsgsSent == 0 {
+		t.Error("no automatic flush at threshold")
+	}
+	if err := bat.flushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.finish(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if recvUnits != 100 {
+		t.Errorf("receiver saw %d units, want 100", recvUnits)
+	}
+}
+
+func TestRecvKindStashesOthers(t *testing.T) {
+	nodes, f := newTestNodes(t, 2)
+	defer f.Close()
+	a, b := nodes[0], nodes[1]
+	// b sends a data message then a large broadcast; a waits for the
+	// broadcast first — the data message must survive in pending.
+	if err := b.ep.Send(0, kData, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ep.Send(0, kLarge, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.recvKind(kLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != kLarge {
+		t.Fatalf("got kind %d", m.Kind)
+	}
+	if len(a.pending) != 1 || a.pending[0].Kind != kData {
+		t.Fatalf("pending = %+v", a.pending)
+	}
+	// And the stashed message is consumed first on the next matching recv.
+	m, err = a.recvKind(kData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != kData || len(a.pending) != 0 {
+		t.Fatalf("stash replay failed: %+v pending=%d", m, len(a.pending))
+	}
+}
+
+func TestCountPhaseConsumesPreStashedData(t *testing.T) {
+	nodes, f := newTestNodes(t, 2)
+	defer f.Close()
+	a, b := nodes[0], nodes[1]
+
+	// b runs a full (empty) count phase later; first it pushes data + done
+	// to a, which a stashes while waiting for an unrelated kind.
+	unit := wireUnit([]item.Item{7, 9})
+	if err := b.ep.Send(0, kData, unit); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ep.Send(0, kDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ep.Send(0, kLarge, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.recvKind(kLarge); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(a.pending))
+	}
+
+	got := 0
+	cp := a.startCountPhase(func(items []item.Item) { got++ })
+	if err := cp.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("pre-stashed unit not applied: got %d", got)
+	}
+	if len(a.pending) != 0 {
+		t.Errorf("pending not drained: %d", len(a.pending))
+	}
+}
+
+// wireUnit encodes one payload unit exactly as the batcher does.
+func wireUnit(items []item.Item) []byte {
+	return wire.AppendItems(nil, items)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// hierEngine implements H-HPGM (§3.3) and its three skew-handling variants
+// (§3.4). Candidates are partitioned by the hash of their *root vector* (the
+// sorted multiset of the root of each member item), so every candidate of a
+// given tree combination lives on one node and ancestors never travel:
+// transactions are reduced to their closest-to-bottom large items and only
+// the item groups relevant to each owner are shipped (Example 2: 3 items
+// instead of HPGM's 18).
+//
+// The TGD/PGD/FGD variants first fill the nodes' free memory with copies of
+// frequently occurring candidates — whole trees, leaf paths, or individual
+// hot itemsets plus their ancestor candidates — which are then counted
+// locally on every node, flattening the probe-load distribution (Fig 15).
+type hierEngine struct {
+	n   *node
+	dup dupKind
+}
+
+func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error) {
+	n := e.n
+	nNodes := n.ep.N()
+	self := n.id
+
+	// Root vectors, owners and the duplication choice are deterministic on
+	// every node; computed once and shared (see candCache).
+	plan := n.cands.hierPlan(k, func() *passPlan {
+		vecKeys := make([]string, len(cands))
+		owners := make([]int, len(cands))
+		vecScratch := make([]item.Item, 0, k)
+		for i, c := range cands {
+			vecScratch = rootVector(n.tax, vecScratch[:0], c)
+			vecKeys[i] = itemset.Key(vecScratch)
+			owners[i] = int(itemset.Hash(vecScratch) % uint64(nNodes))
+		}
+		dup := selectDuplicates(n, e.dup, k, cands, vecKeys, owners)
+		// Duplicated candidates in ascending id order: the layout of every
+		// node's count vector and of the coordinator reduce.
+		dupSets := make([][]item.Item, 0, len(dup))
+		for i, c := range cands {
+			if dup[int32(i)] {
+				dupSets = append(dupSets, c)
+			}
+		}
+		return &passPlan{
+			vecKeys:  vecKeys,
+			owners:   owners,
+			dup:      dup,
+			dupSets:  dupSets,
+			dupIndex: itemset.BuildIndex(dupSets),
+		}
+	})
+	vecKeys, owners, dupIdx := plan.vecKeys, plan.owners, plan.dup
+
+	// vecInfo drives routing: owner of each root vector and how many
+	// candidates of that vector remain partitioned (not duplicated). A
+	// vector whose candidates were all duplicated needs no communication —
+	// that is where TGD/PGD/FGD save bytes on top of balancing load.
+	type vecEntry struct {
+		owner     int
+		remaining int
+	}
+	vecInfo := make(map[string]*vecEntry)
+	for i := range cands {
+		ve := vecInfo[vecKeys[i]]
+		if ve == nil {
+			ve = &vecEntry{owner: owners[i]}
+			vecInfo[vecKeys[i]] = ve
+		}
+		if !dupIdx[int32(i)] {
+			ve.remaining++
+		}
+	}
+
+	// Per-node state. The owned table is touched only by the receiver
+	// goroutine during the count phase; the duplicated count vector (over
+	// the shared dupIndex) only by the main goroutine.
+	var ownedCands [][]item.Item
+	for i, c := range cands {
+		if owners[i] == self && !dupIdx[int32(i)] {
+			ownedCands = append(ownedCands, c)
+		}
+	}
+	ownedTable := itemset.NewTable(len(ownedCands))
+	for _, c := range ownedCands {
+		ownedTable.Add(c)
+	}
+	dupCounts := make([]int64, len(plan.dupSets))
+	ownedMember := cumulate.MemberSet(n.tax, ownedCands)
+	ownedView := taxonomy.NewView(n.tax, n.largeFlags, ownedMember)
+	dupMember := cumulate.MemberSet(n.tax, plan.dupSets)
+	dupView := taxonomy.NewView(n.tax, n.largeFlags, dupMember)
+	replaceView := taxonomy.NewView(n.tax, n.largeFlags, nil)
+
+	// Receiver: one unit is the item group t'' a peer selected for us;
+	// candidates contained in its ancestor closure are counted, covering
+	// both the k-itemsets generated from t'' and "all its ancestor
+	// candidates" (Figure 5 lines (12)/(16)).
+	applyScratch := make([]item.Item, 0, 64)
+	cp := n.startCountPhase(func(items []item.Item) {
+		ext := cumulate.ExtendFiltered(ownedView, ownedMember, applyScratch[:0], items)
+		applyScratch = ext
+		itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+			if id := ownedTable.Lookup(sub); id >= 0 {
+				ownedTable.Increment(id)
+				n.cur.Increments++
+			}
+			return true
+		})
+	})
+	bat := cp.newBatcher()
+
+	// Per-transaction routing state, reused across the scan.
+	rootsByDest := make([][]item.Item, nNodes)
+	touched := make([]int, 0, nNodes)
+	var tPrime, dupExt, group, multiset []item.Item
+	var keyBuf []byte
+	rootRuns := make([]rootRun, 0, 16)
+
+	started := time.Now()
+	var sendErr error
+	err := n.db.Scan(func(t txn.Transaction) error {
+		n.cur.TxnsScanned++
+
+		// Duplicated candidates are counted locally, straight from the
+		// original transaction's closure (Figures 7/9/11 line (8.1)).
+		if len(dupCounts) > 0 {
+			dupExt = cumulate.ExtendFiltered(dupView, dupMember, dupExt[:0], t.Items)
+			itemset.ForEachSubset(dupExt, k, func(sub []item.Item) bool {
+				n.cur.Probes++
+				if id := plan.dupIndex.Lookup(sub); id >= 0 {
+					dupCounts[id]++
+					n.cur.Increments++
+				}
+				return true
+			})
+		}
+
+		// t': items replaced by their closest-to-bottom large ancestor.
+		tPrime = replaceView.ReplaceWithLarge(tPrime[:0], t.Items)
+		if len(tPrime) == 0 {
+			return nil
+		}
+		// Distinct roots present with their item multiplicities.
+		rootRuns = rootRunsOf(n.tax, rootRuns[:0], tPrime)
+
+		// Enumerate realizable root k-multisets; union the roots each
+		// destination needs.
+		touched = touched[:0]
+		multiset = multiset[:0]
+		enumerateMultisets(rootRuns, k, multiset, func(m []item.Item) {
+			keyBuf = itemset.AppendKey(keyBuf[:0], m)
+			ve := vecInfo[string(keyBuf)]
+			if ve == nil || ve.remaining == 0 {
+				return
+			}
+			if len(rootsByDest[ve.owner]) == 0 {
+				touched = append(touched, ve.owner)
+			}
+			for _, r := range m {
+				rootsByDest[ve.owner] = append(rootsByDest[ve.owner], r)
+			}
+		})
+
+		for _, dest := range touched {
+			roots := item.Dedup(rootsByDest[dest])
+			group = group[:0]
+			for _, x := range tPrime {
+				if item.Contains(roots, n.tax.Root(x)) {
+					group = append(group, x)
+				}
+			}
+			if dest != self {
+				n.cur.ItemsSent += int64(len(group))
+			}
+			if err := bat.add(dest, group); err != nil {
+				sendErr = err
+			}
+			rootsByDest[dest] = rootsByDest[dest][:0]
+		}
+		return sendErr
+	})
+	if err == nil {
+		err = bat.flushAll()
+	}
+	if ferr := cp.finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
+	}
+	n.cur.ScanTime = time.Since(started)
+	n.markDataPlane()
+	n.cur.Probes += ownedTable.Probes()
+
+	ownedSets, ownedCounts := largeOf(ownedTable, n.minCount)
+	lk, err := n.gatherLarge(ownedSets, ownedCounts, plan.dupSets, dupCounts)
+	if err != nil {
+		return nil, passMeta{}, err
+	}
+	return lk, passMeta{fragments: 1, duplicated: len(plan.dupSets)}, nil
+}
+
+// rootVector computes the sorted multiset of roots of an itemset's members,
+// appended to dst.
+func rootVector(tax *taxonomy.Taxonomy, dst []item.Item, set []item.Item) []item.Item {
+	for _, x := range set {
+		dst = append(dst, tax.Root(x))
+	}
+	item.Sort(dst)
+	return dst
+}
+
+// rootRun is one distinct root present in a transaction with the number of
+// transaction items under it — the multiplicity cap for root multisets.
+type rootRun struct {
+	root  item.Item
+	count int
+}
+
+// rootRunsOf groups a canonical transaction's items by root, ascending.
+func rootRunsOf(tax *taxonomy.Taxonomy, dst []rootRun, items []item.Item) []rootRun {
+	for _, x := range items {
+		r := tax.Root(x)
+		found := false
+		for i := range dst {
+			if dst[i].root == r {
+				dst[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, rootRun{root: r, count: 1})
+		}
+	}
+	// Roots must be ascending for canonical multiset keys.
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j-1].root > dst[j].root; j-- {
+			dst[j-1], dst[j] = dst[j], dst[j-1]
+		}
+	}
+	return dst
+}
+
+// enumerateMultisets yields every k-multiset over the runs' roots whose
+// per-root multiplicity does not exceed the run count — exactly the root
+// vectors some k-subset of the transaction can realize. fn receives a
+// scratch slice valid only for the call.
+func enumerateMultisets(runs []rootRun, k int, scratch []item.Item, fn func(m []item.Item)) {
+	var rec func(idx, left int)
+	rec = func(idx, left int) {
+		if left == 0 {
+			fn(scratch)
+			return
+		}
+		if idx >= len(runs) {
+			return
+		}
+		// Remaining capacity check for an early exit.
+		capLeft := 0
+		for i := idx; i < len(runs); i++ {
+			capLeft += runs[i].count
+		}
+		if capLeft < left {
+			return
+		}
+		max := runs[idx].count
+		if max > left {
+			max = left
+		}
+		for take := 0; take <= max; take++ {
+			for i := 0; i < take; i++ {
+				scratch = append(scratch, runs[idx].root)
+			}
+			rec(idx+1, left-take)
+			scratch = scratch[:len(scratch)-take]
+		}
+	}
+	rec(0, k)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// TestInteriorItemsInBaskets exercises a corner the synthetic generator
+// never produces: transactions that literally contain interior hierarchy
+// items (e.g. a catalog row recorded at category level). Closure semantics
+// must hold — an interior item in a basket supports itself and its
+// ancestors — and every algorithm must agree with Cumulate.
+func TestInteriorItemsInBaskets(t *testing.T) {
+	tax := taxonomy.MustBalanced(300, 5, 4)
+	rng := rand.New(rand.NewSource(21))
+	db := &txn.DB{}
+	for tid := int64(0); tid < 1200; tid++ {
+		items := make([]item.Item, 0, 5)
+		for len(items) < 5 {
+			// Any item, leaf or interior, including roots.
+			items = append(items, item.Item(rng.Intn(tax.NumItems())))
+		}
+		db.Append(txn.Transaction{TID: tid, Items: item.Dedup(items)})
+	}
+	want, err := cumulate.Mine(tax, db, cumulate.Config{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Large) < 2 {
+		t.Fatal("weak test data")
+	}
+	for _, alg := range Algorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			got, err := Mine(tax, partsOf(db, 4), Config{
+				Algorithm:  alg,
+				MinSupport: 0.02,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameLarge(t, want, got)
+		})
+	}
+}
+
+// TestUniformDataNoHierarchy degenerates the hierarchy to a flat universe
+// (every item a root): the generalized algorithms must still agree with
+// Cumulate, which in turn equals plain Apriori.
+func TestUniformDataNoHierarchy(t *testing.T) {
+	const numItems = 120
+	parent := make([]item.Item, numItems)
+	for i := range parent {
+		parent[i] = item.None
+	}
+	tax := taxonomy.MustNew(parent)
+	rng := rand.New(rand.NewSource(5))
+	db := &txn.DB{}
+	for tid := int64(0); tid < 800; tid++ {
+		items := make([]item.Item, 0, 6)
+		for len(items) < 6 {
+			items = append(items, item.Item(rng.Intn(numItems)))
+		}
+		db.Append(txn.Transaction{TID: tid, Items: item.Dedup(items)})
+	}
+	want, err := cumulate.Mine(tax, db, cumulate.Config{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apriori, err := cumulate.Apriori(db, cumulate.Config{MinSupport: 0.03}, numItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Large) != len(apriori.Large) {
+		t.Fatalf("flat Cumulate %d levels vs Apriori %d", len(want.Large), len(apriori.Large))
+	}
+	for _, alg := range []Algorithm{HPGM, HHPGM, HHPGMFGD} {
+		got, err := Mine(tax, partsOf(db, 3), Config{Algorithm: alg, MinSupport: 0.03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameLarge(t, want, got)
+	}
+}
+
+// TestDeepChainHierarchy stresses long ancestor chains (every tree a single
+// path): ancestor combos and nearest-large replacement over chains of depth
+// ~20.
+func TestDeepChainHierarchy(t *testing.T) {
+	var b taxonomy.Builder
+	var leaves []item.Item
+	for tree := 0; tree < 4; tree++ {
+		cur := b.AddRoot()
+		for d := 0; d < 20; d++ {
+			cur = b.AddChild(cur)
+		}
+		leaves = append(leaves, cur)
+	}
+	tax := b.MustBuild()
+	rng := rand.New(rand.NewSource(9))
+	db := &txn.DB{}
+	for tid := int64(0); tid < 600; tid++ {
+		items := make([]item.Item, 0, 3)
+		for len(items) < 3 {
+			// Random depth within a random chain.
+			tree := rng.Intn(4)
+			depth := rng.Intn(21)
+			items = append(items, item.Item(tree*21+depth))
+		}
+		db.Append(txn.Transaction{TID: tid, Items: item.Dedup(items)})
+	}
+	_ = leaves
+	want, err := cumulate.Mine(tax, db, cumulate.Config{MinSupport: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{NPGM, HHPGM, HHPGMPGD} {
+		got, err := Mine(tax, partsOf(db, 3), Config{Algorithm: alg, MinSupport: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameLarge(t, want, got)
+	}
+}
+
+// TestEmptyPartitions covers nodes whose local disk holds no transactions
+// (more nodes than transactions in the extreme).
+func TestEmptyPartitions(t *testing.T) {
+	tax := taxonomy.MustBalanced(50, 3, 3)
+	db := &txn.DB{}
+	db.Append(txn.Transaction{TID: 1, Items: []item.Item{10, 20}})
+	db.Append(txn.Transaction{TID: 2, Items: []item.Item{10, 21}})
+	want, err := cumulate.Mine(tax, db, cumulate.Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Mine(tax, partsOf(db, 5), Config{Algorithm: HHPGMFGD, MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameLarge(t, want, got)
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+	"pgarm/internal/wire"
+)
+
+// Message kinds of the mining protocol. Per-sender FIFO delivery (both
+// fabrics guarantee it) plus the pass barriers below make each kind
+// unambiguous: within a pass a sender emits kData* messages, then one kDone,
+// then its results (kLocalLarge/kDupCounts), and the coordinator answers
+// with one kLarge.
+const (
+	kSize       uint8 = iota + 1 // node -> coord: local partition size; coord -> node: |D|
+	kCounts1                     // node -> coord: pass-1 dense item counts
+	kData                        // node -> node: count-support payload batch
+	kDone                        // node -> node: end of count-support stream
+	kLocalLarge                  // node -> coord: locally-owned large itemsets
+	kDupCounts                   // node -> coord: duplicated/replicated table counts
+	kLarge                       // coord -> node: global L_k broadcast
+)
+
+// passMeta is the coordinator-side metadata of one pass.
+type passMeta struct {
+	pass       int
+	candidates int
+	duplicated int
+	fragments  int
+	large      int
+	elapsed    time.Duration
+}
+
+// node is one shared-nothing processor: private candidate tables, a local
+// database partition, and a fabric endpoint. Node 0 doubles as the
+// coordinator, as in the paper.
+type node struct {
+	id       int
+	tax      *taxonomy.Taxonomy
+	db       txn.Scanner
+	ep       cluster.Endpoint
+	cfg      Config
+	cands    *candCache
+	totalTxn int
+	minCount int64
+
+	// pending holds inbox messages that arrived ahead of the phase that
+	// consumes them (e.g. a fast peer's pass-k data while we still await the
+	// pass-(k-1) kLarge broadcast).
+	pending []cluster.Message
+
+	// Global mining state, identical on every node after each barrier.
+	itemCounts []int64     // global pass-1 counts per item (after reduce)
+	largeFlags []bool      // large[i] per item
+	largeItems []item.Item // L1 as items, ascending
+
+	// Result accumulation: always on the coordinator; keepLarge turns it on
+	// for followers too (multi-process workers return their own copy).
+	keepLarge bool
+	large     [][]itemset.Counted
+	passMeta  []passMeta
+
+	// Per-pass metrics, one entry per completed pass.
+	perPass []metrics.NodeStats
+	cur     metrics.NodeStats // counters of the pass in flight
+}
+
+func newNode(id int, tax *taxonomy.Taxonomy, db txn.Scanner, ep cluster.Endpoint, cfg Config, cands *candCache) *node {
+	return &node{
+		id:    id,
+		tax:   tax,
+		db:    db,
+		ep:    ep,
+		cfg:   cfg,
+		cands: cands,
+	}
+}
+
+func (n *node) isCoord() bool { return n.id == 0 }
+
+// numPeers returns the number of other nodes.
+func (n *node) numPeers() int { return n.ep.N() - 1 }
+
+// recvKind blocks until a message of one of the wanted kinds arrives,
+// stashing everything else in the pending queue for later phases.
+func (n *node) recvKind(want ...uint8) (cluster.Message, error) {
+	match := func(k uint8) bool {
+		for _, w := range want {
+			if k == w {
+				return true
+			}
+		}
+		return false
+	}
+	for i, m := range n.pending {
+		if match(m.Kind) {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for m := range n.ep.Inbox() {
+		if match(m.Kind) {
+			return m, nil
+		}
+		n.pending = append(n.pending, m)
+	}
+	return cluster.Message{}, fmt.Errorf("core: node %d inbox closed while waiting for kind %v", n.id, want)
+}
+
+// run executes the whole mining protocol on this node.
+func (n *node) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: node %d panicked: %v", n.id, r)
+		}
+	}()
+	if err := n.sizeExchange(); err != nil {
+		return err
+	}
+	if err := n.pass1(); err != nil {
+		return err
+	}
+	if len(n.largeItems) < 2 {
+		return nil
+	}
+	eng, err := newEngine(n)
+	if err != nil {
+		return err
+	}
+	prev := make([][]item.Item, len(n.largeItems))
+	for i, it := range n.largeItems {
+		prev[i] = []item.Item{it}
+	}
+	for k := 2; n.cfg.MaxK == 0 || k <= n.cfg.MaxK; k++ {
+		// Deterministic on every node (same L_{k-1}, same generator);
+		// materialized once and shared read-only, see candCache.
+		cands := n.cands.generate(k, prev)
+		if len(cands) == 0 {
+			return nil
+		}
+		lk, err := n.runPass(eng, k, cands)
+		if err != nil {
+			return err
+		}
+		if len(lk) == 0 {
+			return nil
+		}
+		prev = prev[:0]
+		for _, c := range lk {
+			prev = append(prev, c.Items)
+		}
+	}
+	return nil
+}
+
+// sizeExchange establishes the global database size |D| (and from it the
+// absolute minimum support count): every node reports its local partition
+// size to the coordinator, which broadcasts the sum. In-process clusters
+// could compute this directly, but routing it through the protocol keeps a
+// single code path for multi-process workers that only know their own disk.
+func (n *node) sizeExchange() error {
+	if n.isCoord() {
+		total := int64(n.db.Len())
+		for p := 0; p < n.numPeers(); p++ {
+			m, err := n.recvKind(kSize)
+			if err != nil {
+				return err
+			}
+			v, _, err := wire.Uvarint(m.Payload)
+			if err != nil {
+				return fmt.Errorf("core: decode size from node %d: %w", m.From, err)
+			}
+			total += int64(v)
+		}
+		payload := wire.AppendUvarint(nil, uint64(total))
+		for p := 1; p < n.ep.N(); p++ {
+			if err := n.ep.Send(p, kSize, payload); err != nil {
+				return err
+			}
+		}
+		n.totalTxn = int(total)
+	} else {
+		if err := n.ep.Send(0, kSize, wire.AppendUvarint(nil, uint64(n.db.Len()))); err != nil {
+			return err
+		}
+		m, err := n.recvKind(kSize)
+		if err != nil {
+			return err
+		}
+		v, _, err := wire.Uvarint(m.Payload)
+		if err != nil {
+			return fmt.Errorf("core: decode |D| broadcast: %w", err)
+		}
+		n.totalTxn = int(v)
+	}
+	n.minCount = cumulate.MinCount(n.cfg.MinSupport, n.totalTxn)
+	return nil
+}
+
+// pass1 counts every item and all its ancestors over the local partition,
+// reduces the counts on the coordinator and broadcasts the global vector.
+// All algorithms share it: C_1 is just an array indexed by item, so there is
+// nothing to partition.
+func (n *node) pass1() error {
+	started := time.Now()
+	n.cur = metrics.NodeStats{Node: n.id}
+	counts := make([]int64, n.tax.NumItems())
+	scratch := make([]item.Item, 0, 64)
+	err := n.db.Scan(func(t txn.Transaction) error {
+		n.cur.TxnsScanned++
+		scratch = n.tax.ExtendTransaction(scratch[:0], t.Items)
+		for _, x := range scratch {
+			counts[x]++
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: node %d pass 1 scan: %w", n.id, err)
+	}
+	n.cur.ScanTime = time.Since(started)
+
+	if n.isCoord() {
+		for p := 0; p < n.numPeers(); p++ {
+			m, err := n.recvKind(kCounts1)
+			if err != nil {
+				return err
+			}
+			remote, _, err := wire.Counts(m.Payload)
+			if err != nil {
+				return fmt.Errorf("core: decode pass-1 counts from node %d: %w", m.From, err)
+			}
+			if len(remote) != len(counts) {
+				return fmt.Errorf("core: node %d sent %d item counts, want %d", m.From, len(remote), len(counts))
+			}
+			for i, c := range remote {
+				counts[i] += c
+			}
+		}
+		n.itemCounts = counts
+		payload := wire.AppendCounts(nil, counts)
+		for p := 1; p < n.ep.N(); p++ {
+			if err := n.ep.Send(p, kLarge, payload); err != nil {
+				return err
+			}
+		}
+	} else {
+		if err := n.ep.Send(0, kCounts1, wire.AppendCounts(nil, counts)); err != nil {
+			return err
+		}
+		m, err := n.recvKind(kLarge)
+		if err != nil {
+			return err
+		}
+		global, _, err := wire.Counts(m.Payload)
+		if err != nil {
+			return fmt.Errorf("core: decode global pass-1 counts: %w", err)
+		}
+		n.itemCounts = global
+	}
+
+	n.largeFlags = make([]bool, n.tax.NumItems())
+	var l1 []itemset.Counted
+	for i, c := range n.itemCounts {
+		if c >= n.minCount {
+			n.largeFlags[i] = true
+			n.largeItems = append(n.largeItems, item.Item(i))
+			l1 = append(l1, itemset.Counted{Items: []item.Item{item.Item(i)}, Count: c})
+		}
+	}
+	n.finishPassStats()
+	if n.isCoord() || n.keepLarge {
+		n.large = append(n.large, l1)
+		n.passMeta = append(n.passMeta, passMeta{
+			pass:       1,
+			candidates: n.tax.NumItems(),
+			large:      len(l1),
+			elapsed:    time.Since(started),
+		})
+	}
+	return nil
+}
+
+// runPass executes one count-support pass for k >= 2 and returns the global
+// large k-itemsets (identical on every node after the broadcast).
+func (n *node) runPass(eng engine, k int, cands [][]item.Item) ([]itemset.Counted, error) {
+	started := time.Now()
+	n.cur = metrics.NodeStats{Node: n.id}
+	n.ep.ResetStats()
+
+	lk, meta, err := eng.pass(k, cands)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %d pass %d: %w", n.id, k, err)
+	}
+
+	st := n.ep.Stats()
+	n.cur.BytesSent = st.BytesSent
+	n.cur.BytesReceived = st.BytesRecv
+	n.cur.MsgsSent = st.MsgsSent
+	n.cur.MsgsReceived = st.MsgsRecv
+	n.finishPassStats()
+	if n.isCoord() || n.keepLarge {
+		// Mirror the sequential baseline: an empty L_k terminates the run
+		// and is not recorded as a level.
+		if len(lk) > 0 {
+			n.large = append(n.large, lk)
+		}
+		meta.pass = k
+		meta.candidates = len(cands)
+		meta.large = len(lk)
+		meta.elapsed = time.Since(started)
+		n.passMeta = append(n.passMeta, meta)
+	}
+	return lk, nil
+}
+
+func (n *node) finishPassStats() {
+	n.perPass = append(n.perPass, n.cur)
+}
+
+// markDataPlane snapshots the sent-side fabric counter accumulated so far
+// this pass as count-support data traffic; engines call it right after the
+// count phase, before the L_k gather adds control traffic on top. (The
+// received side is counted at delivery inside the count phase — fabric
+// receive counters can already include a fast peer's early gather message.)
+func (n *node) markDataPlane() {
+	n.cur.DataBytesSent = n.ep.Stats().BytesSent
+}
+
+// gatherLarge implements the pass-end protocol shared by all engines:
+//
+//   - every non-coordinator sends its locally determined large itemsets
+//     (ownedSets/ownedCounts, already filtered by minCount) and the dense
+//     count vector of its replicated table (dupCounts, may be empty);
+//   - the coordinator reduces the replicated counts, filters them, merges in
+//     the owned larges, and broadcasts the global L_k.
+//
+// dupSets is the (deterministically identical) itemset list behind
+// dupCounts; only the coordinator's copy is read.
+func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets [][]item.Item, dupCounts []int64) ([]itemset.Counted, error) {
+	if !n.isCoord() {
+		if err := n.ep.Send(0, kLocalLarge, wire.AppendCounted(nil, ownedSets, ownedCounts)); err != nil {
+			return nil, err
+		}
+		if err := n.ep.Send(0, kDupCounts, wire.AppendCounts(nil, dupCounts)); err != nil {
+			return nil, err
+		}
+		m, err := n.recvKind(kLarge)
+		if err != nil {
+			return nil, err
+		}
+		sets, counts, _, err := wire.Counted(m.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode L_k broadcast: %w", err)
+		}
+		out := make([]itemset.Counted, len(sets))
+		for i := range sets {
+			out[i] = itemset.Counted{Items: sets[i], Count: counts[i]}
+		}
+		return out, nil
+	}
+
+	// Coordinator: collect N-1 owned-large messages and N-1 replicated
+	// count vectors.
+	var all []itemset.Counted
+	for i := range ownedSets {
+		all = append(all, itemset.Counted{Items: ownedSets[i], Count: ownedCounts[i]})
+	}
+	dupTotal := make([]int64, len(dupCounts))
+	copy(dupTotal, dupCounts)
+	for got := 0; got < 2*n.numPeers(); got++ {
+		m, err := n.recvKind(kLocalLarge, kDupCounts)
+		if err != nil {
+			return nil, err
+		}
+		switch m.Kind {
+		case kLocalLarge:
+			sets, counts, _, err := wire.Counted(m.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode owned larges from node %d: %w", m.From, err)
+			}
+			for i := range sets {
+				all = append(all, itemset.Counted{Items: sets[i], Count: counts[i]})
+			}
+		case kDupCounts:
+			counts, _, err := wire.Counts(m.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode replicated counts from node %d: %w", m.From, err)
+			}
+			if len(counts) != len(dupTotal) {
+				return nil, fmt.Errorf("core: node %d sent %d replicated counts, want %d", m.From, len(counts), len(dupTotal))
+			}
+			for i, c := range counts {
+				dupTotal[i] += c
+			}
+		}
+	}
+	for i, c := range dupTotal {
+		if c >= n.minCount {
+			all = append(all, itemset.Counted{Items: dupSets[i], Count: c})
+		}
+	}
+	itemset.SortCounted(all)
+
+	sets := make([][]item.Item, len(all))
+	counts := make([]int64, len(all))
+	for i, c := range all {
+		sets[i] = c.Items
+		counts[i] = c.Count
+	}
+	payload := wire.AppendCounted(nil, sets, counts)
+	for p := 1; p < n.ep.N(); p++ {
+		if err := n.ep.Send(p, kLarge, payload); err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}

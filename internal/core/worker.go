@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// MineWorker runs a single node of the mining protocol over a caller-
+// provided endpoint — the entry point for true multi-process shared-nothing
+// clusters (see cmd/pgarm-worker and cluster.DialMesh). Every worker must
+// run the same Config; node 0 acts as coordinator.
+//
+// The returned Result carries the global large itemsets (identical on every
+// node after the final broadcast) but, unlike Mine, its Stats cover only
+// this worker's node — other processes' counters are not visible here.
+func MineWorker(tax *taxonomy.Taxonomy, local txn.Scanner, cfg Config, ep cluster.Endpoint) (*Result, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("core: minimum support %g out of (0,1]", cfg.MinSupport)
+	}
+	if _, err := ParseAlgorithm(string(cfg.Algorithm)); err != nil {
+		return nil, err
+	}
+	nd := newNode(ep.ID(), tax, local, ep, cfg, newCandCache(tax))
+	nd.keepLarge = true
+	start := time.Now()
+	if err := nd.run(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{Large: nd.large}
+	res.Stats = assembleStats(cfg, []*node{nd}, elapsed)
+	return res, nil
+}

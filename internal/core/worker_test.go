@@ -1,0 +1,86 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/cumulate"
+	"pgarm/internal/txn"
+)
+
+// TestMineWorkerMesh runs three MineWorker instances over a real TCP mesh
+// (the multi-process deployment path, exercised in-process) and checks that
+// every worker converges to the sequential Cumulate result.
+func TestMineWorkerMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh run in short mode")
+	}
+	ds := testDataset(t, 1200)
+	const nodes = 3
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := txn.Partition(ds.DB, nodes)
+
+	// Pre-bind listeners so the test controls the addresses.
+	listeners := make([]net.Listener, nodes)
+	addrs := make([]string, nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	results := make([]*Result, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, closer, err := cluster.DialMesh(i, addrs, cluster.MeshOptions{Listener: listeners[i]})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer closer.Close()
+			results[i], errs[i] = MineWorker(ds.Taxonomy, parts[i], Config{
+				Algorithm:  HHPGMFGD,
+				MinSupport: 0.03,
+			}, ep)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("worker %d returned no result", i)
+		}
+		assertSameLarge(t, want, res)
+		if res.Stats == nil || len(res.Stats.Passes) == 0 {
+			t.Errorf("worker %d missing stats", i)
+		}
+	}
+}
+
+func TestMineWorkerValidation(t *testing.T) {
+	ds := testDataset(t, 100)
+	f := cluster.NewChanFabric(1, 4)
+	defer f.Close()
+	if _, err := MineWorker(ds.Taxonomy, ds.DB, Config{Algorithm: HHPGM, MinSupport: 0}, f.Endpoint(0)); err == nil {
+		t.Error("zero support must fail")
+	}
+	if _, err := MineWorker(ds.Taxonomy, ds.DB, Config{Algorithm: "nope", MinSupport: 0.1}, f.Endpoint(0)); err == nil {
+		t.Error("bad algorithm must fail")
+	}
+}

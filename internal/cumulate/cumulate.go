@@ -1,0 +1,244 @@
+// Package cumulate implements the sequential baselines the paper builds on:
+// Cumulate (Srikant & Agrawal, VLDB'95) for generalized association rules
+// over a classification hierarchy, and plain Apriori (Agrawal & Srikant,
+// VLDB'94) for flat itemsets. The parallel algorithms in internal/core must
+// produce exactly the large itemsets and support counts Cumulate produces;
+// the integration tests enforce that equivalence.
+package cumulate
+
+import (
+	"fmt"
+	"math"
+
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// Config controls a sequential mining run.
+type Config struct {
+	// MinSupport is the minimum support as a fraction of the database size
+	// (0.003 means 0.3%).
+	MinSupport float64
+	// MaxK bounds the itemset size; 0 means run until L_k is empty.
+	MaxK int
+}
+
+// MinCount converts fractional support into the smallest absolute count that
+// satisfies it for a database of n transactions.
+func MinCount(minSupport float64, n int) int64 {
+	c := int64(math.Ceil(minSupport*float64(n) - 1e-9))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Result holds the large itemsets of every pass.
+type Result struct {
+	// Large[k-1] holds the large k-itemsets with their support counts,
+	// lexicographically ordered.
+	Large   [][]itemset.Counted
+	NumTxns int
+	// Probes counts candidate-table lookups across all passes.
+	Probes int64
+}
+
+// LargeK returns the large k-itemsets, or nil when the run ended before k.
+func (r *Result) LargeK(k int) []itemset.Counted {
+	if k < 1 || k > len(r.Large) {
+		return nil
+	}
+	return r.Large[k-1]
+}
+
+// All returns every large itemset of size >= 2 along with all large single
+// items, flattened (the input to rule derivation).
+func (r *Result) All() []itemset.Counted {
+	var out []itemset.Counted
+	for _, l := range r.Large {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// SupportIndex builds a lookup from itemset key to support count over every
+// large itemset (all sizes). Rule derivation uses it for confidence.
+func (r *Result) SupportIndex() map[string]int64 {
+	idx := make(map[string]int64)
+	for _, level := range r.Large {
+		for _, c := range level {
+			idx[itemset.Key(c.Items)] = c.Count
+		}
+	}
+	return idx
+}
+
+// Mine runs sequential Cumulate: pass 1 counts every item and its ancestors;
+// pass k >= 2 generates candidates from L_{k-1} (deleting item/ancestor pairs
+// at k = 2 and pruning ancestors absent from C_k), then counts candidates
+// contained in the ancestor-extended transactions.
+func Mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
+	if tax == nil {
+		return nil, fmt.Errorf("cumulate: nil taxonomy")
+	}
+	return mine(tax, db, cfg)
+}
+
+// Apriori runs plain Apriori, ignoring any hierarchy: only literal basket
+// items are counted. It serves as the non-generalized comparison point.
+func Apriori(db txn.Scanner, cfg Config, numItems int) (*Result, error) {
+	// A taxonomy with no edges degenerates Cumulate to Apriori: every item
+	// is its own root, extension adds nothing, and no ancestor pairs exist.
+	parent := make([]item.Item, numItems)
+	for i := range parent {
+		parent[i] = item.None
+	}
+	flat, err := taxonomy.New(parent)
+	if err != nil {
+		return nil, err
+	}
+	return mine(flat, db, cfg)
+}
+
+func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
+	n := db.Len()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	minCount := MinCount(cfg.MinSupport, n)
+	res := &Result{NumTxns: n}
+
+	// Pass 1: count items and all their ancestors, once per transaction.
+	counts := make([]int64, tax.NumItems())
+	scratch := make([]item.Item, 0, 64)
+	err := db.Scan(func(t txn.Transaction) error {
+		scratch = tax.ExtendTransaction(scratch[:0], t.Items)
+		for _, x := range scratch {
+			counts[x]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cumulate: pass 1: %w", err)
+	}
+	large := make([]bool, tax.NumItems())
+	var l1 []itemset.Counted
+	var largeItems []item.Item
+	for i, c := range counts {
+		if c >= minCount {
+			large[i] = true
+			largeItems = append(largeItems, item.Item(i))
+			l1 = append(l1, itemset.Counted{Items: []item.Item{item.Item(i)}, Count: c})
+		}
+	}
+	res.Large = append(res.Large, l1)
+	if len(largeItems) < 2 || cfg.MaxK == 1 {
+		return res, nil
+	}
+
+	prev := make([][]item.Item, len(l1))
+	for i, c := range l1 {
+		prev[i] = c.Items
+	}
+	for k := 2; cfg.MaxK == 0 || k <= cfg.MaxK; k++ {
+		cands := GenerateCandidates(tax, prev, k)
+		if len(cands) == 0 {
+			break
+		}
+		table := itemset.NewTable(len(cands))
+		for _, c := range cands {
+			table.Add(c)
+		}
+		view := taxonomy.NewView(tax, large, KeepSet(tax, cands))
+		member := MemberSet(tax, cands)
+
+		err := db.Scan(func(t txn.Transaction) error {
+			ext := ExtendFiltered(view, member, scratch[:0], t.Items)
+			scratch = ext
+			itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+				if id := table.Lookup(sub); id >= 0 {
+					table.Increment(id)
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cumulate: pass %d: %w", k, err)
+		}
+		res.Probes += table.Probes()
+		lk := table.Large(minCount)
+		if len(lk) == 0 {
+			break
+		}
+		res.Large = append(res.Large, lk)
+		prev = prev[:0]
+		for _, c := range lk {
+			prev = append(prev, c.Items)
+		}
+	}
+	return res, nil
+}
+
+// GenerateCandidates produces C_k for pass k from the large (k-1)-itemsets:
+// apriori join + prune, and for k = 2 the deletion of candidates containing
+// an item and one of its ancestors.
+func GenerateCandidates(tax *taxonomy.Taxonomy, prev [][]item.Item, k int) [][]item.Item {
+	var cands [][]item.Item
+	if k == 2 {
+		flat := make([]item.Item, len(prev))
+		for i, s := range prev {
+			flat[i] = s[0]
+		}
+		item.Sort(flat)
+		for _, pair := range itemset.Pairs(flat) {
+			if tax.IsAncestor(pair[0], pair[1]) || tax.IsAncestor(pair[1], pair[0]) {
+				continue
+			}
+			cands = append(cands, pair)
+		}
+		return cands
+	}
+	return itemset.Gen(prev)
+}
+
+// KeepSet flags every interior item that appears in some candidate — the
+// ancestors that survive "delete any ancestors in T that are not present in
+// any of the candidates in C_k".
+func KeepSet(tax *taxonomy.Taxonomy, cands [][]item.Item) []bool {
+	keep := make([]bool, tax.NumItems())
+	for _, c := range cands {
+		for _, x := range c {
+			keep[x] = true
+		}
+	}
+	return keep
+}
+
+// MemberSet flags every item that appears in some candidate. Transaction
+// items outside this set cannot contribute to any candidate and are filtered
+// before subset enumeration.
+func MemberSet(tax *taxonomy.Taxonomy, cands [][]item.Item) []bool {
+	return KeepSet(tax, cands)
+}
+
+// ExtendFiltered computes the extended, candidate-filtered transaction used
+// for counting: items plus kept ancestors, restricted to candidate members.
+// A candidate is contained in the original transaction's ancestor closure
+// exactly when it is a subset of this extension, so enumerating its
+// k-subsets against a candidate table yields closure-semantics support
+// counts with no per-transaction deduplication (subsets of a set are
+// distinct). The parallel engines in internal/core share it.
+func ExtendFiltered(view *taxonomy.View, member []bool, dst []item.Item, items []item.Item) []item.Item {
+	dst = view.ExtendPruned(dst, items)
+	w := 0
+	for _, x := range dst {
+		if member[x] {
+			dst[w] = x
+			w++
+		}
+	}
+	return dst[:w]
+}

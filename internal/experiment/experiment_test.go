@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("alpha", "12.5")
+	tbl.AddRow("beta-long-name", "3")
+	out := tbl.Render()
+	for _, want := range []string{"demo", "name", "alpha", "12.5", "note: a note", "===="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header row and data rows align to the same width.
+	var width int
+	for _, l := range lines[2:5] {
+		if width == 0 {
+			width = len(l)
+		}
+	}
+	if width == 0 {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"12", "3.5", "-1", "4x", "10ms", "99%", "1.2e3"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "abc", "node 1", "H-HPGM"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{10, 5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bars = %q", out)
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if Bars(nil, nil, 0) != "" {
+		t.Error("empty bars should render empty")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	opt := Defaults()
+	if _, err := NewEnv(opt); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := opt
+	bad.Scale = 0
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("zero scale must fail")
+	}
+	bad = opt
+	bad.Nodes = 1
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("single node must fail")
+	}
+	bad = opt
+	bad.MinSups = nil
+	if _, err := NewEnv(bad); err == nil {
+		t.Error("empty sweep must fail")
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	opt := Defaults()
+	opt.Scale = 0.0004 // ~1280 txns
+	env, err := NewEnv(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.Dataset("R30F5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Dataset("R30F5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	if _, err := env.Dataset("nope"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	p1 := a.Parts(4)
+	p2 := a.Parts(4)
+	if &p1[0] == nil || len(p1) != 4 || len(p2) != 4 {
+		t.Error("partitioning broken")
+	}
+}
+
+func TestTable5Static(t *testing.T) {
+	env, err := NewEnv(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := env.Table5().Render()
+	for _, want := range []string{"R30F5", "R30F3", "R30F10", "Fanout", "3200000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q", want)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtMB(float64(2 << 20)); got != "2.0" {
+		t.Errorf("fmtMB(2MB) = %q", got)
+	}
+	if got := fmtMB(512 << 20); got != "512" {
+		t.Errorf("fmtMB(512MB) = %q", got)
+	}
+	if got := fmtMB(1024); got != "0.001" {
+		t.Errorf("fmtMB(1KB) = %q", got)
+	}
+	if got := fmtDuration(1500 * 1e6); got != "1.50s" {
+		t.Errorf("fmtDuration = %q", got)
+	}
+	if got := fmtDuration(2 * 1e6); got != "2.0ms" {
+		t.Errorf("fmtDuration(2ms) = %q", got)
+	}
+	if got := fmtDuration(900); !strings.Contains(got, "µs") {
+		t.Errorf("fmtDuration(900ns) = %q", got)
+	}
+	sorted := sortedCopy([]float64{0.003, 0.02, 0.01})
+	if sorted[0] != 0.02 || sorted[2] != 0.003 {
+		t.Errorf("sortedCopy = %v", sorted)
+	}
+}
+
+// TestTable6SmallScale runs the real experiment at a tiny scale: an
+// end-to-end check that the harness produces the paper's qualitative result
+// (H-HPGM receives less than HPGM at every node count).
+func TestTable6SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in short mode")
+	}
+	opt := Defaults()
+	opt.Scale = 0.0006 // ~1900 txns
+	opt.MinSups = []float64{0.02}
+	opt.PointMinSup = 0.02 // 0.3% sits below the noise floor at this scale
+	env, err := NewEnv(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := env.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// reduction column like "12.3x" must be > 1.
+		if !strings.HasSuffix(row[3], "x") {
+			t.Fatalf("bad reduction cell %q", row[3])
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[3], err)
+		}
+		if v <= 1 {
+			t.Errorf("H-HPGM did not reduce traffic at %s nodes: %gx", row[0], v)
+		}
+	}
+	t.Log("\n" + tbl.Render())
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"pgarm/internal/core"
+)
+
+// tinyEnv builds an environment small enough for CI: ~1300 transactions,
+// 8 nodes, two support points.
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	opt := Defaults()
+	opt.Scale = 0.0004
+	opt.Nodes = 8
+	opt.MinSups = []float64{0.02, 0.01}
+	opt.PointMinSup = 0.02
+	opt.Fig16MinSups = []float64{0.02}
+	env, err := NewEnv(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestFig13SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in short mode")
+	}
+	env := tinyEnv(t)
+	tables, err := env.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want one per dataset", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 2 {
+			t.Errorf("%s: rows = %d", tbl.Title, len(tbl.Rows))
+		}
+		out := tbl.Render()
+		if !strings.Contains(out, "HPGM") || !strings.Contains(out, "H-HPGM") {
+			t.Errorf("missing algorithms:\n%s", out)
+		}
+	}
+}
+
+func TestFig14SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in short mode")
+	}
+	env := tinyEnv(t)
+	tables, err := env.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			if len(row) != 6 { // minsup + 5 algorithms
+				t.Errorf("row %v has %d cells", row, len(row))
+			}
+		}
+	}
+}
+
+func TestFig15SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in short mode")
+	}
+	env := tinyEnv(t)
+	tbl, charts, err := env.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 algorithms", len(tbl.Rows))
+	}
+	for _, alg := range []core.Algorithm{core.HHPGM, core.HHPGMTGD, core.HHPGMPGD, core.HHPGMFGD} {
+		chart, ok := charts[string(alg)]
+		if !ok || !strings.Contains(chart, "node") {
+			t.Errorf("missing chart for %s", alg)
+		}
+	}
+}
+
+func TestFig16SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in short mode")
+	}
+	env := tinyEnv(t)
+	tables, err := env.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want one per configured support level", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 5 {
+			t.Errorf("rows = %d, want 5 node counts", len(tbl.Rows))
+		}
+		// The 4-node row is the normalization base: speedup 4.00 for every
+		// algorithm.
+		for _, cell := range tbl.Rows[0][1:] {
+			if cell != "4.00" {
+				t.Errorf("base row cell = %q, want 4.00", cell)
+			}
+		}
+	}
+}

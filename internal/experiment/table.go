@@ -1,0 +1,129 @@
+// Package experiment is the harness that regenerates every table and figure
+// of the paper's evaluation (§4): Table 6 (communication volume), Figure 13
+// (HPGM vs H-HPGM execution time), Figure 14 (all algorithms vs minimum
+// support), Figure 15 (per-node probe distribution) and Figure 16 (speedup).
+// Results are rendered as aligned text tables; figures become series tables
+// whose rows are the plotted points, plus an ASCII bar chart for the load
+// distribution.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row and data
+// rows. Cells are pre-formatted strings.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are free-form lines appended after the table (methodology,
+	// paper-expected shape, substitutions).
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			// Right-align numeric-looking cells, left-align the rest.
+			if looksNumeric(c) {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, nt := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", nt)
+	}
+	return b.String()
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == 'x' ||
+			r == 'e' || r == 'K' || r == 'M' || r == 'G' || r == 'B' || r == 's' || r == 'm' || r == 'µ' || r == 'n':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// Bars renders per-label values as an ASCII bar chart scaled to width,
+// the textual stand-in for Figure 15's per-node histograms.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.0f\n", lw, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

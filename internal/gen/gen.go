@@ -1,0 +1,290 @@
+// Package gen implements the synthetic retail-transaction generator of
+// Srikant & Agrawal (VLDB'95, §4 "Mining Generalized Association Rules"),
+// the exact procedure the paper uses to build its evaluation datasets
+// (Table 5): a forest taxonomy, a pool of weighted "potentially large"
+// itemsets with inter-itemset correlation and per-itemset corruption, and
+// transactions assembled from those itemsets with interior items specialized
+// to randomly chosen leaf descendants.
+//
+// The three named configurations R30F5, R30F3 and R30F10 match Table 5 of
+// the paper (3.2M transactions, 30,000 items, 30 roots, fanout 5/3/10).
+// Scaled lets benchmarks shrink the transaction count while preserving the
+// generative structure — and therefore the skew and frequency shape the
+// parallel algorithms are sensitive to.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// Params are the knobs of Table 5 plus the standard Quest-generator
+// parameters the paper inherits from SA95.
+type Params struct {
+	Name string // dataset label, e.g. "R30F5"
+
+	NumTxns        int     // |D|: number of transactions
+	AvgTxnSize     float64 // |T|: average basket size (Poisson mean)
+	AvgPatternSize float64 // |I|: average size of maximal potentially large itemsets
+	NumPatterns    int     // |L|: number of maximal potentially large itemsets
+	NumItems       int     // N: total items including interior hierarchy nodes
+	Roots          int     // R: number of hierarchy roots
+	Fanout         int     // F: tree fanout
+
+	// CorrelationMean is the mean of the exponential fraction of items each
+	// pattern reuses from its predecessor (SA95 uses 0.5).
+	CorrelationMean float64
+	// CorruptionMean/SD parameterize the per-pattern corruption level
+	// (normal, SA95 uses 0.5 / 0.1): while a uniform draw stays below the
+	// level, items are dropped from the inserted pattern instance.
+	CorruptionMean, CorruptionSD float64
+
+	Seed int64
+}
+
+// R30F5 returns the paper's primary dataset configuration: 30 roots,
+// fanout 5, 5–6 hierarchy levels.
+func R30F5() Params { return paperParams("R30F5", 5) }
+
+// R30F3 returns the deep-hierarchy configuration: fanout 3, 6–7 levels.
+func R30F3() Params { return paperParams("R30F3", 3) }
+
+// R30F10 returns the shallow-hierarchy configuration: fanout 10, 3–4 levels.
+func R30F10() Params { return paperParams("R30F10", 10) }
+
+func paperParams(name string, fanout int) Params {
+	return Params{
+		Name:            name,
+		NumTxns:         3200000,
+		AvgTxnSize:      10,
+		AvgPatternSize:  5,
+		NumPatterns:     10000,
+		NumItems:        30000,
+		Roots:           30,
+		Fanout:          fanout,
+		CorrelationMean: 0.5,
+		CorruptionMean:  0.5,
+		CorruptionSD:    0.1,
+		Seed:            1998,
+	}
+}
+
+// ByName returns the named paper configuration (case-sensitive).
+func ByName(name string) (Params, error) {
+	switch name {
+	case "R30F5":
+		return R30F5(), nil
+	case "R30F3":
+		return R30F3(), nil
+	case "R30F10":
+		return R30F10(), nil
+	}
+	return Params{}, fmt.Errorf("gen: unknown dataset %q (want R30F5, R30F3 or R30F10)", name)
+}
+
+// Scaled returns a copy with the transaction count multiplied by f (minimum
+// 1,000) and a "xSCALE" suffix on the name. Item universe, taxonomy and
+// pattern pool are unchanged, so item frequencies relative to |D| — and
+// hence which itemsets are large at a given minimum support — keep the same
+// shape.
+func (p Params) Scaled(f float64) Params {
+	q := p
+	q.NumTxns = int(float64(p.NumTxns) * f)
+	if q.NumTxns < 1000 {
+		q.NumTxns = 1000
+	}
+	q.Name = fmt.Sprintf("%s@%g", p.Name, f)
+	return q
+}
+
+// Describe renders the parameter table (the repo's rendition of Table 5).
+func (p Params) Describe() string {
+	return fmt.Sprintf(
+		"Dataset %s\n"+
+			"  Number of transactions                                  %d\n"+
+			"  Average size of the transactions                        %g\n"+
+			"  Average size of the maximal potentially large itemsets  %g\n"+
+			"  Number of maximal potentially large itemsets            %d\n"+
+			"  Number of items                                         %d\n"+
+			"  Number of roots                                         %d\n"+
+			"  Fanout                                                  %d\n",
+		p.Name, p.NumTxns, p.AvgTxnSize, p.AvgPatternSize, p.NumPatterns,
+		p.NumItems, p.Roots, p.Fanout)
+}
+
+// Dataset is a generated taxonomy plus transaction database.
+type Dataset struct {
+	Params   Params
+	Taxonomy *taxonomy.Taxonomy
+	DB       *txn.DB
+}
+
+// pattern is one potentially large itemset with its selection weight and
+// corruption level.
+type pattern struct {
+	items      []item.Item
+	weight     float64
+	corruption float64
+}
+
+// Generate builds the taxonomy and the transaction database.
+func Generate(p Params) (*Dataset, error) {
+	if p.NumTxns <= 0 || p.NumItems <= 0 || p.Roots <= 0 || p.Fanout <= 0 {
+		return nil, fmt.Errorf("gen: non-positive parameter in %+v", p)
+	}
+	tax, err := taxonomy.Balanced(p.NumItems, p.Roots, p.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	pats := makePatterns(p, tax, rng)
+	db := makeTransactions(p, tax, pats, rng)
+	return &Dataset{Params: p, Taxonomy: tax, DB: db}, nil
+}
+
+// makePatterns builds the weighted pool of potentially large itemsets.
+// Pattern items are drawn from the whole taxonomy (any level, per SA95); a
+// correlated fraction is inherited from the previous pattern. Weights are
+// exponential, normalized to sum to 1.
+func makePatterns(p Params, tax *taxonomy.Taxonomy, rng *rand.Rand) []pattern {
+	pats := make([]pattern, 0, p.NumPatterns)
+	var prev []item.Item
+	var totalWeight float64
+	for i := 0; i < p.NumPatterns; i++ {
+		size := poisson(rng, p.AvgPatternSize-1) + 1 // at least 1 item
+		items := make([]item.Item, 0, size)
+		if len(prev) > 0 {
+			frac := rng.ExpFloat64() * p.CorrelationMean
+			if frac > 1 {
+				frac = 1
+			}
+			reuse := int(frac * float64(size))
+			for _, j := range rng.Perm(len(prev)) {
+				if len(items) >= reuse {
+					break
+				}
+				items = append(items, prev[j])
+			}
+		}
+		for len(items) < size {
+			items = append(items, item.Item(rng.Intn(p.NumItems)))
+		}
+		items = item.Dedup(items)
+		corr := rng.NormFloat64()*p.CorruptionSD + p.CorruptionMean
+		if corr < 0 {
+			corr = 0
+		}
+		if corr > 1 {
+			corr = 1
+		}
+		w := rng.ExpFloat64()
+		totalWeight += w
+		pats = append(pats, pattern{items: items, weight: w, corruption: corr})
+		prev = items
+	}
+	// Normalize and build the cumulative distribution in place: weight
+	// becomes the upper bound of the pattern's probability interval.
+	var cum float64
+	for i := range pats {
+		cum += pats[i].weight / totalWeight
+		pats[i].weight = cum
+	}
+	pats[len(pats)-1].weight = 1
+	return pats
+}
+
+// pickPattern samples a pattern index from the cumulative weights.
+func pickPattern(pats []pattern, rng *rand.Rand) *pattern {
+	x := rng.Float64()
+	lo, hi := 0, len(pats)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pats[mid].weight < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &pats[lo]
+}
+
+// makeTransactions assembles baskets: each transaction has a Poisson size;
+// patterns are drawn by weight, corrupted (items dropped while a uniform
+// draw is below the corruption level), and interior items are specialized to
+// a uniformly chosen descendant leaf, so the database contains leaf items
+// only — the hierarchy enters through the mining-side ancestor extension.
+func makeTransactions(p Params, tax *taxonomy.Taxonomy, pats []pattern, rng *rand.Rand) *txn.DB {
+	db := &txn.DB{}
+	scratch := make([]item.Item, 0, 32)
+	for tid := int64(0); tid < int64(p.NumTxns); tid++ {
+		size := poisson(rng, p.AvgTxnSize-1) + 1
+		scratch = scratch[:0]
+		for len(scratch) < size {
+			pat := pickPattern(pats, rng)
+			inst := instantiate(pat, tax, rng)
+			if len(scratch)+len(inst) > size && len(scratch) > 0 {
+				// Doesn't fit: add anyway half the time, else close the
+				// basket (SA95 behaviour).
+				if rng.Intn(2) == 0 {
+					break
+				}
+			}
+			scratch = append(scratch, inst...)
+		}
+		items := item.Dedup(item.Clone(scratch))
+		if len(items) == 0 {
+			items = []item.Item{leafOf(tax, item.Item(rng.Intn(p.NumItems)), rng)}
+		}
+		db.Append(txn.Transaction{TID: tid, Items: items})
+	}
+	return db
+}
+
+// instantiate corrupts a pattern and specializes interior items to leaves.
+func instantiate(pat *pattern, tax *taxonomy.Taxonomy, rng *rand.Rand) []item.Item {
+	out := make([]item.Item, 0, len(pat.items))
+	for _, x := range pat.items {
+		if rng.Float64() < pat.corruption {
+			continue // corrupted away
+		}
+		out = append(out, leafOf(tax, x, rng))
+	}
+	if len(out) == 0 && len(pat.items) > 0 {
+		out = append(out, leafOf(tax, pat.items[rng.Intn(len(pat.items))], rng))
+	}
+	return out
+}
+
+// leafOf walks down from x choosing uniform random children until a leaf.
+func leafOf(tax *taxonomy.Taxonomy, x item.Item, rng *rand.Rand) item.Item {
+	for {
+		ch := tax.Children(x)
+		if len(ch) == 0 {
+			return x
+		}
+		x = ch[rng.Intn(len(ch))]
+	}
+}
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// means here are ≤ ~10 so the loop is short).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

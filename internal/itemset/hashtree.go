@@ -1,0 +1,125 @@
+package itemset
+
+import "pgarm/internal/item"
+
+// HashTree is the classic Apriori candidate index: interior nodes hash items
+// into buckets, leaves hold small candidate lists, and subset matching walks
+// the transaction once per branch instead of enumerating every k-subset.
+// It indexes candidate ids of a Table; counts still live in the Table so the
+// two index structures are interchangeable (the ablation bench compares
+// them).
+type HashTree struct {
+	k      int
+	degree int
+	root   *htNode
+	leafSz int
+}
+
+type htNode struct {
+	children []*htNode // interior: bucket -> child
+	ids      []int32   // leaf: candidate ids
+	sets     [][]item.Item
+	leaf     bool
+	depth    int
+}
+
+// NewHashTree builds a hash tree over k-itemsets with the given branching
+// degree and leaf capacity. degree defaults to 8 when non-positive and is
+// capped at 64 (Match tracks visited buckets in a bitmask); leafCap defaults
+// to 16 when non-positive.
+func NewHashTree(k, degree, leafCap int) *HashTree {
+	if degree <= 0 {
+		degree = 8
+	}
+	if degree > 64 {
+		degree = 64
+	}
+	if leafCap <= 0 {
+		leafCap = 16
+	}
+	return &HashTree{
+		k:      k,
+		degree: degree,
+		leafSz: leafCap,
+		root:   &htNode{leaf: true},
+	}
+}
+
+func (h *HashTree) bucket(x item.Item) int { return int(uint32(x)) % h.degree }
+
+// Insert adds candidate id with its canonical itemset to the tree. The
+// itemset must have length k and is retained (not copied).
+func (h *HashTree) Insert(id int32, set []item.Item) {
+	h.insert(h.root, id, set)
+}
+
+func (h *HashTree) insert(n *htNode, id int32, set []item.Item) {
+	for {
+		if n.leaf {
+			n.ids = append(n.ids, id)
+			n.sets = append(n.sets, set)
+			// Split when over capacity and there is an item left to hash on.
+			if len(n.ids) > h.leafSz && n.depth < h.k {
+				h.split(n)
+			}
+			return
+		}
+		n = n.children[h.bucket(set[n.depth])]
+	}
+}
+
+func (h *HashTree) split(n *htNode) {
+	n.leaf = false
+	n.children = make([]*htNode, h.degree)
+	for i := range n.children {
+		n.children[i] = &htNode{leaf: true, depth: n.depth + 1}
+	}
+	ids, sets := n.ids, n.sets
+	n.ids, n.sets = nil, nil
+	for i, id := range ids {
+		h.insert(n.children[h.bucket(sets[i][n.depth])], id, sets[i])
+	}
+}
+
+// Match invokes fn once for every candidate whose itemset is contained in
+// the canonical transaction txn. probes counts leaf candidate comparisons,
+// the hash-tree analogue of Table probes.
+func (h *HashTree) Match(txn []item.Item, fn func(id int32)) (probes int64) {
+	if h.k > len(txn) {
+		return 0
+	}
+	h.match(h.root, txn, 0, &probes, fn)
+	return probes
+}
+
+// match explores node n with transaction items txn[from:] remaining.
+func (h *HashTree) match(n *htNode, txn []item.Item, from int, probes *int64, fn func(id int32)) {
+	if n.leaf {
+		for i, set := range n.sets {
+			*probes++
+			// The first n.depth items already matched along the path only in
+			// terms of hash buckets, so verify full containment.
+			if item.ContainsAll(txn, set) {
+				fn(n.ids[i])
+			}
+		}
+		return
+	}
+	// Interior at depth d: the d-th itemset position can be any remaining
+	// transaction item; recurse into its bucket. Each distinct bucket is
+	// entered once, at the earliest position hashing to it — a candidate
+	// whose depth-d item sits later in the same bucket is still found,
+	// because all of its deeper items lie past that earliest position and
+	// the leaf verifies full containment. Entering a bucket twice would
+	// instead report its candidates twice.
+	need := h.k - n.depth // items still needed
+	var seen uint64
+	for i := from; i <= len(txn)-need; i++ {
+		b := h.bucket(txn[i])
+		if seen&(1<<uint(b)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(b)
+		h.match(n.children[b], txn, i+1, probes, fn)
+	}
+}

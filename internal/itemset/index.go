@@ -1,0 +1,46 @@
+package itemset
+
+import "pgarm/internal/item"
+
+// Index is an immutable itemset -> dense-id lookup over a fixed candidate
+// list. Unlike Table it carries no counts and no probe counter, so one Index
+// can be shared read-only by every node of a simulated cluster while each
+// node keeps its own count vector — the memory layout that lets a 16-node
+// in-process cluster replicate multi-million-entry candidate sets (NPGM, and
+// the TGD/PGD/FGD duplicated tables) without 16 physical copies.
+type Index struct {
+	byKey map[string]int32
+	sets  [][]item.Item
+}
+
+// BuildIndex indexes the canonical itemsets; ids are positions in sets.
+// The slices are retained, not copied.
+func BuildIndex(sets [][]item.Item) *Index {
+	ix := &Index{
+		byKey: make(map[string]int32, len(sets)),
+		sets:  sets,
+	}
+	for i, s := range sets {
+		ix.byKey[Key(s)] = int32(i)
+	}
+	return ix
+}
+
+// Len returns the number of indexed itemsets.
+func (ix *Index) Len() int { return len(ix.sets) }
+
+// Items returns the itemset with dense id. Shared storage; do not modify.
+func (ix *Index) Items(id int32) []item.Item { return ix.sets[id] }
+
+// Sets returns all indexed itemsets ordered by id. Shared; do not modify.
+func (ix *Index) Sets() [][]item.Item { return ix.sets }
+
+// Lookup returns the id of a canonical itemset, or -1. It is pure and safe
+// for concurrent use; callers count their own probes.
+func (ix *Index) Lookup(items []item.Item) int32 {
+	var buf [8 * 4]byte
+	if id, ok := ix.byKey[string(AppendKey(buf[:0], items))]; ok {
+		return id
+	}
+	return -1
+}

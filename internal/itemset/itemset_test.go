@@ -1,0 +1,292 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgarm/internal/item"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := [][]item.Item{nil, {0}, {1, 5, 1 << 20}, {7, 8, 9, 10}}
+	for _, c := range cases {
+		got := ParseKey(Key(c))
+		if len(c) == 0 && len(got) == 0 {
+			continue
+		}
+		if !item.Equal(got, c) {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestKeyOrderMatchesItemsetOrder(t *testing.T) {
+	a := Key([]item.Item{1, 2})
+	b := Key([]item.Item{1, 3})
+	c := Key([]item.Item{2, 0})
+	if !(a < b && b < c) {
+		t.Errorf("key ordering broken: %q %q %q", a, b, c)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	s := []item.Item{3, 9, 1000}
+	if string(AppendKey(nil, s)) != Key(s) {
+		t.Error("AppendKey and Key disagree")
+	}
+	if KeyLen(Key(s)) != 3 {
+		t.Errorf("KeyLen = %d", KeyLen(Key(s)))
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	s := []item.Item{4, 7, 22}
+	if Hash(s) != Hash(append([]item.Item(nil), s...)) {
+		t.Error("Hash must depend only on contents")
+	}
+	if Hash([]item.Item{1, 2}) == Hash([]item.Item{2, 1}) {
+		t.Error("order must matter (canonical input assumed, collision this cheap is a bug)")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable(4)
+	id1 := tbl.Add([]item.Item{1, 2})
+	id2 := tbl.Add([]item.Item{1, 3})
+	if tbl.Add([]item.Item{1, 2}) != id1 {
+		t.Error("re-adding returns the original id")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if got := tbl.Lookup([]item.Item{1, 2}); got != id1 {
+		t.Errorf("Lookup = %d", got)
+	}
+	if got := tbl.Lookup([]item.Item{9, 9}); got != -1 {
+		t.Errorf("missing Lookup = %d", got)
+	}
+	if tbl.Probes() != 2 {
+		t.Errorf("Probes = %d, want 2", tbl.Probes())
+	}
+	tbl.ResetProbes()
+	if tbl.Probes() != 0 {
+		t.Error("ResetProbes failed")
+	}
+	tbl.Increment(id1)
+	tbl.Increment(id1)
+	tbl.AddCount(id2, 5)
+	if tbl.Get(id1).Count != 2 || tbl.Get(id2).Count != 5 {
+		t.Error("counts wrong")
+	}
+	counts := tbl.Counts()
+	if counts[id1] != 2 || counts[id2] != 5 {
+		t.Error("Counts snapshot wrong")
+	}
+	large := tbl.Large(3)
+	if len(large) != 1 || !item.Equal(large[0].Items, []item.Item{1, 3}) {
+		t.Errorf("Large(3) = %v", large)
+	}
+	if !tbl.Has([]item.Item{1, 2}) || tbl.Has([]item.Item{2, 3}) {
+		t.Error("Has wrong")
+	}
+	if tbl.Probes() != 0 {
+		t.Error("Has must not count probes")
+	}
+}
+
+func TestTableAddCopies(t *testing.T) {
+	tbl := NewTable(1)
+	s := []item.Item{1, 2}
+	id := tbl.Add(s)
+	s[0] = 9
+	if !item.Equal(tbl.Get(id).Items, []item.Item{1, 2}) {
+		t.Error("Add must copy the itemset")
+	}
+}
+
+func TestGenJoinPrune(t *testing.T) {
+	// L2 = {1,2},{1,3},{2,3},{2,4}: join gives {1,2,3} (kept: all subsets
+	// large) and {2,3,4} (pruned: {3,4} not in L2).
+	prev := [][]item.Item{{1, 2}, {1, 3}, {2, 3}, {2, 4}}
+	got := Gen(prev)
+	if len(got) != 1 || !item.Equal(got[0], []item.Item{1, 2, 3}) {
+		t.Errorf("Gen = %v, want [{1,2,3}]", got)
+	}
+	if Gen(nil) != nil {
+		t.Error("Gen(nil) should be nil")
+	}
+}
+
+func TestGenFromSingletons(t *testing.T) {
+	prev := [][]item.Item{{3}, {1}, {2}}
+	got := Gen(prev)
+	want := [][]item.Item{{1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Gen singles = %v", got)
+	}
+	for i := range want {
+		if !item.Equal(got[i], want[i]) {
+			t.Errorf("Gen[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPairs(t *testing.T) {
+	got := Pairs([]item.Item{1, 4, 9})
+	want := [][]item.Item{{1, 4}, {1, 9}, {4, 9}}
+	if len(got) != len(want) {
+		t.Fatalf("Pairs = %v", got)
+	}
+	for i := range want {
+		if !item.Equal(got[i], want[i]) {
+			t.Errorf("Pairs[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	var got [][]item.Item
+	ForEachSubset([]item.Item{1, 2, 3, 4}, 2, func(s []item.Item) bool {
+		got = append(got, item.Clone(s))
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) = %d subsets", len(got))
+	}
+	if !item.Equal(got[0], []item.Item{1, 2}) || !item.Equal(got[5], []item.Item{3, 4}) {
+		t.Errorf("lexicographic order broken: %v", got)
+	}
+	// Early stop.
+	n := 0
+	ForEachSubset([]item.Item{1, 2, 3, 4}, 2, func([]item.Item) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop after %d", n)
+	}
+	// Degenerate sizes.
+	ForEachSubset([]item.Item{1}, 2, func([]item.Item) bool { t.Error("k>n yields nothing"); return true })
+	ForEachSubset([]item.Item{1}, 0, func([]item.Item) bool { t.Error("k=0 yields nothing"); return true })
+}
+
+// Property: apriori-gen output is sorted, canonical, and every (k-1)-subset
+// of every candidate is in the input.
+func TestGenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random L2 over a small universe.
+		var prev [][]item.Item
+		seen := map[string]bool{}
+		for i := 0; i < 30; i++ {
+			a, b := item.Item(rng.Intn(10)), item.Item(rng.Intn(10))
+			if a == b {
+				continue
+			}
+			s := item.Dedup([]item.Item{a, b})
+			k := Key(s)
+			if !seen[k] {
+				seen[k] = true
+				prev = append(prev, s)
+			}
+		}
+		out := Gen(prev)
+		for i, c := range out {
+			if !item.IsSorted(c) || len(c) != 3 {
+				return false
+			}
+			if i > 0 && item.Compare(out[i-1], c) >= 0 {
+				return false
+			}
+			ok := true
+			ForEachSubset(c, 2, func(s []item.Item) bool {
+				if !seen[Key(s)] {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTreeMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(2)
+		tbl := NewTable(64)
+		tree := NewHashTree(k, 4, 2) // tiny leaves force deep splits
+		seen := map[string]bool{}
+		for i := 0; i < 60; i++ {
+			s := make([]item.Item, 0, k)
+			for len(s) < k {
+				s = item.Dedup(append(s, item.Item(rng.Intn(25))))
+			}
+			if seen[Key(s)] {
+				continue
+			}
+			seen[Key(s)] = true
+			id := tbl.Add(s)
+			tree.Insert(id, tbl.Get(id).Items)
+		}
+		// Random transaction; compare matched candidate id sets.
+		txn := make([]item.Item, 0, 12)
+		for len(txn) < 10 {
+			txn = item.Dedup(append(txn, item.Item(rng.Intn(25))))
+		}
+		want := map[int32]int{}
+		ForEachSubset(txn, k, func(s []item.Item) bool {
+			if id := tbl.Lookup(s); id >= 0 {
+				want[id]++
+			}
+			return true
+		})
+		got := map[int32]int{}
+		tree.Match(txn, func(id int32) { got[id]++ })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: hash tree matched %d ids, table %d", trial, len(got), len(want))
+		}
+		for id, n := range want {
+			if n != 1 {
+				t.Fatalf("subset enumeration yielded duplicate id %d", id)
+			}
+			if got[id] != 1 {
+				t.Fatalf("trial %d: id %d matched %d times by tree", trial, id, got[id])
+			}
+		}
+	}
+}
+
+func TestHashTreeEmptyAndSmall(t *testing.T) {
+	tree := NewHashTree(2, 8, 16)
+	probes := tree.Match([]item.Item{1, 2, 3}, func(int32) { t.Error("empty tree matched") })
+	if probes != 0 {
+		t.Errorf("probes on empty tree = %d", probes)
+	}
+	tree.Insert(0, []item.Item{5, 9})
+	n := 0
+	tree.Match([]item.Item{1, 5, 9}, func(id int32) { n++ })
+	if n != 1 {
+		t.Errorf("matched %d, want 1", n)
+	}
+	tree.Match([]item.Item{5}, func(int32) { t.Error("k > |txn| must not match") })
+}
+
+func TestSortCounted(t *testing.T) {
+	cs := []Counted{
+		{Items: []item.Item{2, 3}, Count: 1},
+		{Items: []item.Item{1, 9}, Count: 2},
+	}
+	SortCounted(cs)
+	if !item.Equal(cs[0].Items, []item.Item{1, 9}) {
+		t.Errorf("SortCounted order wrong: %v", cs)
+	}
+}

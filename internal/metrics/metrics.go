@@ -1,0 +1,173 @@
+// Package metrics collects the per-node and per-pass measurements the
+// paper's evaluation reports: communication volume (Table 6), execution time
+// (Figures 13, 14, 16) and hash-table probe counts per node — the load
+// distribution of Figure 15 — plus the skew summary statistics used to
+// compare algorithms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// NodeStats are the counters one node accumulates during one pass.
+type NodeStats struct {
+	Node          int
+	TxnsScanned   int64 // transactions read from local disk
+	Probes        int64 // candidate-table probes while counting
+	Increments    int64 // sup_cou increments actually applied
+	ItemsSent     int64 // items shipped to other nodes (paper's "sends N items")
+	ItemsReceived int64 // items received from other nodes during count support
+	// BytesSent/Received are the whole-pass fabric counters. They are
+	// approximate at pass boundaries: nodes reset their endpoint counters
+	// at their own pass start, so traffic from a faster peer may be
+	// attributed to the adjacent pass (or wiped by a late reset). Use
+	// DataBytes* for exact figures.
+	BytesSent     int64
+	BytesReceived int64
+	// DataBytesSent/Received cover only the count-support exchange — the
+	// traffic Table 6 reports — excluding the L_k gather and broadcast.
+	// They are exact: the sent side is snapshotted before any pass-end
+	// control message, the received side counted at delivery.
+	DataBytesSent     int64
+	DataBytesReceived int64
+	MsgsSent          int64         // fabric messages sent
+	MsgsReceived      int64         // fabric messages received
+	ScanTime          time.Duration // local scan + counting wall time
+}
+
+// PassStats aggregates one pass across the cluster.
+type PassStats struct {
+	Pass       int
+	Candidates int           // |C_k| (total, before partitioning)
+	Duplicated int           // candidates copied to every node (TGD/PGD/FGD)
+	Fragments  int           // NPGM candidate fragments (scan repetitions)
+	Large      int           // |L_k|
+	Elapsed    time.Duration // wall time of the whole pass
+	Nodes      []NodeStats
+}
+
+// AvgBytesReceived returns mean count-support payload bytes received per
+// node — the quantity of Table 6.
+func (p *PassStats) AvgBytesReceived() float64 {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, n := range p.Nodes {
+		sum += n.DataBytesReceived
+	}
+	return float64(sum) / float64(len(p.Nodes))
+}
+
+// AvgTotalBytesReceived returns mean whole-pass payload bytes per node,
+// including the L_k gather and broadcast.
+func (p *PassStats) AvgTotalBytesReceived() float64 {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, n := range p.Nodes {
+		sum += n.BytesReceived
+	}
+	return float64(sum) / float64(len(p.Nodes))
+}
+
+// TotalItemsSent sums the items shipped between nodes.
+func (p *PassStats) TotalItemsSent() int64 {
+	var sum int64
+	for _, n := range p.Nodes {
+		sum += n.ItemsSent
+	}
+	return sum
+}
+
+// ProbeSkew summarizes the per-node probe distribution.
+func (p *PassStats) ProbeSkew() Skew {
+	vals := make([]float64, len(p.Nodes))
+	for i, n := range p.Nodes {
+		vals[i] = float64(n.Probes)
+	}
+	return Summarize(vals)
+}
+
+// Skew describes how evenly a per-node quantity is distributed.
+type Skew struct {
+	Min, Max, Mean float64
+	// CV is the coefficient of variation (stddev/mean); 0 is perfectly flat.
+	CV float64
+	// MaxOverMean is the bottleneck factor: >1 means the busiest node does
+	// proportionally more work than average, bounding speedup.
+	MaxOverMean float64
+}
+
+// Summarize computes skew statistics over per-node values.
+func Summarize(vals []float64) Skew {
+	if len(vals) == 0 {
+		return Skew{}
+	}
+	s := Skew{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(vals)))
+	if s.Mean != 0 {
+		s.CV = sd / s.Mean
+		s.MaxOverMean = s.Max / s.Mean
+	}
+	return s
+}
+
+// String renders the skew summary.
+func (s Skew) String() string {
+	return fmt.Sprintf("min=%.0f max=%.0f mean=%.0f cv=%.3f max/mean=%.2f",
+		s.Min, s.Max, s.Mean, s.CV, s.MaxOverMean)
+}
+
+// RunStats aggregates a whole mining run.
+type RunStats struct {
+	Algorithm string
+	Dataset   string
+	Nodes     int
+	MinSup    float64
+	Elapsed   time.Duration
+	Passes    []PassStats
+}
+
+// Pass returns the stats of pass k, or nil if the run ended earlier.
+func (r *RunStats) Pass(k int) *PassStats {
+	for i := range r.Passes {
+		if r.Passes[i].Pass == k {
+			return &r.Passes[i]
+		}
+	}
+	return nil
+}
+
+// String renders a multi-line run summary.
+func (r *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s, %d nodes, minsup %.3g%%: %v total\n",
+		r.Algorithm, r.Dataset, r.Nodes, r.MinSup*100, r.Elapsed.Round(time.Millisecond))
+	for _, p := range r.Passes {
+		fmt.Fprintf(&b, "  pass %d: |C|=%d dup=%d frag=%d |L|=%d %v recv/node=%.1fKB probeskew{%s}\n",
+			p.Pass, p.Candidates, p.Duplicated, p.Fragments, p.Large,
+			p.Elapsed.Round(time.Millisecond), p.AvgBytesReceived()/1024, p.ProbeSkew())
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package rules
+
+import (
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+)
+
+// Prune applies the R-interestingness filter of Srikant & Agrawal (VLDB'95,
+// §2.2): a rule X ⇒ Y is R-interesting when its support is at least R times
+// the support expected from any "close ancestor" rule X' ⇒ Y' (obtained by
+// generalizing one or more items of the rule one-or-more hierarchy levels
+// up), or its confidence is at least R times the expected confidence. Rules
+// explainable by their ancestors carry no new information and are dropped.
+//
+// support maps itemset keys to absolute counts over the same database that
+// produced the rules; itemCount must cover every item appearing in the rules
+// and their ancestors (the pass-1 vector). Rules whose ancestor statistics
+// are unavailable are kept.
+func Prune(tax *taxonomy.Taxonomy, rs []Rule, support map[string]int64, numTxns int, r float64) []Rule {
+	if r <= 0 {
+		return rs
+	}
+	byKey := make(map[string]Rule, len(rs))
+	for _, rule := range rs {
+		byKey[ruleKey(rule)] = rule
+	}
+	var out []Rule
+	for _, rule := range rs {
+		if interesting(tax, rule, byKey, support, numTxns, r) {
+			out = append(out, rule)
+		}
+	}
+	return out
+}
+
+func ruleKey(r Rule) string {
+	return itemset.Key(r.Antecedent) + "|" + itemset.Key(r.Consequent)
+}
+
+// interesting checks the rule against every one-step generalization of each
+// of its items; transitivity over close ancestors makes one-step checks
+// sufficient, as in SA95.
+func interesting(tax *taxonomy.Taxonomy, rule Rule, byKey map[string]Rule, support map[string]int64, numTxns int, r float64) bool {
+	check := func(ante, cons []item.Item) (ok, decided bool) {
+		anc, present := byKey[itemset.Key(ante)+"|"+itemset.Key(cons)]
+		if !present {
+			return false, false // ancestor rule not derived; no evidence
+		}
+		// Expected support: ancestor support scaled by the product of
+		// item-level specialization ratios sup(x)/sup(ancestor(x)).
+		ratio := 1.0
+		scale := func(child, parent item.Item) {
+			cs, okc := support[itemset.Key([]item.Item{child})]
+			ps, okp := support[itemset.Key([]item.Item{parent})]
+			if okc && okp && ps > 0 {
+				ratio *= float64(cs) / float64(ps)
+			}
+		}
+		for i := range rule.Antecedent {
+			if rule.Antecedent[i] != ante[i] {
+				scale(rule.Antecedent[i], ante[i])
+			}
+		}
+		for i := range rule.Consequent {
+			if rule.Consequent[i] != cons[i] {
+				scale(rule.Consequent[i], cons[i])
+			}
+		}
+		expSup := anc.Support * ratio
+		expConf := anc.Confidence
+		if rule.Support >= r*expSup || rule.Confidence >= r*expConf {
+			return true, true
+		}
+		return false, true
+	}
+
+	// Generalize each antecedent and consequent item one level up.
+	for i, x := range rule.Antecedent {
+		p := tax.Parent(x)
+		if p == item.None {
+			continue
+		}
+		ante := item.Clone(rule.Antecedent)
+		ante[i] = p
+		ante = item.Dedup(ante)
+		if len(ante) != len(rule.Antecedent) || item.Intersects(ante, rule.Consequent) {
+			continue
+		}
+		if pass, decided := check(ante, rule.Consequent); decided && !pass {
+			return false
+		}
+	}
+	for i, y := range rule.Consequent {
+		p := tax.Parent(y)
+		if p == item.None {
+			continue
+		}
+		cons := item.Clone(rule.Consequent)
+		cons[i] = p
+		cons = item.Dedup(cons)
+		if len(cons) != len(rule.Consequent) || item.Intersects(rule.Antecedent, cons) {
+			continue
+		}
+		if pass, decided := check(rule.Antecedent, cons); decided && !pass {
+			return false
+		}
+	}
+	_ = numTxns // reserved for support-based expectations over raw counts
+	return true
+}

@@ -1,0 +1,72 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// bruteContains checks pattern containment by exhaustive search over all
+// increasing element mappings — the specification Contains' greedy matcher
+// must agree with.
+func bruteContains(pattern, closures [][]item.Item) bool {
+	var rec func(pi, di int) bool
+	rec = func(pi, di int) bool {
+		if pi == len(pattern) {
+			return true
+		}
+		for j := di; j < len(closures); j++ {
+			if item.ContainsAll(closures[j], pattern[pi]) && rec(pi+1, j+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// TestContainsMatchesBruteForce cross-checks the greedy matcher against the
+// exhaustive specification on random patterns and sequences.
+func TestContainsMatchesBruteForce(t *testing.T) {
+	tax := taxonomy.MustBalanced(60, 3, 3)
+	rng := rand.New(rand.NewSource(77))
+	randElement := func(maxSz int) []item.Item {
+		e := make([]item.Item, 0, maxSz)
+		for len(e) < 1+rng.Intn(maxSz) {
+			e = item.Dedup(append(e, item.Item(rng.Intn(tax.NumItems()))))
+		}
+		return e
+	}
+	for trial := 0; trial < 3000; trial++ {
+		// Data sequence of 1-5 elements, each 1-3 items.
+		n := 1 + rng.Intn(5)
+		s := Sequence{CID: int64(trial)}
+		for i := 0; i < n; i++ {
+			s.Elements = append(s.Elements, randElement(3))
+		}
+		closures := Closures(tax, s, nil)
+		// Pattern of 1-3 elements, each 1-2 items.
+		var pattern [][]item.Item
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			pattern = append(pattern, randElement(2))
+		}
+		got := Contains(pattern, closures)
+		want := bruteContains(pattern, closures)
+		if got != want {
+			t.Fatalf("trial %d: Contains(%v, %v) = %v, brute force %v",
+				trial, Sequence{Elements: pattern}, closures, got, want)
+		}
+	}
+}
+
+// TestContainsEmptyPattern: the empty pattern is vacuously contained.
+func TestContainsEmptyPattern(t *testing.T) {
+	if !Contains(nil, [][]item.Item{{1}}) {
+		t.Error("empty pattern must be contained")
+	}
+	if Contains([][]item.Item{{1}}, nil) {
+		t.Error("nothing is contained in the empty sequence")
+	}
+}

@@ -1,0 +1,135 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// GenParams configure the synthetic customer-sequence generator, the
+// sequence analogue of the basket generator: weighted sequential patterns
+// over the taxonomy's leaves, corrupted and interleaved into customer
+// histories.
+type GenParams struct {
+	NumCustomers   int
+	AvgElements    float64 // mean transactions per customer
+	AvgElementSize float64 // mean items per transaction
+	NumPatterns    int     // sequential pattern pool size
+	AvgPatternLen  float64 // mean elements per pattern
+	Seed           int64
+}
+
+// DefaultGenParams returns a configuration sized for examples and tests.
+func DefaultGenParams() GenParams {
+	return GenParams{
+		NumCustomers:   2000,
+		AvgElements:    5,
+		AvgElementSize: 3,
+		NumPatterns:    50,
+		AvgPatternLen:  3,
+		Seed:           1998,
+	}
+}
+
+// GenerateSequences builds a customer-sequence database over the taxonomy's
+// leaves: each customer interleaves one or two weighted sequential patterns
+// (their elements in order, possibly with noise elements between) with
+// random filler items.
+func GenerateSequences(tax *taxonomy.Taxonomy, p GenParams) *DB {
+	rng := rand.New(rand.NewSource(p.Seed))
+	leaves := tax.Leaves()
+	randLeaf := func() item.Item { return leaves[rng.Intn(len(leaves))] }
+
+	// Pattern pool: sequences of small leaf itemsets with exponential
+	// weights (cumulative for sampling).
+	type seqPattern struct {
+		elements [][]item.Item
+		cum      float64
+	}
+	pats := make([]seqPattern, p.NumPatterns)
+	var total float64
+	for i := range pats {
+		n := 1 + poisson(rng, p.AvgPatternLen-1)
+		els := make([][]item.Item, n)
+		for j := range els {
+			sz := 1 + rng.Intn(2)
+			e := make([]item.Item, 0, sz)
+			for len(e) < sz {
+				e = item.Dedup(append(e, randLeaf()))
+			}
+			els[j] = e
+		}
+		w := rng.ExpFloat64()
+		total += w
+		pats[i] = seqPattern{elements: els, cum: w}
+	}
+	var cum float64
+	for i := range pats {
+		cum += pats[i].cum / total
+		pats[i].cum = cum
+	}
+	pick := func() *seqPattern {
+		x := rng.Float64()
+		lo, hi := 0, len(pats)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if pats[mid].cum < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return &pats[lo]
+	}
+
+	db := &DB{}
+	for cid := int64(0); cid < int64(p.NumCustomers); cid++ {
+		nEl := 1 + poisson(rng, p.AvgElements-1)
+		elements := make([][]item.Item, 0, nEl)
+		// Weave one pattern through the history (drop elements with 25%
+		// probability as corruption).
+		pat := pick()
+		pi := 0
+		for len(elements) < nEl {
+			if pi < len(pat.elements) && rng.Float64() < 0.6 {
+				if rng.Float64() < 0.75 {
+					el := item.Clone(pat.elements[pi])
+					// Mix in a filler item sometimes.
+					if rng.Float64() < 0.3 {
+						el = item.Dedup(append(el, randLeaf()))
+					}
+					elements = append(elements, el)
+				}
+				pi++
+				continue
+			}
+			sz := 1 + poisson(rng, p.AvgElementSize-1)
+			e := make([]item.Item, 0, sz)
+			for len(e) < sz {
+				e = item.Dedup(append(e, randLeaf()))
+			}
+			elements = append(elements, e)
+		}
+		db.Append(Sequence{CID: cid, Elements: elements})
+	}
+	return db
+}
+
+// poisson samples a Poisson variate (Knuth's method).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,295 @@
+package seq
+
+import (
+	"fmt"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// Config controls a GSP mining run.
+type Config struct {
+	// MinSupport is the minimum support as a fraction of the number of
+	// customers.
+	MinSupport float64
+	// MaxK bounds the pattern size in items; 0 = run until F_k is empty.
+	MaxK int
+}
+
+// Result holds the frequent k-sequences of every pass.
+type Result struct {
+	// Frequent[k-1] holds the frequent k-sequences (k items in total),
+	// canonically ordered.
+	Frequent     [][]Pattern
+	NumCustomers int
+}
+
+// FrequentK returns the frequent k-sequences, or nil past the last pass.
+func (r *Result) FrequentK(k int) []Pattern {
+	if k < 1 || k > len(r.Frequent) {
+		return nil
+	}
+	return r.Frequent[k-1]
+}
+
+// All returns every frequent pattern across all sizes.
+func (r *Result) All() []Pattern {
+	var out []Pattern
+	for _, f := range r.Frequent {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// Mine runs sequential GSP with the classification hierarchy: pass 1 counts
+// items (and ancestors) per customer; pass k generates candidate
+// k-sequences from F_{k-1} by the GSP join, prunes them, and counts each
+// against the ancestor-closed customer sequences.
+func Mine(tax *taxonomy.Taxonomy, db *DB, cfg Config) (*Result, error) {
+	if tax == nil {
+		return nil, fmt.Errorf("seq: nil taxonomy")
+	}
+	res := &Result{NumCustomers: db.Len()}
+	if db.Len() == 0 {
+		return res, nil
+	}
+	minCount := cumulate.MinCount(cfg.MinSupport, db.Len())
+
+	// Pass 1: a customer supports item x when some element's closure
+	// contains x.
+	counts := make([]int64, tax.NumItems())
+	scratch := make([]item.Item, 0, 64)
+	err := db.Scan(func(s Sequence) error {
+		scratch = scratch[:0]
+		for _, e := range s.Elements {
+			scratch = tax.ExtendTransaction(scratch, e) // dedups as it goes
+		}
+		for _, x := range scratch {
+			counts[x]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var f1 []Pattern
+	large := make([]bool, tax.NumItems())
+	for i, c := range counts {
+		if c >= minCount {
+			large[i] = true
+			f1 = append(f1, Pattern{Elements: [][]item.Item{{item.Item(i)}}, Count: c})
+		}
+	}
+	if len(f1) == 0 {
+		return res, nil
+	}
+	res.Frequent = append(res.Frequent, f1)
+
+	prev := f1
+	for k := 2; cfg.MaxK == 0 || k <= cfg.MaxK; k++ {
+		cands := GenerateCandidates(tax, prev, k)
+		if len(cands) == 0 {
+			break
+		}
+		counted, err := CountSupport(tax, db, cands, large)
+		if err != nil {
+			return nil, err
+		}
+		var fk []Pattern
+		for _, p := range counted {
+			if p.Count >= minCount {
+				fk = append(fk, p)
+			}
+		}
+		if len(fk) == 0 {
+			break
+		}
+		SortPatterns(fk)
+		res.Frequent = append(res.Frequent, fk)
+		prev = fk
+	}
+	return res, nil
+}
+
+// CountSupport counts each candidate against every customer sequence,
+// returning the candidates with their support counts (same order as cands).
+// large restricts the per-element closures to items that can appear in
+// candidates.
+func CountSupport(tax *taxonomy.Taxonomy, db *DB, cands [][][]item.Item, large []bool) ([]Pattern, error) {
+	out := make([]Pattern, len(cands))
+	for i, c := range cands {
+		out[i] = Pattern{Elements: c}
+	}
+	err := db.Scan(func(s Sequence) error {
+		closures := Closures(tax, s, large)
+		for i := range out {
+			if Contains(out[i].Elements, closures) {
+				out[i].Count++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GenerateCandidates produces the candidate k-sequences from the frequent
+// (k-1)-sequences. For k = 2 it enumerates both shapes directly from the
+// frequent items: <{x,y}> (together, x < y, no item-ancestor pairs) and
+// <{x}{y}> (in order, any x, y including x = y). For k > 2 it applies the
+// GSP join (drop the first item of p, the last of q; equal remainders join)
+// followed by the apriori prune over (k-1)-subsequences.
+func GenerateCandidates(tax *taxonomy.Taxonomy, prev []Pattern, k int) [][][]item.Item {
+	var out [][][]item.Item
+	if k == 2 {
+		items := make([]item.Item, 0, len(prev))
+		for _, p := range prev {
+			items = append(items, p.Elements[0][0])
+		}
+		item.Sort(items)
+		for i, x := range items {
+			for j, y := range items {
+				if i < j && !tax.IsAncestor(x, y) && !tax.IsAncestor(y, x) {
+					out = append(out, [][]item.Item{{x, y}})
+				}
+				out = append(out, [][]item.Item{{x}, {y}})
+			}
+		}
+		return out
+	}
+
+	inPrev := make(map[string]bool, len(prev))
+	for _, p := range prev {
+		inPrev[Key(p.Elements)] = true
+	}
+	for _, p := range prev {
+		p1, firstAlone := dropFirst(p.Elements)
+		_ = firstAlone
+		for _, q := range prev {
+			q1, lastAlone := dropLast(q.Elements)
+			if !Equal(p1, q1) {
+				continue
+			}
+			joined := join(p.Elements, q.Elements, lastAlone)
+			if joined == nil {
+				continue
+			}
+			if hasElementAncestorPair(tax, joined) {
+				continue
+			}
+			if !pruneOK(joined, inPrev) {
+				continue
+			}
+			out = append(out, joined)
+		}
+	}
+	// The join can produce duplicates; dedupe canonically.
+	seen := make(map[string]bool, len(out))
+	w := 0
+	for _, c := range out {
+		key := Key(c)
+		if !seen[key] {
+			seen[key] = true
+			out[w] = c
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// dropFirst removes the first item of the first element, dropping the
+// element if it empties; reports whether the first element had a single
+// item.
+func dropFirst(elements [][]item.Item) ([][]item.Item, bool) {
+	alone := len(elements[0]) == 1
+	out := make([][]item.Item, 0, len(elements))
+	if !alone {
+		out = append(out, elements[0][1:])
+	}
+	out = append(out, elements[1:]...)
+	return out, alone
+}
+
+// dropLast removes the last item of the last element, symmetrically.
+func dropLast(elements [][]item.Item) ([][]item.Item, bool) {
+	last := elements[len(elements)-1]
+	alone := len(last) == 1
+	out := make([][]item.Item, 0, len(elements))
+	out = append(out, elements[:len(elements)-1]...)
+	if !alone {
+		out = append(out, last[:len(last)-1])
+	}
+	return out, alone
+}
+
+// join merges p with the last item of q per the GSP rule: the item starts a
+// new element when it was alone in q's last element, otherwise it extends
+// p's last element (keeping it canonical).
+func join(p, q [][]item.Item, lastAlone bool) [][]item.Item {
+	lastItem := q[len(q)-1][len(q[len(q)-1])-1]
+	out := clonePattern(p)
+	if lastAlone {
+		out = append(out, []item.Item{lastItem})
+		return out
+	}
+	le := out[len(out)-1]
+	if item.Contains(le, lastItem) {
+		return nil // would not grow: malformed join
+	}
+	le = append(le, lastItem)
+	item.Sort(le)
+	out[len(out)-1] = le
+	return out
+}
+
+// hasElementAncestorPair reports whether any single element contains an
+// item together with one of its ancestors (such candidates are redundant,
+// as in Cumulate's C_2 rule).
+func hasElementAncestorPair(tax *taxonomy.Taxonomy, elements [][]item.Item) bool {
+	for _, e := range elements {
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				if tax.IsAncestor(e[i], e[j]) || tax.IsAncestor(e[j], e[i]) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// pruneOK checks that every (k-1)-subsequence obtained by dropping one item
+// is frequent.
+func pruneOK(elements [][]item.Item, inPrev map[string]bool) bool {
+	for ei := range elements {
+		for ii := range elements[ei] {
+			sub := dropItem(elements, ei, ii)
+			if !inPrev[Key(sub)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropItem removes item ii of element ei, dropping the element if emptied.
+func dropItem(elements [][]item.Item, ei, ii int) [][]item.Item {
+	out := make([][]item.Item, 0, len(elements))
+	for i, e := range elements {
+		if i != ei {
+			out = append(out, e)
+			continue
+		}
+		if len(e) == 1 {
+			continue
+		}
+		ne := make([]item.Item, 0, len(e)-1)
+		ne = append(ne, e[:ii]...)
+		ne = append(ne, e[ii+1:]...)
+		out = append(out, ne)
+	}
+	return out
+}

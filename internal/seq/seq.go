@@ -1,0 +1,207 @@
+// Package seq implements the extension the paper's conclusion names as
+// future work: mining *generalized sequential patterns* with a
+// classification hierarchy (Srikant & Agrawal's GSP, EDBT'96) and its
+// parallelization in the style of Shintani & Kitsuregawa's hash-based
+// approach (PAKDD'98, [SK98]).
+//
+// A data sequence is a customer's time-ordered list of transactions
+// (elements); a pattern <e_1 ... e_m> is contained in a data sequence when
+// its elements match distinct data elements in order, each pattern element
+// being a subset of the *ancestor closure* of the matched transaction.
+// Support counts customers, not transactions. Time constraints (sliding
+// windows, gap bounds) are out of scope here, as they are orthogonal to the
+// parallelization the paper studies.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/taxonomy"
+)
+
+// Sequence is one customer's ordered transaction history. Elements must
+// each be canonical itemsets; their order is temporal.
+type Sequence struct {
+	CID      int64
+	Elements [][]item.Item
+}
+
+// NumItems returns the total number of items across elements (the "k" of a
+// k-sequence).
+func (s Sequence) NumItems() int {
+	n := 0
+	for _, e := range s.Elements {
+		n += len(e)
+	}
+	return n
+}
+
+// String renders "<{1,2}{3}>".
+func (s Sequence) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for _, e := range s.Elements {
+		b.WriteString(item.Format(e))
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Pattern is a candidate or frequent sequential pattern with its support
+// count.
+type Pattern struct {
+	Elements [][]item.Item
+	Count    int64
+}
+
+// String renders the pattern with its count.
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s sup_cou=%d", Sequence{Elements: p.Elements}.String(), p.Count)
+}
+
+// Key packs a pattern's shape into a map key: element lengths then items.
+func Key(elements [][]item.Item) string {
+	var b []byte
+	b = append(b, byte(len(elements)))
+	for _, e := range elements {
+		b = append(b, byte(len(e)))
+	}
+	for _, e := range elements {
+		b = itemset.AppendKey(b, e)
+	}
+	return string(b)
+}
+
+// Equal reports whether two patterns have identical shape and items.
+func Equal(a, b [][]item.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !item.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders patterns by element-wise lexicographic comparison.
+func Compare(a, b [][]item.Item) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := item.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// clonePattern deep-copies a pattern's elements.
+func clonePattern(elements [][]item.Item) [][]item.Item {
+	out := make([][]item.Item, len(elements))
+	for i, e := range elements {
+		out[i] = item.Clone(e)
+	}
+	return out
+}
+
+// SortPatterns orders patterns canonically.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool { return Compare(ps[i].Elements, ps[j].Elements) < 0 })
+}
+
+// DB is an in-memory sequence database.
+type DB struct {
+	seqs []Sequence
+}
+
+// NewDB wraps a sequence slice (retained).
+func NewDB(seqs []Sequence) *DB { return &DB{seqs: seqs} }
+
+// Append adds a customer sequence.
+func (db *DB) Append(s Sequence) { db.seqs = append(db.seqs, s) }
+
+// Len returns the number of customers.
+func (db *DB) Len() int { return len(db.seqs) }
+
+// At returns customer i's sequence (shared storage).
+func (db *DB) At(i int) Sequence { return db.seqs[i] }
+
+// Scan streams every customer sequence to fn in order.
+func (db *DB) Scan(fn func(Sequence) error) error {
+	for _, s := range db.seqs {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition splits the customers round-robin over n node-local stores.
+func Partition(db *DB, n int) []*DB {
+	parts := make([]*DB, n)
+	for i := range parts {
+		parts[i] = &DB{}
+	}
+	for i, s := range db.seqs {
+		parts[i%n].Append(s)
+	}
+	return parts
+}
+
+// Contains reports whether the pattern is contained in the data sequence
+// under closure semantics: pattern elements match distinct data elements in
+// order, each pattern element a subset of the matched element's ancestor
+// closure. closures must hold the precomputed closure of each data element.
+// The greedy earliest-match strategy is exact absent time constraints.
+func Contains(pattern [][]item.Item, closures [][]item.Item) bool {
+	di := 0
+	for _, pe := range pattern {
+		for {
+			if di >= len(closures) {
+				return false
+			}
+			if item.ContainsAll(closures[di], pe) {
+				di++
+				break
+			}
+			di++
+		}
+	}
+	return true
+}
+
+// Closures computes the per-element ancestor closures of a data sequence,
+// optionally restricted to items flagged in keep (nil keeps everything).
+func Closures(tax *taxonomy.Taxonomy, s Sequence, keep []bool) [][]item.Item {
+	out := make([][]item.Item, len(s.Elements))
+	scratch := make([]item.Item, 0, 32)
+	for i, e := range s.Elements {
+		scratch = tax.ExtendTransaction(scratch[:0], e)
+		if keep != nil {
+			w := 0
+			for _, x := range scratch {
+				if keep[x] {
+					scratch[w] = x
+					w++
+				}
+			}
+			scratch = scratch[:w]
+		}
+		out[i] = item.Clone(scratch)
+	}
+	return out
+}

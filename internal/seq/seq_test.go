@@ -1,0 +1,269 @@
+package seq
+
+import (
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// hierarchy: 0 -> 2,3 ; 1 -> 4 ; 2 -> 5,6 ; 3 -> 7 ; 4 -> 8,9
+func testTaxonomy() *taxonomy.Taxonomy {
+	return taxonomy.MustNew([]item.Item{
+		item.None, item.None, 0, 0, 1, 2, 2, 3, 4, 4,
+	})
+}
+
+func seqOf(cid int64, elements ...[]item.Item) Sequence {
+	els := make([][]item.Item, len(elements))
+	for i, e := range elements {
+		els[i] = item.Dedup(item.Clone(e))
+	}
+	return Sequence{CID: cid, Elements: els}
+}
+
+func TestSequenceBasics(t *testing.T) {
+	s := seqOf(1, []item.Item{1, 2}, []item.Item{3})
+	if s.NumItems() != 3 {
+		t.Errorf("NumItems = %d", s.NumItems())
+	}
+	if got := s.String(); got != "<{1,2}{3}>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestKeyAndEqual(t *testing.T) {
+	a := [][]item.Item{{1, 2}, {3}}
+	b := [][]item.Item{{1}, {2, 3}}
+	if Key(a) == Key(b) {
+		t.Error("different shapes share a key")
+	}
+	if !Equal(a, [][]item.Item{{1, 2}, {3}}) {
+		t.Error("Equal failed on identical patterns")
+	}
+	if Equal(a, b) {
+		t.Error("Equal true for different patterns")
+	}
+	if Compare(a, a) != 0 || Compare(a, b) == 0 {
+		t.Error("Compare inconsistent")
+	}
+}
+
+func TestContainsClosureSemantics(t *testing.T) {
+	tax := testTaxonomy()
+	// Customer buys leaf 5 (under 2 under 0), then leaf 8 (under 4 under 1).
+	s := seqOf(1, []item.Item{5}, []item.Item{8})
+	closures := Closures(tax, s, nil)
+
+	cases := []struct {
+		pattern [][]item.Item
+		want    bool
+	}{
+		{[][]item.Item{{5}}, true},
+		{[][]item.Item{{2}}, true},            // ancestor of 5
+		{[][]item.Item{{0}, {1}}, true},       // roots in order
+		{[][]item.Item{{5}, {8}}, true},       // literal order
+		{[][]item.Item{{8}, {5}}, false},      // wrong order
+		{[][]item.Item{{5, 8}}, false},        // never together
+		{[][]item.Item{{2}, {4}}, true},       // ancestors in order
+		{[][]item.Item{{6}}, false},           // sibling, never bought
+		{[][]item.Item{{5}, {8}, {5}}, false}, // needs three elements
+		{[][]item.Item{{0}, {0}}, false},      // 0 only in first element
+	}
+	for _, c := range cases {
+		if got := Contains(c.pattern, closures); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", Sequence{Elements: c.pattern}, got, c.want)
+		}
+	}
+}
+
+func TestClosuresKeepFilter(t *testing.T) {
+	tax := testTaxonomy()
+	s := seqOf(1, []item.Item{5})
+	keep := make([]bool, tax.NumItems())
+	keep[2] = true
+	cl := Closures(tax, s, keep)
+	if len(cl) != 1 || !item.Equal(cl[0], []item.Item{2}) {
+		t.Errorf("filtered closure = %v", cl)
+	}
+}
+
+func TestGenerateCandidatesPass2(t *testing.T) {
+	tax := testTaxonomy()
+	prev := []Pattern{
+		{Elements: [][]item.Item{{2}}},
+		{Elements: [][]item.Item{{5}}},
+		{Elements: [][]item.Item{{8}}},
+	}
+	cands := GenerateCandidates(tax, prev, 2)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		seen[Sequence{Elements: c}.String()] = true
+		// No element may pair an item with its ancestor.
+		if hasElementAncestorPair(tax, c) {
+			t.Errorf("ancestor pair leaked: %v", Sequence{Elements: c})
+		}
+	}
+	// <{2,5}> must be pruned (2 is an ancestor of 5); <{2},{5}> kept;
+	// <{5},{5}> kept (repeat purchases); <{5,8}> kept.
+	for _, want := range []string{"<{2}{5}>", "<{5}{2}>", "<{5}{5}>", "<{5,8}>", "<{8}{8}>"} {
+		if !seen[want] {
+			t.Errorf("missing candidate %s", want)
+		}
+	}
+	if seen["<{2,5}>"] {
+		t.Error("<{2,5}> should be pruned")
+	}
+}
+
+func TestGSPJoin(t *testing.T) {
+	tax := testTaxonomy()
+	// F2 = {<{5}{8}>, <{8}{5}>, <{8}{8}>, <{5,8}>}  (items 5, 8 across trees)
+	prev := []Pattern{
+		{Elements: [][]item.Item{{5}, {8}}},
+		{Elements: [][]item.Item{{8}, {5}}},
+		{Elements: [][]item.Item{{8}, {8}}},
+		{Elements: [][]item.Item{{5, 8}}},
+	}
+	cands := GenerateCandidates(tax, prev, 3)
+	got := map[string]bool{}
+	for _, c := range cands {
+		got[Sequence{Elements: c}.String()] = true
+	}
+	// <{5}{8}> ⋈ <{8}{8}> -> <{5}{8}{8}>: subsequences <{5}{8}>, <{8}{8}>
+	// all in F2 -> kept.
+	if !got["<{5}{8}{8}>"] {
+		t.Errorf("missing <{5}{8}{8}>; got %v", got)
+	}
+	// <{5}{8}> ⋈ <{8}{5}> -> <{5}{8}{5}> requires <{5}{5}> in F2: pruned.
+	if got["<{5}{8}{5}>"] {
+		t.Error("<{5}{8}{5}> should be pruned (subsequence <{5}{5}> infrequent)")
+	}
+	// <{5,8}> ⋈ <{8}{5}> -> <{5,8}{5}> requires <{5}{5}>: pruned. The
+	// together-shape <{5,8}{...}> joins need dropFirst(<{5,8}>)=<{8}>.
+	if got["<{5,8}{5}>"] {
+		t.Error("<{5,8}{5}> should be pruned")
+	}
+}
+
+func TestMineFindsPlantedPattern(t *testing.T) {
+	tax := testTaxonomy()
+	db := &DB{}
+	// 60% of customers: 5 then 8 (with noise); the rest random singles.
+	for cid := int64(0); cid < 100; cid++ {
+		if cid%5 < 3 {
+			db.Append(seqOf(cid, []item.Item{5}, []item.Item{7}, []item.Item{8}))
+		} else {
+			// Noise that supports neither <{5}{8}> nor its generalizations:
+			// 7 (tree 0 via 3) then 6 (tree 0 via 2) — the <{2}{4}> order
+			// never appears.
+			db.Append(seqOf(cid, []item.Item{7}, []item.Item{6}))
+		}
+	}
+	res, err := Mine(tax, db, Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]int64{}
+	for _, p := range res.All() {
+		found[Sequence{Elements: p.Elements}.String()] = p.Count
+	}
+	if found["<{5}{8}>"] != 60 {
+		t.Errorf("planted pattern <{5}{8}> count = %d, want 60", found["<{5}{8}>"])
+	}
+	// Generalized forms hold too: <{2}{4}> (ancestors of 5 and 8).
+	if found["<{2}{4}>"] != 60 {
+		t.Errorf("generalized <{2}{4}> count = %d, want 60", found["<{2}{4}>"])
+	}
+	// Cross-level: <{5}{1}>.
+	if found["<{5}{1}>"] != 60 {
+		t.Errorf("cross-level <{5}{1}> count = %d, want 60", found["<{5}{1}>"])
+	}
+}
+
+func TestMineDegenerate(t *testing.T) {
+	tax := testTaxonomy()
+	res, err := Mine(tax, &DB{}, Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 0 {
+		t.Error("empty db produced patterns")
+	}
+	if _, err := Mine(nil, &DB{}, Config{}); err == nil {
+		t.Error("nil taxonomy must fail")
+	}
+	if res.FrequentK(0) != nil || res.FrequentK(5) != nil {
+		t.Error("FrequentK out of range must be nil")
+	}
+}
+
+func TestMineMaxK(t *testing.T) {
+	tax := testTaxonomy()
+	db := &DB{}
+	for cid := int64(0); cid < 20; cid++ {
+		db.Append(seqOf(cid, []item.Item{5}, []item.Item{8}, []item.Item{7}))
+	}
+	full, err := Mine(tax, db, Config{MinSupport: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := Mine(tax, db, Config{MinSupport: 0.9, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Frequent) != 2 {
+		t.Errorf("MaxK=2 levels = %d", len(capped.Frequent))
+	}
+	if len(full.Frequent) <= 2 {
+		t.Errorf("full run levels = %d, want > 2", len(full.Frequent))
+	}
+}
+
+func TestGenerateSequences(t *testing.T) {
+	tax := taxonomy.MustBalanced(200, 4, 4)
+	p := DefaultGenParams()
+	p.NumCustomers = 300
+	db := GenerateSequences(tax, p)
+	if db.Len() != 300 {
+		t.Fatalf("customers = %d", db.Len())
+	}
+	db.Scan(func(s Sequence) error {
+		if len(s.Elements) == 0 {
+			t.Fatalf("customer %d has no elements", s.CID)
+		}
+		for _, e := range s.Elements {
+			if !item.IsSorted(e) || len(e) == 0 {
+				t.Fatalf("customer %d element not canonical: %v", s.CID, e)
+			}
+			for _, x := range e {
+				if !tax.IsLeaf(x) {
+					t.Fatalf("non-leaf item %v in generated sequence", x)
+				}
+			}
+		}
+		return nil
+	})
+	// Determinism.
+	db2 := GenerateSequences(tax, p)
+	for i := 0; i < db.Len(); i++ {
+		if !Equal(db.At(i).Elements, db2.At(i).Elements) {
+			t.Fatalf("generation not deterministic at customer %d", i)
+		}
+	}
+}
+
+func TestPartitionSequences(t *testing.T) {
+	db := &DB{}
+	for cid := int64(0); cid < 10; cid++ {
+		db.Append(seqOf(cid, []item.Item{1}))
+	}
+	parts := Partition(db, 3)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != 10 {
+		t.Errorf("partitioning lost customers: %d", total)
+	}
+}

@@ -1,0 +1,87 @@
+package taxonomy
+
+import (
+	"fmt"
+
+	"pgarm/internal/item"
+)
+
+// Builder assembles a taxonomy incrementally. Items are allocated densely in
+// the order they are added; each non-root item names an already-added parent.
+// The zero value is ready to use.
+type Builder struct {
+	parent []item.Item
+}
+
+// AddRoot allocates a new root item and returns its identifier.
+func (b *Builder) AddRoot() item.Item {
+	b.parent = append(b.parent, item.None)
+	return item.Item(len(b.parent) - 1)
+}
+
+// AddChild allocates a new item under parent and returns its identifier.
+// It panics if parent has not been allocated yet.
+func (b *Builder) AddChild(parent item.Item) item.Item {
+	if parent < 0 || int(parent) >= len(b.parent) {
+		panic(fmt.Sprintf("taxonomy: AddChild with unknown parent %d", parent))
+	}
+	b.parent = append(b.parent, parent)
+	return item.Item(len(b.parent) - 1)
+}
+
+// Len returns the number of items allocated so far.
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Build finalizes the hierarchy.
+func (b *Builder) Build() (*Taxonomy, error) { return New(b.parent) }
+
+// MustBuild finalizes the hierarchy, panicking on structural errors.
+func (b *Builder) MustBuild() *Taxonomy {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Balanced constructs the regular hierarchy used by the paper's synthetic
+// datasets: `roots` trees, each a complete `fanout`-ary tree, growing level
+// by level across all trees until at least numItems items exist (the last
+// level may be partial). The datasets in Table 5 are Balanced(30000, 30, 5)
+// for R30F5, Balanced(30000, 30, 3) for R30F3 and Balanced(30000, 30, 10)
+// for R30F10, yielding the level counts the paper reports (5–6, 6–7, 3–4).
+func Balanced(numItems, roots, fanout int) (*Taxonomy, error) {
+	if numItems < roots {
+		return nil, fmt.Errorf("taxonomy: numItems %d < roots %d", numItems, roots)
+	}
+	if roots <= 0 || fanout <= 0 {
+		return nil, fmt.Errorf("taxonomy: roots and fanout must be positive (got %d, %d)", roots, fanout)
+	}
+	var b Builder
+	frontier := make([]item.Item, 0, roots)
+	for i := 0; i < roots; i++ {
+		frontier = append(frontier, b.AddRoot())
+	}
+	for b.Len() < numItems {
+		next := make([]item.Item, 0, len(frontier)*fanout)
+		for _, p := range frontier {
+			for c := 0; c < fanout && b.Len() < numItems; c++ {
+				next = append(next, b.AddChild(p))
+			}
+			if b.Len() >= numItems {
+				break
+			}
+		}
+		frontier = next
+	}
+	return b.Build()
+}
+
+// MustBalanced is Balanced but panics on error.
+func MustBalanced(numItems, roots, fanout int) *Taxonomy {
+	t, err := Balanced(numItems, roots, fanout)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+package taxonomy
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the hierarchy in Graphviz DOT format, one cluster per
+// tree. names, when non-nil, labels item i with names[i] (falling back to
+// the numeric id). Useful for inspecting generated taxonomies and for
+// documentation.
+func (t *Taxonomy) WriteDOT(w io.Writer, names []string) error {
+	var b strings.Builder
+	b.WriteString("digraph taxonomy {\n  rankdir=TB;\n  node [shape=box];\n")
+	label := func(x int) string {
+		if names != nil && x < len(names) && names[x] != "" {
+			return names[x]
+		}
+		return fmt.Sprintf("i%d", x)
+	}
+	for i := 0; i < t.NumItems(); i++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, label(i))
+	}
+	for i, p := range t.parent {
+		if p != -1 {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, i)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,22 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+
+	"pgarm/internal/item"
+)
+
+func TestWriteDOT(t *testing.T) {
+	tax := MustNew([]item.Item{item.None, 0, 0})
+	var sb strings.Builder
+	if err := tax.WriteDOT(&sb, []string{"root", "left"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", `"root"`, `"left"`, `"i2"`, "n0 -> n1", "n0 -> n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package taxonomy
+
+import "pgarm/internal/item"
+
+// View is a per-pass overlay on a Taxonomy capturing the two pruning
+// optimizations Cumulate applies before scanning the database:
+//
+//  1. the "closest-to-bottom large ancestor" replacement used by the H-HPGM
+//     family (small items are replaced by their nearest large ancestor, or
+//     dropped when no ancestor is large), and
+//  2. "delete any ancestors in T that are not present in any of the
+//     candidates in C_k": transaction extension only adds ancestors that can
+//     still contribute to a candidate.
+//
+// A View is built once per pass and is then read-only, safe for concurrent
+// use by all node goroutines.
+type View struct {
+	tax *Taxonomy
+	// nearestLarge[i] = i if i is large, else the closest large strict
+	// ancestor of i, else item.None.
+	nearestLarge []item.Item
+	// keep[i] = true if ancestor i survives pruning (present in candidates).
+	// nil means "keep everything".
+	keep []bool
+}
+
+// NewView builds a view for one pass. large[i] reports whether item i is a
+// large item (member of L1). keepAncestors, if non-nil, flags the ancestors
+// that appear in some current candidate; extension will only add flagged
+// ancestors. Pass nil to keep all ancestors.
+func NewView(t *Taxonomy, large []bool, keepAncestors []bool) *View {
+	v := &View{
+		tax:          t,
+		nearestLarge: make([]item.Item, t.NumItems()),
+		keep:         keepAncestors,
+	}
+	// Roots first (level order not required: walk up per item, memoizing is
+	// unnecessary at this scale but the parent chain is short).
+	for i := range v.nearestLarge {
+		x := item.Item(i)
+		for x != item.None && !large[x] {
+			x = t.Parent(x)
+		}
+		v.nearestLarge[i] = x
+	}
+	return v
+}
+
+// Taxonomy returns the underlying hierarchy.
+func (v *View) Taxonomy() *Taxonomy { return v.tax }
+
+// NearestLarge returns x itself if large, otherwise the closest large
+// ancestor of x, otherwise item.None.
+func (v *View) NearestLarge(x item.Item) item.Item { return v.nearestLarge[x] }
+
+// ReplaceWithLarge computes the H-HPGM transaction form t' (Figure 5 line
+// (8)): each item of txn is replaced by the large item among its ancestors
+// closest to the bottom of the hierarchy; items with no large ancestor are
+// dropped. The result is canonical (sorted, deduped), appended to dst.
+func (v *View) ReplaceWithLarge(dst []item.Item, txn []item.Item) []item.Item {
+	for _, x := range txn {
+		if y := v.nearestLarge[x]; y != item.None {
+			dst = append(dst, y)
+		}
+	}
+	return item.Dedup(dst)
+}
+
+// Kept reports whether ancestor x survives candidate-based pruning.
+func (v *View) Kept(x item.Item) bool { return v.keep == nil || v.keep[x] }
+
+// ExtendPruned computes the Cumulate extended transaction t' while honouring
+// ancestor pruning: every item of txn is kept (it may itself match a
+// candidate leaf), and only ancestors flagged in keepAncestors are added.
+// The result is canonical, appended to dst.
+func (v *View) ExtendPruned(dst []item.Item, txn []item.Item) []item.Item {
+	for _, x := range txn {
+		dst = append(dst, x)
+		for cur := v.tax.Parent(x); cur != item.None; cur = v.tax.Parent(cur) {
+			if v.Kept(cur) {
+				dst = append(dst, cur)
+			}
+		}
+	}
+	return item.Dedup(dst)
+}

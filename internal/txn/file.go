@@ -1,0 +1,204 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"pgarm/internal/item"
+)
+
+// Binary transaction file format, a node's simulated local disk:
+//
+//	magic  uint32  "PGTX" (0x50475458)
+//	count  uvarint number of transactions
+//	per transaction:
+//	  tidDelta uvarint (TID delta from previous; first is absolute)
+//	  n        uvarint item count
+//	  items    n × uvarint (delta-encoded, ascending)
+//
+// Delta coding keeps R30F5-scale files small enough that repeated per-pass
+// scans (and NPGM's per-fragment rescans) are I/O realistic without being
+// punitive.
+
+const fileMagic = 0x50475458
+
+// WriteFile writes the database to path, creating or truncating it.
+func WriteFile(path string, db *DB) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("txn: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("txn: close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeAll(w, db); err != nil {
+		return fmt.Errorf("txn: write %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("txn: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeAll(w *bufio.Writer, db *DB) error {
+	var buf [binary.MaxVarintLen64]byte
+	binary.BigEndian.PutUint32(buf[:4], fileMagic)
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(db.Len())); err != nil {
+		return err
+	}
+	prevTID := int64(0)
+	for _, t := range db.txns {
+		if t.TID < prevTID {
+			return fmt.Errorf("TIDs not ascending: %d after %d", t.TID, prevTID)
+		}
+		if !item.IsSorted(t.Items) {
+			return fmt.Errorf("transaction %d items not canonical", t.TID)
+		}
+		if err := putUvarint(uint64(t.TID - prevTID)); err != nil {
+			return err
+		}
+		prevTID = t.TID
+		if err := putUvarint(uint64(len(t.Items))); err != nil {
+			return err
+		}
+		prev := item.Item(0)
+		for i, x := range t.Items {
+			d := uint64(x - prev)
+			if i == 0 {
+				d = uint64(x)
+			}
+			if err := putUvarint(d); err != nil {
+				return err
+			}
+			prev = x
+		}
+	}
+	return nil
+}
+
+// File is a disk-backed transaction partition. Each Scan re-reads the file
+// from the start, modelling the per-pass database scan of a shared-nothing
+// node's local disk.
+type File struct {
+	path  string
+	count int
+}
+
+// OpenFile validates the header of a transaction file and returns a Scanner
+// over it.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("txn: read header of %s: %w", path, err)
+	}
+	if binary.BigEndian.Uint32(hdr[:]) != fileMagic {
+		return nil, fmt.Errorf("txn: %s is not a transaction file (bad magic)", path)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("txn: read count of %s: %w", path, err)
+	}
+	return &File{path: path, count: int(count)}, nil
+}
+
+// Path returns the backing file path.
+func (f *File) Path() string { return f.path }
+
+// Len returns the number of transactions recorded in the header.
+func (f *File) Len() int { return f.count }
+
+// Scan streams all transactions from disk to fn.
+func (f *File) Scan(fn func(Transaction) error) error {
+	file, err := os.Open(f.path)
+	if err != nil {
+		return fmt.Errorf("txn: open %s: %w", f.path, err)
+	}
+	defer file.Close()
+	r := bufio.NewReaderSize(file, 1<<20)
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("txn: reread header of %s: %w", f.path, err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("txn: reread count of %s: %w", f.path, err)
+	}
+	tid := int64(0)
+	for i := uint64(0); i < count; i++ {
+		t, err := readTxn(r, &tid)
+		if err != nil {
+			return fmt.Errorf("txn: %s transaction %d: %w", f.path, i, err)
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTxn(r *bufio.Reader, tid *int64) (Transaction, error) {
+	d, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Transaction{}, err
+	}
+	*tid += int64(d)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Transaction{}, err
+	}
+	if n > 1<<20 {
+		return Transaction{}, errors.New("implausible basket size (corrupt file?)")
+	}
+	items := make([]item.Item, n)
+	prev := item.Item(0)
+	for i := range items {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Transaction{}, err
+		}
+		if i == 0 {
+			prev = item.Item(d)
+		} else {
+			prev += item.Item(d)
+		}
+		items[i] = prev
+	}
+	return Transaction{TID: *tid, Items: items}, nil
+}
+
+// ReadFile loads a whole transaction file into memory.
+func ReadFile(path string) (*DB, error) {
+	f, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{txns: make([]Transaction, 0, f.Len())}
+	if err := f.Scan(func(t Transaction) error {
+		db.Append(t)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,91 @@
+// Package txn implements the transaction database substrate: transaction
+// values, in-memory partitions, a compact binary on-disk format, and the
+// horizontal partitioner that spreads the database over the nodes' simulated
+// local disks ("the transaction data is evenly spread over the local disks
+// of all the nodes", §4.2 of the paper).
+package txn
+
+import (
+	"fmt"
+
+	"pgarm/internal/item"
+)
+
+// Transaction is one market basket: a unique identifier and a canonical
+// (sorted, deduplicated) itemset.
+type Transaction struct {
+	TID   int64
+	Items []item.Item
+}
+
+// String renders the transaction compactly.
+func (t Transaction) String() string {
+	return fmt.Sprintf("t%d%s", t.TID, item.Format(t.Items))
+}
+
+// DB is an in-memory transaction database. The zero value is an empty
+// database ready for Append.
+type DB struct {
+	txns []Transaction
+}
+
+// NewDB wraps a transaction slice (retained, not copied).
+func NewDB(txns []Transaction) *DB { return &DB{txns: txns} }
+
+// Append adds a transaction.
+func (db *DB) Append(t Transaction) { db.txns = append(db.txns, t) }
+
+// Len returns the number of transactions.
+func (db *DB) Len() int { return len(db.txns) }
+
+// At returns transaction i. The itemset is shared; do not modify.
+func (db *DB) At(i int) Transaction { return db.txns[i] }
+
+// Scan invokes fn for every transaction in order; it stops and returns the
+// first error fn reports. It satisfies Scanner.
+func (db *DB) Scan(fn func(Transaction) error) error {
+	for _, t := range db.txns {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AvgSize returns the mean basket size.
+func (db *DB) AvgSize() float64 {
+	if len(db.txns) == 0 {
+		return 0
+	}
+	var sum int
+	for _, t := range db.txns {
+		sum += len(t.Items)
+	}
+	return float64(sum) / float64(len(db.txns))
+}
+
+// Scanner is a source of transactions a node can re-scan once per pass (and
+// once per candidate fragment in NPGM). Both the in-memory DB and the
+// on-disk File implement it.
+type Scanner interface {
+	// Scan streams every transaction to fn in storage order; a non-nil error
+	// from fn aborts the scan and is returned.
+	Scan(fn func(Transaction) error) error
+	// Len returns the number of transactions.
+	Len() int
+}
+
+// Partition splits the database into n horizontal partitions, round-robin,
+// modelling the even spread of transactions across node-local disks. The
+// transaction slices are shared with db.
+func Partition(db *DB, n int) []*DB {
+	parts := make([]*DB, n)
+	for i := range parts {
+		parts[i] = &DB{}
+	}
+	for i, t := range db.txns {
+		p := parts[i%n]
+		p.txns = append(p.txns, t)
+	}
+	return parts
+}

@@ -1,0 +1,213 @@
+package txn
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"pgarm/internal/item"
+)
+
+func sampleDB() *DB {
+	return NewDB([]Transaction{
+		{TID: 1, Items: []item.Item{1, 5, 9}},
+		{TID: 2, Items: []item.Item{2}},
+		{TID: 5, Items: []item.Item{0, 3, 4, 1000}},
+		{TID: 9, Items: nil},
+	})
+}
+
+func TestDBBasics(t *testing.T) {
+	db := sampleDB()
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if got := db.At(2); got.TID != 5 || len(got.Items) != 4 {
+		t.Errorf("At(2) = %v", got)
+	}
+	var tids []int64
+	if err := db.Scan(func(tr Transaction) error {
+		tids = append(tids, tr.TID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 4 || tids[0] != 1 || tids[3] != 9 {
+		t.Errorf("Scan order = %v", tids)
+	}
+	want := (3.0 + 1 + 4 + 0) / 4
+	if got := db.AvgSize(); got != want {
+		t.Errorf("AvgSize = %g, want %g", got, want)
+	}
+	if got := (&DB{}).AvgSize(); got != 0 {
+		t.Errorf("empty AvgSize = %g", got)
+	}
+}
+
+func TestScanErrorPropagates(t *testing.T) {
+	db := sampleDB()
+	wantErr := os.ErrClosed
+	n := 0
+	err := db.Scan(func(Transaction) error {
+		n++
+		if n == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Errorf("err = %v", err)
+	}
+	if n != 2 {
+		t.Errorf("scan continued after error: %d", n)
+	}
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	db := &DB{}
+	for i := 0; i < 10; i++ {
+		db.Append(Transaction{TID: int64(i), Items: []item.Item{item.Item(i)}})
+	}
+	parts := Partition(db, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	sizes := []int{parts[0].Len(), parts[1].Len(), parts[2].Len()}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	// TIDs stay ascending within each partition (required by WriteFile).
+	for pi, p := range parts {
+		last := int64(-1)
+		p.Scan(func(tr Transaction) error {
+			if tr.TID <= last {
+				t.Errorf("partition %d TIDs not ascending", pi)
+			}
+			last = tr.TID
+			return nil
+		})
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	db := sampleDB()
+	path := filepath.Join(t.TempDir(), "x.ptx")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), db.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		w, g := db.At(i), got.At(i)
+		if w.TID != g.TID || !item.Equal(w.Items, g.Items) {
+			t.Errorf("txn %d: %v != %v", i, g, w)
+		}
+	}
+}
+
+func TestFileScanTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ptx")
+	if err := WriteFile(path, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("header Len = %d", f.Len())
+	}
+	for round := 0; round < 2; round++ {
+		n := 0
+		if err := f.Scan(func(Transaction) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 4 {
+			t.Fatalf("round %d scanned %d", round, n)
+		}
+	}
+	if f.Path() != path {
+		t.Errorf("Path = %q", f.Path())
+	}
+}
+
+func TestWriteFileRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := NewDB([]Transaction{{TID: 5}, {TID: 1}})
+	if err := WriteFile(filepath.Join(dir, "a.ptx"), bad); err == nil {
+		t.Error("descending TIDs must fail")
+	}
+	bad2 := NewDB([]Transaction{{TID: 1, Items: []item.Item{5, 2}}})
+	if err := WriteFile(filepath.Join(dir, "b.ptx"), bad2); err == nil {
+		t.Error("non-canonical items must fail")
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a transaction file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := OpenFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := os.WriteFile(path, []byte{0x50, 0x47}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("truncated header must fail")
+	}
+}
+
+// Property: any canonical database round-trips through the binary format.
+func TestFileRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := &DB{}
+		tid := int64(0)
+		for i := 0; i < rng.Intn(50); i++ {
+			tid += int64(rng.Intn(5) + 1)
+			items := make([]item.Item, rng.Intn(8))
+			for j := range items {
+				items[j] = item.Item(rng.Intn(1 << 16))
+			}
+			db.Append(Transaction{TID: tid, Items: item.Dedup(items)})
+		}
+		path := filepath.Join(dir, "p.ptx")
+		if err := WriteFile(path, db); err != nil {
+			return false
+		}
+		got, err := ReadFile(path)
+		if err != nil || got.Len() != db.Len() {
+			return false
+		}
+		for i := 0; i < db.Len(); i++ {
+			if db.At(i).TID != got.At(i).TID || !item.Equal(db.At(i).Items, got.At(i).Items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tr := Transaction{TID: 3, Items: []item.Item{1, 2}}
+	if got := tr.String(); got != "t3{1,2}" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+// Package wire is the binary codec for everything the mining algorithms put
+// on the fabric: itemset lists, count vectors, and the per-transaction item
+// groups the count-support phase exchanges. Encodings are varint-based and
+// self-describing enough for the TCP fabric to carry them between real
+// processes; the channel fabric carries the same bytes so both fabrics
+// report identical communication volume.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pgarm/internal/item"
+)
+
+// AppendUvarint appends v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// Uvarint decodes a uvarint from b, returning the value and bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated or overlong uvarint")
+	}
+	return v, n, nil
+}
+
+// AppendItems appends a delta-encoded canonical itemset: count, then first
+// item absolute and the rest as deltas.
+func AppendItems(dst []byte, items []item.Item) []byte {
+	dst = AppendUvarint(dst, uint64(len(items)))
+	prev := item.Item(0)
+	for i, x := range items {
+		if i == 0 {
+			dst = AppendUvarint(dst, uint64(x))
+		} else {
+			dst = AppendUvarint(dst, uint64(x-prev))
+		}
+		prev = x
+	}
+	return dst
+}
+
+// Items decodes an itemset encoded by AppendItems, appending the items to
+// out. It returns the extended slice and the number of bytes consumed.
+func Items(b []byte, out []item.Item) ([]item.Item, int, error) {
+	n, used, err := Uvarint(b)
+	if err != nil {
+		return out, 0, err
+	}
+	if n > uint64(len(b)) { // each item takes >= 1 byte
+		return out, 0, fmt.Errorf("wire: itemset length %d exceeds payload", n)
+	}
+	off := used
+	prev := item.Item(0)
+	for i := uint64(0); i < n; i++ {
+		v, u, err := Uvarint(b[off:])
+		if err != nil {
+			return out, 0, err
+		}
+		off += u
+		if i == 0 {
+			prev = item.Item(v)
+		} else {
+			prev += item.Item(v)
+		}
+		out = append(out, prev)
+	}
+	return out, off, nil
+}
+
+// AppendItemsList appends a list of itemsets: count, then each itemset.
+func AppendItemsList(dst []byte, sets [][]item.Item) []byte {
+	dst = AppendUvarint(dst, uint64(len(sets)))
+	for _, s := range sets {
+		dst = AppendItems(dst, s)
+	}
+	return dst
+}
+
+// ItemsList decodes a list of itemsets encoded by AppendItemsList.
+func ItemsList(b []byte) ([][]item.Item, int, error) {
+	n, off, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("wire: list length %d exceeds payload", n)
+	}
+	out := make([][]item.Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		items, used, err := Items(b[off:], nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		off += used
+		out = append(out, items)
+	}
+	return out, off, nil
+}
+
+// AppendCounts appends a dense support-count vector (what nodes send to the
+// coordinator when gathering sup_cou of replicated candidates).
+func AppendCounts(dst []byte, counts []int64) []byte {
+	dst = AppendUvarint(dst, uint64(len(counts)))
+	for _, c := range counts {
+		dst = AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// Counts decodes a count vector encoded by AppendCounts.
+func Counts(b []byte) ([]int64, int, error) {
+	n, off, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("wire: count vector length %d exceeds payload", n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, u, err := Uvarint(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += u
+		out[i] = int64(v)
+	}
+	return out, off, nil
+}
+
+// AppendCounted appends itemset/count pairs (what partitioned nodes send the
+// coordinator as their locally determined large itemsets).
+func AppendCounted(dst []byte, sets [][]item.Item, counts []int64) []byte {
+	dst = AppendUvarint(dst, uint64(len(sets)))
+	for i, s := range sets {
+		dst = AppendItems(dst, s)
+		dst = AppendUvarint(dst, uint64(counts[i]))
+	}
+	return dst
+}
+
+// Counted decodes pairs encoded by AppendCounted.
+func Counted(b []byte) (sets [][]item.Item, counts []int64, used int, err error) {
+	n, off, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, 0, fmt.Errorf("wire: counted length %d exceeds payload", n)
+	}
+	sets = make([][]item.Item, 0, n)
+	counts = make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		items, u, err := Items(b[off:], nil)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		off += u
+		c, u2, err := Uvarint(b[off:])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		off += u2
+		sets = append(sets, items)
+		counts = append(counts, int64(c))
+	}
+	return sets, counts, off, nil
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgarm/internal/item"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1} {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("round trip %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, _, err := Uvarint([]byte{0x80}); err == nil {
+		t.Error("truncated varint must fail")
+	}
+}
+
+func TestItemsRoundTrip(t *testing.T) {
+	cases := [][]item.Item{nil, {0}, {5}, {1, 2, 3}, {10, 1000, 1 << 20}}
+	for _, c := range cases {
+		b := AppendItems(nil, c)
+		got, used, err := Items(b, nil)
+		if err != nil {
+			t.Fatalf("decode %v: %v", c, err)
+		}
+		if used != len(b) {
+			t.Errorf("%v used %d of %d bytes", c, used, len(b))
+		}
+		if len(c) == 0 && len(got) == 0 {
+			continue
+		}
+		if !item.Equal(got, c) {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestItemsAppendsToDst(t *testing.T) {
+	b := AppendItems(nil, []item.Item{7, 9})
+	out, _, err := Items(b, []item.Item{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !item.Equal(out, []item.Item{1, 7, 9}) {
+		t.Errorf("append semantics broken: %v", out)
+	}
+}
+
+func TestItemsListRoundTrip(t *testing.T) {
+	sets := [][]item.Item{{1, 2}, {9}, {3, 4, 5}}
+	b := AppendItemsList(nil, sets)
+	got, used, err := ItemsList(b)
+	if err != nil || used != len(b) {
+		t.Fatalf("decode: %v used=%d", err, used)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range sets {
+		if !item.Equal(got[i], sets[i]) {
+			t.Errorf("sets[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestCountsRoundTrip(t *testing.T) {
+	cs := []int64{0, 1, 1 << 40, 7}
+	b := AppendCounts(nil, cs)
+	got, used, err := Counts(b)
+	if err != nil || used != len(b) {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range cs {
+		if got[i] != cs[i] {
+			t.Errorf("counts[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestCountedRoundTrip(t *testing.T) {
+	sets := [][]item.Item{{1, 5}, {2, 3, 4}}
+	counts := []int64{42, 7}
+	b := AppendCounted(nil, sets, counts)
+	gs, gc, used, err := Counted(b)
+	if err != nil || used != len(b) {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range sets {
+		if !item.Equal(gs[i], sets[i]) || gc[i] != counts[i] {
+			t.Errorf("pair %d: %v/%d", i, gs[i], gc[i])
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	b := AppendItems(nil, []item.Item{1, 2, 3})
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := Items(b[:cut], nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	bl := AppendItemsList(nil, [][]item.Item{{1}, {2}})
+	if _, _, err := ItemsList(bl[:1]); err == nil {
+		t.Error("truncated list accepted")
+	}
+	bc := AppendCounts(nil, []int64{1, 2, 3})
+	if _, _, err := Counts(bc[:2]); err == nil {
+		t.Error("truncated counts accepted")
+	}
+	// Length fields larger than the remaining payload must be rejected, not
+	// allocated.
+	huge := AppendUvarint(nil, 1<<40)
+	if _, _, err := Items(huge, nil); err == nil {
+		t.Error("oversized itemset length accepted")
+	}
+	if _, _, err := ItemsList(huge); err == nil {
+		t.Error("oversized list length accepted")
+	}
+	if _, _, err := Counts(huge); err == nil {
+		t.Error("oversized count length accepted")
+	}
+	if _, _, _, err := Counted(huge); err == nil {
+		t.Error("oversized counted length accepted")
+	}
+}
+
+// Property: concatenated itemset encodings decode back unit by unit — the
+// exact framing the count-support batches rely on.
+func TestBatchFramingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sets [][]item.Item
+		var buf []byte
+		for i := 0; i < rng.Intn(20); i++ {
+			s := make([]item.Item, rng.Intn(6))
+			for j := range s {
+				s[j] = item.Item(rng.Intn(1 << 12))
+			}
+			s = item.Dedup(s)
+			sets = append(sets, s)
+			buf = AppendItems(buf, s)
+		}
+		i := 0
+		for off := 0; off < len(buf); i++ {
+			got, used, err := Items(buf[off:], nil)
+			if err != nil || i >= len(sets) {
+				return false
+			}
+			if len(got) != len(sets[i]) {
+				return false
+			}
+			if len(got) > 0 && !item.Equal(got, sets[i]) {
+				return false
+			}
+			off += used
+		}
+		return i == len(sets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
