@@ -237,6 +237,7 @@ func BenchmarkAblationIndex(b *testing.B) {
 			table.Add(c)
 		}
 		scratch := make([]item.Item, 0, 64)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ds.DB.Scan(func(t txn.Transaction) error {
@@ -259,6 +260,7 @@ func BenchmarkAblationIndex(b *testing.B) {
 			tree.Insert(table.Add(c), c)
 		}
 		scratch := make([]item.Item, 0, 64)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ds.DB.Scan(func(t txn.Transaction) error {
@@ -271,10 +273,79 @@ func BenchmarkAblationIndex(b *testing.B) {
 	})
 }
 
+// BenchmarkProbe isolates one candidate-table probe: the packed-string map
+// baseline allocates a key per lookup; the open-addressed flat index probes
+// in place and must report 0 allocs/op.
+func BenchmarkProbe(b *testing.B) {
+	ds := benchDataset(b)
+	res, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.01, MaxK: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cands [][]item.Item
+	for _, c := range res.LargeK(2) {
+		cands = append(cands, c.Items)
+	}
+	if len(cands) == 0 {
+		b.Fatal("no 2-itemsets at bench scale")
+	}
+	table := itemset.NewTable(len(cands))
+	byKey := make(map[string]int32, len(cands))
+	packed := make([][]byte, len(cands))
+	for i, c := range cands {
+		id := table.Add(c)
+		byKey[itemset.Key(c)] = id
+		packed[i] = []byte(itemset.Key(c))
+	}
+
+	b.Run("map-key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cands[i%len(cands)]
+			if _, ok := byKey[itemset.Key(c)]; !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if table.Lookup(cands[i%len(cands)]) < 0 {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("flat-packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if table.LookupPacked(packed[i%len(packed)]) < 0 {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// BenchmarkWorkers measures wall-clock for the full mine as the per-node scan
+// worker pool grows (DESIGN.md §5 "workers per node" ablation). Total
+// parallelism is nodes x workers; the result is bit-identical at any setting.
+func BenchmarkWorkers(b *testing.B) {
+	ds := benchDataset(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustMine(b, ds, core.Config{
+					Algorithm: core.HHPGM, MinSupport: 0.01, MaxK: 2, Workers: workers,
+				}, 4)
+			}
+		})
+	}
+}
+
 // BenchmarkSequentialCumulate is the single-node baseline all speedups are
 // ultimately against.
 func BenchmarkSequentialCumulate(b *testing.B) {
 	ds := benchDataset(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.01, MaxK: 2}); err != nil {
 			b.Fatal(err)

@@ -18,6 +18,7 @@ import (
 
 	"pgarm/internal/core"
 	"pgarm/internal/experiment"
+	"pgarm/internal/profiling"
 )
 
 func main() {
@@ -32,13 +33,23 @@ func main() {
 		budget  = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
 		minsups = flag.String("minsups", "", "comma-separated support sweep, e.g. 0.02,0.01,0.005,0.003")
 		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP")
+		workers = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	opt := def
 	opt.Scale = *scale
 	opt.Nodes = *nodes
 	opt.Budget = *budget
+	opt.Workers = *workers
 	if *tcp {
 		opt.Fabric = core.FabricTCP
 	}

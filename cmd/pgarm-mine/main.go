@@ -23,6 +23,7 @@ import (
 	"pgarm/internal/core"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/profiling"
 	"pgarm/internal/rules"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
@@ -46,8 +47,17 @@ func main() {
 		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
 		quiet   = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
 		topN    = flag.Int("top", 25, "how many itemsets/rules to list per section")
+		workers = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
@@ -91,6 +101,7 @@ func main() {
 		MinSupport:   *minsup,
 		MaxK:         *maxK,
 		MemoryBudget: *budget,
+		Workers:      *workers,
 	}
 	if *tcp {
 		cfg.Fabric = core.FabricTCP

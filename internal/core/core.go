@@ -86,6 +86,17 @@ type Config struct {
 	// never fragments and the duplicating variants copy everything.
 	MemoryBudget int64
 
+	// Workers is the number of scan goroutines each node uses over its
+	// local partition during pass 1 and the count-support phase. 0 or 1
+	// runs the scan on the node goroutine itself (the pre-parallel
+	// behaviour); larger values shard the partition across a per-node
+	// worker pool with per-worker count vectors and scratch buffers, merged
+	// deterministically at the pass barrier — results are bit-identical to
+	// the sequential scan for every setting. The paper's cluster dimension
+	// (nodes) and this intra-node dimension compose: total parallelism is
+	// nodes × workers.
+	Workers int
+
 	Fabric       FabricKind
 	FabricBuffer int // per-inbox message buffer; 0 = default
 	BatchBytes   int // count-support send batching threshold; 0 = default (4KB)
@@ -96,6 +107,13 @@ func (c *Config) batchBytes() int {
 		return 4 << 10
 	}
 	return c.BatchBytes
+}
+
+func (c *Config) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Result is the outcome of a parallel run.

@@ -7,6 +7,7 @@ import (
 	"pgarm/internal/cumulate"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -80,9 +81,17 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	// count vector stands in for N identical hash tables (see candCache).
 	// Each fragment covers the id range [f*per, f*per+per); a probe that
 	// hits outside the current fragment is the simulated table miss.
+	//
+	// NPGM has no count-support communication, so intra-node parallelism is
+	// pure sharding: every worker probes the shared read-only index
+	// (Index.Lookup is pure and allocation-free) into its own count vector,
+	// merged once after the last fragment.
 	index := n.cands.fullIndex(k, cands)
-	counts := make([]int64, len(cands))
-	scratch := make([]item.Item, 0, 64)
+	W := n.cfg.workers()
+	wcounts := workerVectors(W, len(cands))
+	wstats := make([]metrics.NodeStats, W)
+	wext := newWorkerScratch(W, 64)
+	wsub := newWorkerScratch(W, 2*k)
 	started := time.Now()
 	per := (len(cands) + frags - 1) / frags
 	for f := 0; f < frags; f++ {
@@ -91,15 +100,17 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		if hi > int32(len(cands)) {
 			hi = int32(len(cands))
 		}
-		err := n.db.Scan(func(t txn.Transaction) error {
-			n.cur.TxnsScanned++
-			ext := cumulate.ExtendFiltered(view, member, scratch[:0], t.Items)
-			scratch = ext
-			itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
-				n.cur.Probes++
+		err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+			st := &wstats[w]
+			st.TxnsScanned++
+			ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
+			wext[w] = ext
+			counts := wcounts[w]
+			itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
+				st.Probes++
 				if id := index.Lookup(sub); id >= lo && id < hi {
 					counts[id]++
-					n.cur.Increments++
+					st.Increments++
 				}
 				return true
 			})
@@ -109,6 +120,8 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			return nil, passMeta{}, fmt.Errorf("fragment %d scan: %w", f, err)
 		}
 	}
+	counts := mergeWorkerVectors(wcounts)
+	mergeWorkerStats(&n.cur, wstats)
 	n.cur.ScanTime = time.Since(started)
 
 	// NPGM has no count-support communication: the only exchange is the

@@ -8,25 +8,36 @@ import (
 	"pgarm/internal/wire"
 )
 
-// countPhase runs the count-support exchange of one pass. The node's main
-// goroutine scans its local partition and routes payload units (single
-// k-itemsets for HPGM, per-transaction item groups for the H-HPGM family)
-// while a receiver goroutine owns the node's partitioned candidate table and
-// applies every unit — remote units from the fabric inbox and local units
-// through an in-memory loopback queue. Splitting producer and consumer this
-// way is what prevents the classic all-to-all deadlock of two nodes blocked
-// sending into each other's full inboxes.
+// countPhase runs the count-support exchange of one pass. The node's scan
+// side — the node goroutine itself, or Config.Workers sharded scan workers —
+// reads the local partition and routes payload units (single k-itemsets for
+// HPGM, per-transaction item groups for the H-HPGM family) while a single
+// receiver goroutine owns the node's partitioned candidate table and applies
+// every unit — remote units from the fabric inbox and local units through an
+// in-memory loopback queue. Splitting producer and consumer this way is what
+// prevents the classic all-to-all deadlock of two nodes blocked sending into
+// each other's full inboxes, and it means scan parallelism never contends on
+// the table: workers batch into per-worker send buffers (one batcher per
+// worker) and all routed units funnel through this one consumer.
 //
-// Termination: after its scan the main goroutine flushes its batches, sends
-// kDone to every peer and closes the loopback; the receiver finishes once it
-// has seen kDone from every peer and loopback close. Per-sender FIFO
-// delivery guarantees no data trails a peer's kDone.
+// Termination: after the scan workers have joined and every per-worker batch
+// is flushed, the main goroutine sends kDone to every peer and closes the
+// loopback; the receiver finishes once it has seen kDone from every peer and
+// loopback close. Worker sends happen-before the kDone send (the pool joins
+// first), so per-sender FIFO delivery still guarantees no data trails a
+// peer's kDone.
 type countPhase struct {
 	n     *node
 	apply func(items []item.Item)
 	selfq chan []byte
 	done  chan error
 	stash []cluster.Message // non-count-phase messages that arrived early
+	// free recycles drained loopback batch buffers back to the batchers, so
+	// steady-state local routing allocates no fresh batch buffers. Remote
+	// buffers are never recycled: the fabric hands them to the peer by
+	// reference. dec is the receiver-goroutine decode scratch.
+	free chan []byte
+	dec  []item.Item
 	// itemsRecv/bytesRecv count items and payload bytes decoded from
 	// *remote* batches (loopback units excluded) — the receiver-side half
 	// of the paper's communication metrics. Counting at delivery rather
@@ -45,6 +56,8 @@ func (n *node) startCountPhase(apply func(items []item.Item)) *countPhase {
 		apply: apply,
 		selfq: make(chan []byte, 64),
 		done:  make(chan error, 1),
+		free:  make(chan []byte, 64),
+		dec:   make([]item.Item, 0, 32),
 	}
 	// Hand any already-stashed count-phase messages (a fast peer may have
 	// started this pass before our previous barrier receive completed) to
@@ -113,17 +126,25 @@ func (cp *countPhase) applyBatch(b []byte, remote bool) error {
 	if remote {
 		cp.bytesRecv += int64(len(b))
 	}
-	scratch := make([]item.Item, 0, 32)
 	for off := 0; off < len(b); {
-		items, used, err := wire.Items(b[off:], scratch[:0])
+		items, used, err := wire.Items(b[off:], cp.dec[:0])
 		if err != nil {
 			return fmt.Errorf("core: node %d decode count batch: %w", cp.n.id, err)
 		}
+		cp.dec = items
 		off += used
 		if remote {
 			cp.itemsRecv += int64(len(items))
 		}
 		cp.apply(items)
+	}
+	if !remote {
+		// Loopback buffers are owned by this node end to end; hand the
+		// drained buffer back to the batchers.
+		select {
+		case cp.free <- b[:0]:
+		default:
+		}
 	}
 	return nil
 }
@@ -168,6 +189,14 @@ func (cp *countPhase) newBatcher() *batcher {
 
 // add appends one itemset unit for dest, flushing if the batch is full.
 func (b *batcher) add(dest int, items []item.Item) error {
+	if b.bufs[dest] == nil {
+		// Prefer a recycled loopback buffer over a fresh allocation.
+		select {
+		case buf := <-b.cp.free:
+			b.bufs[dest] = buf
+		default:
+		}
+	}
 	b.bufs[dest] = wire.AppendItems(b.bufs[dest], items)
 	if len(b.bufs[dest]) >= b.limit {
 		return b.flush(dest)

@@ -7,9 +7,28 @@ import (
 	"pgarm/internal/cumulate"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
+
+// hierWorker is one scan worker's private routing state: counters, a batcher,
+// a duplicated-candidate count vector and every per-transaction scratch
+// buffer. Nothing in here is shared, so the scan body never synchronizes.
+type hierWorker struct {
+	stats       metrics.NodeStats
+	bat         *batcher
+	dupCounts   []int64
+	dupExt      []item.Item
+	tPrime      []item.Item
+	group       []item.Item
+	multiset    []item.Item
+	sub         []item.Item
+	keyBuf      []byte
+	rootRuns    []rootRun
+	rootsByDest [][]item.Item
+	touched     []int
+}
 
 // hierEngine implements H-HPGM (§3.3) and its three skew-handling variants
 // (§3.4). Candidates are partitioned by the hash of their *root vector* (the
@@ -84,8 +103,9 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	}
 
 	// Per-node state. The owned table is touched only by the receiver
-	// goroutine during the count phase; the duplicated count vector (over
-	// the shared dupIndex) only by the main goroutine.
+	// goroutine during the count phase; duplicated candidates are counted
+	// into per-worker vectors (over the shared read-only dupIndex) merged at
+	// the scan barrier.
 	var ownedCands [][]item.Item
 	for i, c := range cands {
 		if owners[i] == self && !dupIdx[int32(i)] {
@@ -96,7 +116,6 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	for _, c := range ownedCands {
 		ownedTable.Add(c)
 	}
-	dupCounts := make([]int64, len(plan.dupSets))
 	ownedMember := cumulate.MemberSet(n.tax, ownedCands)
 	ownedView := taxonomy.NewView(n.tax, n.largeFlags, ownedMember)
 	dupMember := cumulate.MemberSet(n.tax, plan.dupSets)
@@ -106,12 +125,14 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	// Receiver: one unit is the item group t'' a peer selected for us;
 	// candidates contained in its ancestor closure are counted, covering
 	// both the k-itemsets generated from t'' and "all its ancestor
-	// candidates" (Figure 5 lines (12)/(16)).
+	// candidates" (Figure 5 lines (12)/(16)). The receiver alone touches
+	// the owned table; scan workers only route.
 	applyScratch := make([]item.Item, 0, 64)
+	applySub := make([]item.Item, 0, 2*k)
 	cp := n.startCountPhase(func(items []item.Item) {
 		ext := cumulate.ExtendFiltered(ownedView, ownedMember, applyScratch[:0], items)
 		applyScratch = ext
-		itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+		itemset.ForEachSubsetScratch(ext, k, applySub, func(sub []item.Item) bool {
 			if id := ownedTable.Lookup(sub); id >= 0 {
 				ownedTable.Increment(id)
 				n.cur.Increments++
@@ -119,86 +140,104 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			return true
 		})
 	})
-	bat := cp.newBatcher()
 
-	// Per-transaction routing state, reused across the scan.
-	rootsByDest := make([][]item.Item, nNodes)
-	touched := make([]int, 0, nNodes)
-	var tPrime, dupExt, group, multiset []item.Item
-	var keyBuf []byte
-	rootRuns := make([]rootRun, 0, 16)
+	// Per-worker scan state: each worker owns a batcher, a duplicated-table
+	// count vector and every per-transaction scratch buffer.
+	W := n.cfg.workers()
+	wdup := workerVectors(W, len(plan.dupSets))
+	workers := make([]hierWorker, W)
+	for w := range workers {
+		workers[w] = hierWorker{
+			bat:         cp.newBatcher(),
+			dupCounts:   wdup[w],
+			rootsByDest: make([][]item.Item, nNodes),
+			touched:     make([]int, 0, nNodes),
+			rootRuns:    make([]rootRun, 0, 16),
+			sub:         make([]item.Item, 0, 2*k),
+		}
+	}
 
 	started := time.Now()
-	var sendErr error
-	err := n.db.Scan(func(t txn.Transaction) error {
-		n.cur.TxnsScanned++
+	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+		wk := &workers[w]
+		wk.stats.TxnsScanned++
 
 		// Duplicated candidates are counted locally, straight from the
-		// original transaction's closure (Figures 7/9/11 line (8.1)).
-		if len(dupCounts) > 0 {
-			dupExt = cumulate.ExtendFiltered(dupView, dupMember, dupExt[:0], t.Items)
-			itemset.ForEachSubset(dupExt, k, func(sub []item.Item) bool {
-				n.cur.Probes++
+		// original transaction's closure (Figures 7/9/11 line (8.1)). The
+		// shared dupIndex is read-only; every worker counts into its own
+		// vector.
+		if len(wk.dupCounts) > 0 {
+			wk.dupExt = cumulate.ExtendFiltered(dupView, dupMember, wk.dupExt[:0], t.Items)
+			itemset.ForEachSubsetScratch(wk.dupExt, k, wk.sub, func(sub []item.Item) bool {
+				wk.stats.Probes++
 				if id := plan.dupIndex.Lookup(sub); id >= 0 {
-					dupCounts[id]++
-					n.cur.Increments++
+					wk.dupCounts[id]++
+					wk.stats.Increments++
 				}
 				return true
 			})
 		}
 
 		// t': items replaced by their closest-to-bottom large ancestor.
-		tPrime = replaceView.ReplaceWithLarge(tPrime[:0], t.Items)
-		if len(tPrime) == 0 {
+		wk.tPrime = replaceView.ReplaceWithLarge(wk.tPrime[:0], t.Items)
+		if len(wk.tPrime) == 0 {
 			return nil
 		}
 		// Distinct roots present with their item multiplicities.
-		rootRuns = rootRunsOf(n.tax, rootRuns[:0], tPrime)
+		wk.rootRuns = rootRunsOf(n.tax, wk.rootRuns[:0], wk.tPrime)
 
 		// Enumerate realizable root k-multisets; union the roots each
-		// destination needs.
-		touched = touched[:0]
-		multiset = multiset[:0]
-		enumerateMultisets(rootRuns, k, multiset, func(m []item.Item) {
-			keyBuf = itemset.AppendKey(keyBuf[:0], m)
-			ve := vecInfo[string(keyBuf)]
+		// destination needs. vecInfo is shared read-only.
+		wk.touched = wk.touched[:0]
+		wk.multiset = wk.multiset[:0]
+		enumerateMultisets(wk.rootRuns, k, wk.multiset, func(m []item.Item) {
+			wk.keyBuf = itemset.AppendKey(wk.keyBuf[:0], m)
+			ve := vecInfo[string(wk.keyBuf)]
 			if ve == nil || ve.remaining == 0 {
 				return
 			}
-			if len(rootsByDest[ve.owner]) == 0 {
-				touched = append(touched, ve.owner)
+			if len(wk.rootsByDest[ve.owner]) == 0 {
+				wk.touched = append(wk.touched, ve.owner)
 			}
 			for _, r := range m {
-				rootsByDest[ve.owner] = append(rootsByDest[ve.owner], r)
+				wk.rootsByDest[ve.owner] = append(wk.rootsByDest[ve.owner], r)
 			}
 		})
 
-		for _, dest := range touched {
-			roots := item.Dedup(rootsByDest[dest])
-			group = group[:0]
-			for _, x := range tPrime {
+		var sendErr error
+		for _, dest := range wk.touched {
+			roots := item.Dedup(wk.rootsByDest[dest])
+			wk.group = wk.group[:0]
+			for _, x := range wk.tPrime {
 				if item.Contains(roots, n.tax.Root(x)) {
-					group = append(group, x)
+					wk.group = append(wk.group, x)
 				}
 			}
 			if dest != self {
-				n.cur.ItemsSent += int64(len(group))
+				wk.stats.ItemsSent += int64(len(wk.group))
 			}
-			if err := bat.add(dest, group); err != nil {
+			if err := wk.bat.add(dest, wk.group); err != nil {
 				sendErr = err
 			}
-			rootsByDest[dest] = rootsByDest[dest][:0]
+			wk.rootsByDest[dest] = wk.rootsByDest[dest][:0]
 		}
 		return sendErr
 	})
-	if err == nil {
-		err = bat.flushAll()
+	for w := range workers {
+		if err != nil {
+			break
+		}
+		err = workers[w].bat.flushAll()
 	}
 	if ferr := cp.finish(); err == nil {
 		err = ferr
 	}
 	if err != nil {
 		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
+	}
+	dupCounts := mergeWorkerVectors(wdup)
+	for w := range workers {
+		n.cur.AddScanCounters(&workers[w].stats)
 	}
 	n.cur.ScanTime = time.Since(started)
 	n.markDataPlane()

@@ -7,6 +7,7 @@ import (
 	"pgarm/internal/cumulate"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -38,6 +39,8 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	view := taxonomy.NewView(n.tax, n.largeFlags, cumulate.KeepSet(n.tax, cands))
 	member := cumulate.MemberSet(n.tax, cands)
 
+	// The receiver goroutine keeps exclusive ownership of the partitioned
+	// table; scan workers only route units into per-worker batchers.
 	cp := n.startCountPhase(func(items []item.Item) {
 		// One unit = one k-itemset owned by this node.
 		if id := table.Lookup(items); id >= 0 {
@@ -45,19 +48,27 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			n.cur.Increments++
 		}
 	})
-	bat := cp.newBatcher()
+	W := n.cfg.workers()
+	bats := make([]*batcher, W)
+	for w := range bats {
+		bats[w] = cp.newBatcher()
+	}
+	wstats := make([]metrics.NodeStats, W)
+	wext := newWorkerScratch(W, 64)
+	wsub := newWorkerScratch(W, 2*k)
 
-	scratch := make([]item.Item, 0, 64)
 	started := time.Now()
-	var sendErr error
-	err := n.db.Scan(func(t txn.Transaction) error {
-		n.cur.TxnsScanned++
-		ext := cumulate.ExtendFiltered(view, member, scratch[:0], t.Items)
-		scratch = ext
-		itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+		st := &wstats[w]
+		st.TxnsScanned++
+		ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
+		wext[w] = ext
+		bat := bats[w]
+		var sendErr error
+		itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
 			dest := int(itemset.Hash(sub) % uint64(nNodes))
 			if dest != self {
-				n.cur.ItemsSent += int64(len(sub))
+				st.ItemsSent += int64(len(sub))
 			}
 			if err := bat.add(dest, sub); err != nil {
 				sendErr = err
@@ -67,7 +78,10 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		})
 		return sendErr
 	})
-	if err == nil {
+	for _, bat := range bats {
+		if err != nil {
+			break
+		}
 		err = bat.flushAll()
 	}
 	if ferr := cp.finish(); err == nil {
@@ -76,9 +90,10 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	if err != nil {
 		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
 	}
+	mergeWorkerStats(&n.cur, wstats)
 	n.cur.ScanTime = time.Since(started)
 	n.markDataPlane()
-	n.cur.Probes = table.Probes()
+	n.cur.Probes += table.Probes()
 
 	ownedSets, ownedCounts := largeOf(table, n.minCount)
 	lk, err := n.gatherLarge(ownedSets, ownedCounts, nil, nil)

@@ -212,12 +212,16 @@ func (n *node) sizeExchange() error {
 func (n *node) pass1() error {
 	started := time.Now()
 	n.cur = metrics.NodeStats{Node: n.id}
-	counts := make([]int64, n.tax.NumItems())
-	scratch := make([]item.Item, 0, 64)
-	err := n.db.Scan(func(t txn.Transaction) error {
-		n.cur.TxnsScanned++
-		scratch = n.tax.ExtendTransaction(scratch[:0], t.Items)
-		for _, x := range scratch {
+	W := n.cfg.workers()
+	wcounts := workerVectors(W, n.tax.NumItems())
+	wstats := make([]metrics.NodeStats, W)
+	wext := newWorkerScratch(W, 64)
+	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+		wstats[w].TxnsScanned++
+		ext := n.tax.ExtendTransaction(wext[w][:0], t.Items)
+		wext[w] = ext
+		counts := wcounts[w]
+		for _, x := range ext {
 			counts[x]++
 		}
 		return nil
@@ -225,6 +229,8 @@ func (n *node) pass1() error {
 	if err != nil {
 		return fmt.Errorf("core: node %d pass 1 scan: %w", n.id, err)
 	}
+	counts := mergeWorkerVectors(wcounts)
+	mergeWorkerStats(&n.cur, wstats)
 	n.cur.ScanTime = time.Since(started)
 
 	if n.isCoord() {
@@ -233,7 +239,7 @@ func (n *node) pass1() error {
 			if err != nil {
 				return err
 			}
-			remote, _, err := wire.Counts(m.Payload)
+			remote, _, err := wire.CountsAuto(m.Payload)
 			if err != nil {
 				return fmt.Errorf("core: decode pass-1 counts from node %d: %w", m.From, err)
 			}
@@ -245,21 +251,21 @@ func (n *node) pass1() error {
 			}
 		}
 		n.itemCounts = counts
-		payload := wire.AppendCounts(nil, counts)
+		payload := wire.AppendCountsAuto(nil, counts)
 		for p := 1; p < n.ep.N(); p++ {
 			if err := n.ep.Send(p, kLarge, payload); err != nil {
 				return err
 			}
 		}
 	} else {
-		if err := n.ep.Send(0, kCounts1, wire.AppendCounts(nil, counts)); err != nil {
+		if err := n.ep.Send(0, kCounts1, wire.AppendCountsAuto(nil, counts)); err != nil {
 			return err
 		}
 		m, err := n.recvKind(kLarge)
 		if err != nil {
 			return err
 		}
-		global, _, err := wire.Counts(m.Payload)
+		global, _, err := wire.CountsAuto(m.Payload)
 		if err != nil {
 			return fmt.Errorf("core: decode global pass-1 counts: %w", err)
 		}
@@ -349,7 +355,7 @@ func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets
 		if err := n.ep.Send(0, kLocalLarge, wire.AppendCounted(nil, ownedSets, ownedCounts)); err != nil {
 			return nil, err
 		}
-		if err := n.ep.Send(0, kDupCounts, wire.AppendCounts(nil, dupCounts)); err != nil {
+		if err := n.ep.Send(0, kDupCounts, wire.AppendCountsAuto(nil, dupCounts)); err != nil {
 			return nil, err
 		}
 		m, err := n.recvKind(kLarge)
@@ -390,7 +396,7 @@ func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets
 				all = append(all, itemset.Counted{Items: sets[i], Count: counts[i]})
 			}
 		case kDupCounts:
-			counts, _, err := wire.Counts(m.Payload)
+			counts, _, err := wire.CountsAuto(m.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("core: decode replicated counts from node %d: %w", m.From, err)
 			}

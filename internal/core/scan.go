@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pgarm/internal/item"
+	"pgarm/internal/metrics"
+	"pgarm/internal/txn"
+)
+
+// scanShards drives one pass over the node's local partition with `workers`
+// scan goroutines. Worker w receives exactly the transactions whose scan
+// ordinal o satisfies o % workers == w, so the shard assignment is a pure
+// function of storage order — independent of goroutine scheduling. fn runs
+// concurrently across workers but serially within one worker; all fn calls
+// happen-before scanShards returns.
+//
+// Each worker performs its own Scan over the Scanner and skips foreign
+// ordinals: both txn.DB (slice iteration) and txn.File (private file handle
+// per Scan) support concurrent independent scans, and skipping a transaction
+// costs one ordinal check — negligible next to extension + subset
+// enumeration, which only the owning worker performs.
+//
+// With workers == 1 the scan runs inline on the calling goroutine, exactly
+// like the pre-worker-pool code path.
+func scanShards(db txn.Scanner, workers int, fn func(w int, t txn.Transaction) error) error {
+	if workers <= 1 {
+		return db.Scan(func(t txn.Transaction) error { return fn(0, t) })
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				// A panic on a worker goroutine would escape the node
+				// goroutine's recover and kill the process; convert it to a
+				// scan error instead.
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("scan worker %d panicked: %v", w, r)
+				}
+			}()
+			ord := 0
+			errs[w] = db.Scan(func(t txn.Transaction) error {
+				mine := ord%workers == w
+				ord++
+				if !mine {
+					return nil
+				}
+				return fn(w, t)
+			})
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerVectors returns `workers` count vectors of length n whose index-0
+// vector is primary: worker w accumulates into vectors[w], and
+// mergeWorkerVectors folds vectors 1..W-1 back into vectors[0]. With one
+// worker this allocates exactly the single vector the sequential path used.
+func workerVectors(workers, n int) [][]int64 {
+	vs := make([][]int64, workers)
+	for w := range vs {
+		vs[w] = make([]int64, n)
+	}
+	return vs
+}
+
+// mergeWorkerVectors sums vectors[1..] into vectors[0] and returns it.
+// Addition is associative and commutative over exact integers, and the merge
+// order (ascending worker index) is fixed, so the result is bit-identical to
+// a sequential scan regardless of how the workers were scheduled.
+func mergeWorkerVectors(vectors [][]int64) []int64 {
+	total := vectors[0]
+	for _, v := range vectors[1:] {
+		for i, c := range v {
+			total[i] += c
+		}
+	}
+	return total
+}
+
+// mergeWorkerStats folds per-worker scan counters into the node's pass
+// counters, in worker order.
+func mergeWorkerStats(cur *metrics.NodeStats, ws []metrics.NodeStats) {
+	for i := range ws {
+		cur.AddScanCounters(&ws[i])
+	}
+}
+
+// newWorkerScratch allocates one reusable item buffer per worker.
+func newWorkerScratch(workers, capacity int) [][]item.Item {
+	out := make([][]item.Item, workers)
+	for w := range out {
+		out[w] = make([]item.Item, 0, capacity)
+	}
+	return out
+}

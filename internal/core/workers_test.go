@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pgarm/internal/cumulate"
+)
+
+// TestWorkersBitIdentical sweeps the per-node scan worker count across every
+// algorithm and asserts the mined result is bit-identical to sequential
+// Cumulate: shard assignment is a pure function of storage order and count
+// merging is fixed-order integer addition, so no Workers setting may change a
+// single itemset or count.
+func TestWorkersBitIdentical(t *testing.T) {
+	ds := testDataset(t, 2000)
+	const minSup = 0.02
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatalf("cumulate: %v", err)
+	}
+	if len(want.Large) < 2 {
+		t.Fatalf("weak test data: only %d large levels", len(want.Large))
+	}
+	for _, alg := range Algorithms() {
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/workers%d", alg, workers), func(t *testing.T) {
+				parts := partsOf(ds.DB, 3)
+				got, err := Mine(ds.Taxonomy, parts, Config{
+					Algorithm:  alg,
+					MinSupport: minSup,
+					Workers:    workers,
+				})
+				if err != nil {
+					t.Fatalf("mine: %v", err)
+				}
+				assertSameLarge(t, want, got)
+			})
+		}
+	}
+}
+
+// TestWorkersWithMemoryBudget drives the worker pool through the paths a
+// tight memory budget opens up: NPGM fragment re-scans and the TGD/PGD/FGD
+// duplicated-candidate vectors, both of which merge per-worker state.
+func TestWorkersWithMemoryBudget(t *testing.T) {
+	ds := testDataset(t, 1500)
+	const minSup = 0.02
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatalf("cumulate: %v", err)
+	}
+	for _, alg := range Algorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			parts := partsOf(ds.DB, 4)
+			got, err := Mine(ds.Taxonomy, parts, Config{
+				Algorithm:    alg,
+				MinSupport:   minSup,
+				MemoryBudget: 16 << 10,
+				Workers:      4,
+			})
+			if err != nil {
+				t.Fatalf("mine: %v", err)
+			}
+			assertSameLarge(t, want, got)
+		})
+	}
+}
+
+// TestWorkersAccountingSymmetry re-checks the communication ledger with the
+// worker pool on: per-worker ItemsSent/DataBytesSent merge into the node
+// counters, and whatever any node sent some node must have received.
+func TestWorkersAccountingSymmetry(t *testing.T) {
+	ds := testDataset(t, 1500)
+	for _, alg := range Algorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			res, err := Mine(ds.Taxonomy, partsOf(ds.DB, 4), Config{
+				Algorithm: alg, MinSupport: 0.02, MaxK: 2, Workers: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ps := range res.Stats.Passes {
+				var dataSent, dataRecv int64
+				for _, ns := range ps.Nodes {
+					dataSent += ns.DataBytesSent
+					dataRecv += ns.DataBytesReceived
+				}
+				if dataSent != dataRecv {
+					t.Errorf("pass %d count-support: %d bytes sent vs %d received",
+						ps.Pass, dataSent, dataRecv)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentWorkersFeedOneReceiver maximizes scan workers per node so the
+// race detector sees many producer goroutines batching units into the single
+// countPhase receiver that owns the candidate table. Run with -race this is
+// the proof that the scan/count split has no data races.
+func TestConcurrentWorkersFeedOneReceiver(t *testing.T) {
+	ds := testDataset(t, 1200)
+	const minSup = 0.03
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatalf("cumulate: %v", err)
+	}
+	for _, alg := range []Algorithm{HPGM, HHPGM, HHPGMFGD} {
+		t.Run(string(alg), func(t *testing.T) {
+			parts := partsOf(ds.DB, 2)
+			got, err := Mine(ds.Taxonomy, parts, Config{
+				Algorithm:  alg,
+				MinSupport: minSup,
+				Workers:    8,
+			})
+			if err != nil {
+				t.Fatalf("mine: %v", err)
+			}
+			assertSameLarge(t, want, got)
+		})
+	}
+}

@@ -113,6 +113,7 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 	// Pass 1: count items and all their ancestors, once per transaction.
 	counts := make([]int64, tax.NumItems())
 	scratch := make([]item.Item, 0, 64)
+	subScratch := make([]item.Item, 0, 16)
 	err := db.Scan(func(t txn.Transaction) error {
 		scratch = tax.ExtendTransaction(scratch[:0], t.Items)
 		for _, x := range scratch {
@@ -154,10 +155,13 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 		view := taxonomy.NewView(tax, large, KeepSet(tax, cands))
 		member := MemberSet(tax, cands)
 
+		if cap(subScratch) < k {
+			subScratch = make([]item.Item, 0, 2*k)
+		}
 		err := db.Scan(func(t txn.Transaction) error {
 			ext := ExtendFiltered(view, member, scratch[:0], t.Items)
 			scratch = ext
-			itemset.ForEachSubset(ext, k, func(sub []item.Item) bool {
+			itemset.ForEachSubsetScratch(ext, k, subScratch, func(sub []item.Item) bool {
 				if id := table.Lookup(sub); id >= 0 {
 					table.Increment(id)
 				}

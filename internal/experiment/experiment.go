@@ -37,6 +37,9 @@ type Options struct {
 	Budget int64
 	// Fabric selects the interconnect (channels by default).
 	Fabric core.FabricKind
+	// Workers is the per-node scan worker pool size (0 or 1 scans on the
+	// node goroutine); results are identical at any setting.
+	Workers int
 	// Cost converts exact work counters into modeled shared-nothing time;
 	// see metrics.CostModel for why wall-clock is not used on a one-box
 	// reproduction.
@@ -134,6 +137,7 @@ func (e *Env) run(d *dataset, alg core.Algorithm, nodes int, minSup float64, bud
 		MaxK:         2,
 		MemoryBudget: budget,
 		Fabric:       e.opt.Fabric,
+		Workers:      e.opt.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s, %d nodes, minsup %g: %w", alg, d.ds.Params.Name, nodes, minSup, err)

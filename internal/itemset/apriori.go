@@ -96,23 +96,53 @@ func Pairs(large []item.Item) [][]item.Item {
 // between calls — fn must not retain it. Enumeration stops early if fn
 // returns false.
 func ForEachSubset(txn []item.Item, k int, fn func(subset []item.Item) bool) {
-	if k <= 0 || k > len(txn) {
+	ForEachSubsetScratch(txn, k, nil, fn)
+}
+
+// ForEachSubsetScratch is ForEachSubset with a caller-provided scratch
+// buffer (cap >= k avoids the internal allocation). The count-support hot
+// path calls this once per transaction with a per-worker buffer, so subset
+// enumeration performs no heap allocation: the combination is advanced
+// iteratively rather than by a recursive closure.
+func ForEachSubsetScratch(txn []item.Item, k int, scratch []item.Item, fn func(subset []item.Item) bool) {
+	n := len(txn)
+	if k <= 0 || k > n {
 		return
 	}
-	scratch := make([]item.Item, k)
-	var rec func(start, depth int) bool
-	rec = func(start, depth int) bool {
-		if depth == k {
-			return fn(scratch)
-		}
-		// Leave room for the remaining k-depth-1 picks.
-		for i := start; i <= len(txn)-(k-depth); i++ {
-			scratch[depth] = txn[i]
-			if !rec(i+1, depth+1) {
-				return false
-			}
-		}
-		return true
+	if cap(scratch) < k {
+		scratch = make([]item.Item, k)
 	}
-	rec(0, 0)
+	scratch = scratch[:k]
+
+	// idx[d] is the txn position chosen for depth d; stack-backed for every
+	// realistic subset size.
+	var idxBuf [48]int
+	idx := idxBuf[:]
+	if k > len(idxBuf) {
+		idx = make([]int, k)
+	}
+	for d := 0; d < k; d++ {
+		idx[d] = d
+		scratch[d] = txn[d]
+	}
+	for {
+		if !fn(scratch) {
+			return
+		}
+		// Advance to the next combination: bump the rightmost position that
+		// still has headroom, then reset everything after it.
+		d := k - 1
+		for d >= 0 && idx[d] == n-k+d {
+			d--
+		}
+		if d < 0 {
+			return
+		}
+		idx[d]++
+		scratch[d] = txn[idx[d]]
+		for j := d + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+			scratch[j] = txn[idx[j]]
+		}
+	}
 }

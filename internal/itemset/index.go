@@ -8,23 +8,32 @@ import "pgarm/internal/item"
 // node keeps its own count vector — the memory layout that lets a 16-node
 // in-process cluster replicate multi-million-entry candidate sets (NPGM, and
 // the TGD/PGD/FGD duplicated tables) without 16 physical copies.
+//
+// Lookups use the same open-addressed flat probe as Table: the query is
+// hashed in place and compared against the stored itemsets, so Lookup and
+// LookupPacked allocate nothing regardless of itemset size.
 type Index struct {
-	byKey map[string]int32
-	sets  [][]item.Item
+	idx  flatProbe
+	sets [][]item.Item
 }
 
 // BuildIndex indexes the canonical itemsets; ids are positions in sets.
 // The slices are retained, not copied.
 func BuildIndex(sets [][]item.Item) *Index {
-	ix := &Index{
-		byKey: make(map[string]int32, len(sets)),
-		sets:  sets,
-	}
-	for i, s := range sets {
-		ix.byKey[Key(s)] = int32(i)
+	ix := &Index{sets: sets}
+	ix.idx.init(len(sets))
+	for i := range sets {
+		// Candidate lists are duplicate-free by construction; if a caller
+		// passes duplicates anyway, the first occurrence keeps the id.
+		if ix.idx.findItems(sets[i], ix.itemsOf) < 0 {
+			ix.idx.insert(int32(i), ix.itemsOf)
+		}
 	}
 	return ix
 }
+
+// itemsOf maps a dense id to its indexed itemset.
+func (ix *Index) itemsOf(id int32) []item.Item { return ix.sets[id] }
 
 // Len returns the number of indexed itemsets.
 func (ix *Index) Len() int { return len(ix.sets) }
@@ -35,12 +44,15 @@ func (ix *Index) Items(id int32) []item.Item { return ix.sets[id] }
 // Sets returns all indexed itemsets ordered by id. Shared; do not modify.
 func (ix *Index) Sets() [][]item.Item { return ix.sets }
 
-// Lookup returns the id of a canonical itemset, or -1. It is pure and safe
-// for concurrent use; callers count their own probes.
+// Lookup returns the id of a canonical itemset, or -1. It is pure, performs
+// no heap allocation, and is safe for concurrent use; callers count their
+// own probes.
 func (ix *Index) Lookup(items []item.Item) int32 {
-	var buf [8 * 4]byte
-	if id, ok := ix.byKey[string(AppendKey(buf[:0], items))]; ok {
-		return id
-	}
-	return -1
+	return ix.idx.findItems(items, ix.itemsOf)
+}
+
+// LookupPacked returns the id for a packed key (see AppendKey), or -1. Pure,
+// allocation-free and safe for concurrent use.
+func (ix *Index) LookupPacked(key []byte) int32 {
+	return ix.idx.findPacked(key, ix.itemsOf)
 }

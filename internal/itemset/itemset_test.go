@@ -290,3 +290,135 @@ func TestSortCounted(t *testing.T) {
 		t.Errorf("SortCounted order wrong: %v", cs)
 	}
 }
+
+// Property: the open-addressed flat probe agrees with a reference map under
+// random adds and lookups, including misses and re-adds.
+func TestTableFlatProbeMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable(0)
+		ref := map[string]int32{}
+		for i := 0; i < 300; i++ {
+			k := 1 + rng.Intn(4)
+			s := make([]item.Item, 0, k)
+			for len(s) < k {
+				s = item.Dedup(append(s, item.Item(rng.Intn(40))))
+			}
+			if rng.Intn(3) == 0 {
+				id := tbl.Add(s)
+				if want, ok := ref[Key(s)]; ok {
+					if id != want {
+						return false
+					}
+				} else {
+					ref[Key(s)] = id
+				}
+			} else {
+				want, ok := ref[Key(s)]
+				if !ok {
+					want = -1
+				}
+				if tbl.Lookup(s) != want {
+					return false
+				}
+				if tbl.LookupKey(Key(s)) != want {
+					return false
+				}
+				if tbl.LookupPacked(AppendKey(nil, s)) != want {
+					return false
+				}
+				if tbl.Has(s) != ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexLookupPacked(t *testing.T) {
+	sets := [][]item.Item{{1, 2}, {1, 3}, {5, 9, 11}}
+	ix := BuildIndex(sets)
+	var buf []byte
+	for i, s := range sets {
+		buf = AppendKey(buf[:0], s)
+		if got := ix.LookupPacked(buf); got != int32(i) {
+			t.Errorf("LookupPacked(%v) = %d, want %d", s, got, i)
+		}
+	}
+	if got := ix.LookupPacked(AppendKey(nil, []item.Item{7, 8})); got != -1 {
+		t.Errorf("missing LookupPacked = %d", got)
+	}
+}
+
+// The zero-allocation contract of the candidate probing hot path: Table and
+// Index lookups, packed-key probes and scratch-buffer subset enumeration
+// must not touch the heap.
+func TestProbePathZeroAlloc(t *testing.T) {
+	tbl := NewTable(64)
+	var sets [][]item.Item
+	for i := 0; i < 64; i++ {
+		s := []item.Item{item.Item(i), item.Item(i + 100), item.Item(i + 1000)}
+		tbl.Add(s)
+		sets = append(sets, s)
+	}
+	ix := BuildIndex(sets)
+	hit := []item.Item{5, 105, 1005}
+	miss := []item.Item{5, 105, 9999}
+	key := AppendKey(nil, hit)
+	txn := []item.Item{1, 2, 3, 4, 5, 6, 7, 8}
+	scratch := make([]item.Item, 3)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Table.Lookup hit", func() { tbl.Lookup(hit) }},
+		{"Table.Lookup miss", func() { tbl.Lookup(miss) }},
+		{"Table.LookupPacked", func() { tbl.LookupPacked(key) }},
+		{"Index.Lookup", func() { ix.Lookup(hit) }},
+		{"Index.LookupPacked", func() { ix.LookupPacked(key) }},
+		{"ForEachSubsetScratch", func() {
+			ForEachSubsetScratch(txn, 3, scratch, func(s []item.Item) bool { return true })
+		}},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, allocs)
+		}
+	}
+}
+
+// ForEachSubsetScratch must enumerate exactly what ForEachSubset does, in
+// the same lexicographic order, for every (n, k).
+func TestForEachSubsetScratchMatches(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		txn := make([]item.Item, n)
+		for i := range txn {
+			txn[i] = item.Item(10 * (i + 1))
+		}
+		for k := 0; k <= n+1; k++ {
+			var a, b [][]item.Item
+			ForEachSubset(txn, k, func(s []item.Item) bool {
+				a = append(a, item.Clone(s))
+				return true
+			})
+			scratch := make([]item.Item, 0, k)
+			ForEachSubsetScratch(txn, k, scratch, func(s []item.Item) bool {
+				b = append(b, item.Clone(s))
+				return true
+			})
+			if len(a) != len(b) {
+				t.Fatalf("n=%d k=%d: %d vs %d subsets", n, k, len(a), len(b))
+			}
+			for i := range a {
+				if !item.Equal(a[i], b[i]) {
+					t.Fatalf("n=%d k=%d subset %d: %v vs %v", n, k, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

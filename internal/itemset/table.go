@@ -18,30 +18,39 @@ type Candidate struct {
 // accounting. A probe is one lookup performed while counting support — the
 // quantity Figure 15 of the paper plots per node to show load distribution.
 //
+// Lookups go through an open-addressed flat index keyed by the candidates'
+// packed-key form, so Lookup/LookupKey/LookupPacked allocate nothing — the
+// count-support phase probes the table once per enumerated subset and must
+// not touch the heap.
+//
 // Tables are owned by a single node goroutine and are not safe for
 // concurrent mutation.
 type Table struct {
-	byKey  map[string]int32
 	cands  []Candidate
+	idx    flatProbe
 	probes int64
 }
 
 // NewTable returns an empty table sized for roughly n candidates.
 func NewTable(n int) *Table {
-	return &Table{byKey: make(map[string]int32, n)}
+	t := &Table{cands: make([]Candidate, 0, n)}
+	t.idx.init(n)
+	return t
 }
+
+// itemsOf maps a dense id to its stored canonical itemset.
+func (t *Table) itemsOf(id int32) []item.Item { return t.cands[id].Items }
 
 // Add inserts a candidate with zero count, returning its dense id. Adding an
 // itemset already present returns the existing id. The itemset must be
 // canonical; Add stores its own copy.
 func (t *Table) Add(items []item.Item) int32 {
-	k := Key(items)
-	if id, ok := t.byKey[k]; ok {
+	if id := t.idx.findItems(items, t.itemsOf); id >= 0 {
 		return id
 	}
 	id := int32(len(t.cands))
 	t.cands = append(t.cands, Candidate{Items: item.Clone(items)})
-	t.byKey[k] = id
+	t.idx.insert(id, t.itemsOf)
 	return id
 }
 
@@ -53,30 +62,31 @@ func (t *Table) Len() int { return len(t.cands) }
 func (t *Table) Get(id int32) *Candidate { return &t.cands[id] }
 
 // Lookup probes the table for a canonical itemset, returning its id or -1.
-// Every call counts as one probe.
+// Every call counts as one probe. It performs no heap allocation.
 func (t *Table) Lookup(items []item.Item) int32 {
 	t.probes++
-	if id, ok := t.byKey[Key(items)]; ok {
-		return id
-	}
-	return -1
+	return t.idx.findItems(items, t.itemsOf)
 }
 
 // LookupKey probes by pre-packed key, returning the id or -1. Counts as one
 // probe.
 func (t *Table) LookupKey(key string) int32 {
 	t.probes++
-	if id, ok := t.byKey[key]; ok {
-		return id
-	}
-	return -1
+	return t.idx.findKey(key, t.itemsOf)
+}
+
+// LookupPacked probes by a packed key held in a reusable byte buffer (see
+// AppendKey), returning the id or -1. Counts as one probe and performs no
+// heap allocation.
+func (t *Table) LookupPacked(key []byte) int32 {
+	t.probes++
+	return t.idx.findPacked(key, t.itemsOf)
 }
 
 // Has reports whether the itemset is present without counting a probe; used
 // by candidate generation, not by support counting.
 func (t *Table) Has(items []item.Item) bool {
-	_, ok := t.byKey[Key(items)]
-	return ok
+	return t.idx.findItems(items, t.itemsOf) >= 0
 }
 
 // Increment adds one to the support count of candidate id.
@@ -90,6 +100,11 @@ func (t *Table) Probes() int64 { return t.probes }
 
 // ResetProbes zeroes the probe counter.
 func (t *Table) ResetProbes() { t.probes = 0 }
+
+// AddProbes adds delta to the probe counter — how parallel scan workers fold
+// their per-worker probe counts into the owning table after the merge
+// barrier.
+func (t *Table) AddProbes(delta int64) { t.probes += delta }
 
 // Counts returns a snapshot of all support counters, indexed by candidate id.
 func (t *Table) Counts() []int64 {

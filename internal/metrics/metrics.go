@@ -38,6 +38,18 @@ type NodeStats struct {
 	ScanTime          time.Duration // local scan + counting wall time
 }
 
+// AddScanCounters folds a scan worker's counters into the node's pass
+// totals: the additive quantities a sharded partition scan accumulates per
+// worker (transactions, probes, increments, items shipped). Communication
+// byte/message counters and wall times are owned by the node, not its
+// workers, and are left untouched.
+func (s *NodeStats) AddScanCounters(w *NodeStats) {
+	s.TxnsScanned += w.TxnsScanned
+	s.Probes += w.Probes
+	s.Increments += w.Increments
+	s.ItemsSent += w.ItemsSent
+}
+
 // PassStats aggregates one pass across the cluster.
 type PassStats struct {
 	Pass       int

@@ -1,0 +1,47 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the pgarm commands so hot-path work (scan workers, candidate probing) can
+// be inspected with `go tool pprof` against a full-size run rather than a
+// microbenchmark.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling and/or arms a heap profile dump. Either path may
+// be empty. The returned stop function flushes the profiles and must run
+// before process exit (defer it right after flag parsing).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

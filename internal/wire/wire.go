@@ -134,6 +134,125 @@ func Counts(b []byte) ([]int64, int, error) {
 	return out, off, nil
 }
 
+// uvarintLen returns the encoded size of v in bytes.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendSparseCounts appends a sparse support-count vector: total length,
+// number of non-zero entries, then each non-zero entry as (index delta,
+// value). The first index is absolute and the rest are gaps from the previous
+// non-zero index, so long zero runs — the common case for pass-1 item count
+// vectors at low support — cost nothing.
+func AppendSparseCounts(dst []byte, counts []int64) []byte {
+	dst = AppendUvarint(dst, uint64(len(counts)))
+	nnz := 0
+	for _, c := range counts {
+		if c != 0 {
+			nnz++
+		}
+	}
+	dst = AppendUvarint(dst, uint64(nnz))
+	prev := 0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		dst = AppendUvarint(dst, uint64(i-prev))
+		dst = AppendUvarint(dst, uint64(c))
+		prev = i
+	}
+	return dst
+}
+
+// SparseCounts decodes a count vector encoded by AppendSparseCounts.
+func SparseCounts(b []byte) ([]int64, int, error) {
+	n, off, err := Uvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	nnz, u, err := Uvarint(b[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += u
+	if nnz > n || 2*nnz > uint64(len(b)) { // each entry takes >= 2 bytes
+		return nil, 0, fmt.Errorf("wire: sparse count entries %d exceed payload", nnz)
+	}
+	out := make([]int64, n)
+	idx := uint64(0)
+	for i := uint64(0); i < nnz; i++ {
+		gap, u, err := Uvarint(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += u
+		v, u2, err := Uvarint(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += u2
+		idx += gap
+		if idx >= n {
+			return nil, 0, fmt.Errorf("wire: sparse count index %d out of range %d", idx, n)
+		}
+		out[idx] = int64(v)
+	}
+	return out, off, nil
+}
+
+// Encoding tags for AppendCountsAuto.
+const (
+	countsDense  = 0
+	countsSparse = 1
+)
+
+// AppendCountsAuto appends a count vector under whichever of the dense and
+// sparse encodings is smaller for this vector, prefixed with a one-byte tag.
+// Both sizes are computed exactly before encoding, so the choice never loses.
+func AppendCountsAuto(dst []byte, counts []int64) []byte {
+	dense := uvarintLen(uint64(len(counts)))
+	sparse := dense
+	nnz := 0
+	prev := 0
+	for i, c := range counts {
+		dense += uvarintLen(uint64(c))
+		if c != 0 {
+			sparse += uvarintLen(uint64(i-prev)) + uvarintLen(uint64(c))
+			prev = i
+			nnz++
+		}
+	}
+	sparse += uvarintLen(uint64(nnz))
+	if sparse < dense {
+		dst = append(dst, countsSparse)
+		return AppendSparseCounts(dst, counts)
+	}
+	dst = append(dst, countsDense)
+	return AppendCounts(dst, counts)
+}
+
+// CountsAuto decodes a count vector encoded by AppendCountsAuto.
+func CountsAuto(b []byte) ([]int64, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty tagged count vector")
+	}
+	switch b[0] {
+	case countsDense:
+		out, used, err := Counts(b[1:])
+		return out, used + 1, err
+	case countsSparse:
+		out, used, err := SparseCounts(b[1:])
+		return out, used + 1, err
+	}
+	return nil, 0, fmt.Errorf("wire: unknown count vector tag %d", b[0])
+}
+
 // AppendCounted appends itemset/count pairs (what partitioned nodes send the
 // coordinator as their locally determined large itemsets).
 func AppendCounted(dst []byte, sets [][]item.Item, counts []int64) []byte {

@@ -169,3 +169,91 @@ func TestBatchFramingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSparseCountsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := rng.Intn(200)
+		cs := make([]int64, n)
+		// Mostly-zero vectors with occasional dense stretches, plus large
+		// values to exercise multi-byte varints.
+		for i := range cs {
+			switch rng.Intn(10) {
+			case 0:
+				cs[i] = int64(rng.Intn(1 << 20))
+			case 1:
+				cs[i] = 1 + int64(rng.Intn(100))
+			}
+		}
+		decodes := []struct {
+			enc []byte
+			dec func([]byte) ([]int64, int, error)
+		}{
+			{AppendSparseCounts(nil, cs), SparseCounts},
+			{AppendCountsAuto(nil, cs), CountsAuto},
+		}
+		for _, d := range decodes {
+			got, used, err := d.dec(d.enc)
+			if err != nil || used != len(d.enc) || len(got) != len(cs) {
+				return false
+			}
+			for i := range cs {
+				if got[i] != cs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsAutoPicksSmaller(t *testing.T) {
+	sparse := make([]int64, 1000)
+	sparse[3] = 9
+	sparse[800] = 2
+	dense := make([]int64, 1000)
+	for i := range dense {
+		dense[i] = int64(1 + i%127)
+	}
+	if b := AppendCountsAuto(nil, sparse); b[0] != countsSparse {
+		t.Errorf("sparse vector encoded dense (%d bytes)", len(b))
+	}
+	if b := AppendCountsAuto(nil, dense); b[0] != countsDense {
+		t.Errorf("dense vector encoded sparse (%d bytes)", len(b))
+	}
+	// The tagged form is never more than one byte over the best encoding.
+	for _, cs := range [][]int64{sparse, dense, {}, {0}, {1 << 50}} {
+		auto := AppendCountsAuto(nil, cs)
+		best := len(AppendCounts(nil, cs))
+		if s := len(AppendSparseCounts(nil, cs)); s < best {
+			best = s
+		}
+		if len(auto) != best+1 {
+			t.Errorf("auto %d bytes, best %d", len(auto), best)
+		}
+	}
+}
+
+func TestSparseCountsRejectsCorruption(t *testing.T) {
+	b := AppendSparseCounts(nil, []int64{0, 5, 0, 7})
+	if _, _, err := SparseCounts(b[:len(b)-1]); err == nil {
+		t.Error("truncated sparse vector decoded")
+	}
+	// Gap pointing past the declared length must be rejected.
+	bad := AppendUvarint(nil, 4) // n = 4
+	bad = AppendUvarint(bad, 1)  // nnz = 1
+	bad = AppendUvarint(bad, 10) // index 10 >= 4
+	bad = AppendUvarint(bad, 1)
+	if _, _, err := SparseCounts(bad); err == nil {
+		t.Error("out-of-range sparse index decoded")
+	}
+	if _, _, err := CountsAuto([]byte{99, 0}); err == nil {
+		t.Error("unknown tag decoded")
+	}
+	if _, _, err := CountsAuto(nil); err == nil {
+		t.Error("empty tagged vector decoded")
+	}
+}
