@@ -6,9 +6,16 @@
 //	pgarm-bench -experiment table6
 //	pgarm-bench -experiment fig14 -scale 0.02 -nodes 16
 //	pgarm-bench -experiment all -scale 0.01 | tee results.txt
+//	pgarm-bench -experiment table6 -scale 0.002 -trace trace.json -json report.json
+//
+// -trace writes a Chrome trace_event file (load it in chrome://tracing or
+// https://ui.perfetto.dev) covering every mining run; -json writes a
+// versioned machine-readable report with per-run, per-pass and per-node
+// statistics, per-message-kind byte breakdowns and span rollups.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,8 +25,21 @@ import (
 
 	"pgarm/internal/core"
 	"pgarm/internal/experiment"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
 	"pgarm/internal/profiling"
 )
+
+// benchReport is the top-level -json document: one report per mining run the
+// selected experiments executed, plus span rollups when tracing was on.
+type benchReport struct {
+	Version    int              `json:"version"`
+	Experiment string           `json:"experiment"`
+	Scale      float64          `json:"scale"`
+	Nodes      int              `json:"nodes"`
+	Reports    []metrics.Report `json:"reports"`
+	Spans      []obs.Rollup     `json:"spans,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -27,15 +47,17 @@ func main() {
 
 	def := experiment.Defaults()
 	var (
-		exp     = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16 or all")
-		scale   = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
-		nodes   = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
-		budget  = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
-		minsups = flag.String("minsups", "", "comma-separated support sweep, e.g. 0.02,0.01,0.005,0.003")
-		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP")
-		workers = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16 or all")
+		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
+		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
+		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
+		minsups  = flag.String("minsups", "", "comma-separated support sweep, e.g. 0.02,0.01,0.005,0.003")
+		tcp      = flag.Bool("tcp", false, "run the nodes over loopback TCP")
+		workers  = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file covering every run")
+		jsonOut  = flag.String("json", "", "write a machine-readable run report to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -52,6 +74,11 @@ func main() {
 	opt.Workers = *workers
 	if *tcp {
 		opt.Fabric = core.FabricTCP
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opt.Tracer = tracer
 	}
 	if *minsups != "" {
 		opt.MinSups = nil
@@ -132,6 +159,47 @@ func main() {
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), *traceOut)
+	}
+	if *jsonOut != "" {
+		rep := benchReport{
+			Version:    metrics.ReportVersion,
+			Experiment: *exp,
+			Scale:      *scale,
+			Nodes:      *nodes,
+		}
+		for _, rs := range env.Runs() {
+			rep.Reports = append(rep.Reports, metrics.BuildReport(rs, nil))
+		}
+		if tracer != nil {
+			rep.Spans = tracer.Rollups()
+		}
+		b, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d run reports to %s\n", len(rep.Reports), *jsonOut)
+	}
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func step(name string) {

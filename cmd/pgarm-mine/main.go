@@ -23,6 +23,7 @@ import (
 	"pgarm/internal/core"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/obs"
 	"pgarm/internal/profiling"
 	"pgarm/internal/rules"
 	"pgarm/internal/taxonomy"
@@ -34,22 +35,23 @@ func main() {
 	log.SetPrefix("pgarm-mine: ")
 
 	var (
-		algName = flag.String("algorithm", "H-HPGM-FGD", "NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD")
-		dataset = flag.String("dataset", "R30F5", "dataset configuration (defines the hierarchy): R30F5, R30F3 or R30F10")
-		scale   = flag.Float64("scale", 0.005, "generate this fraction of the paper dataset (ignored with -in)")
-		seed    = flag.Int64("seed", 1998, "generator seed (ignored with -in)")
-		inFiles = flag.String("in", "", "comma-separated per-node transaction files from pgarm-gen")
-		nodes   = flag.Int("nodes", 8, "cluster size (ignored with -in: one node per file)")
-		minsup  = flag.Float64("minsup", 0.005, "minimum support as a fraction (0.005 = 0.5%)")
-		minconf = flag.Float64("rules", 0, "derive rules at this minimum confidence (0 = skip)")
-		budget  = flag.Int64("budget", 0, "per-node candidate memory budget in bytes (0 = unlimited)")
-		maxK    = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
-		tcp     = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
-		quiet   = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
-		topN    = flag.Int("top", 25, "how many itemsets/rules to list per section")
-		workers = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		algName  = flag.String("algorithm", "H-HPGM-FGD", "NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD")
+		dataset  = flag.String("dataset", "R30F5", "dataset configuration (defines the hierarchy): R30F5, R30F3 or R30F10")
+		scale    = flag.Float64("scale", 0.005, "generate this fraction of the paper dataset (ignored with -in)")
+		seed     = flag.Int64("seed", 1998, "generator seed (ignored with -in)")
+		inFiles  = flag.String("in", "", "comma-separated per-node transaction files from pgarm-gen")
+		nodes    = flag.Int("nodes", 8, "cluster size (ignored with -in: one node per file)")
+		minsup   = flag.Float64("minsup", 0.005, "minimum support as a fraction (0.005 = 0.5%)")
+		minconf  = flag.Float64("rules", 0, "derive rules at this minimum confidence (0 = skip)")
+		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes (0 = unlimited)")
+		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
+		tcp      = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
+		quiet    = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
+		topN     = flag.Int("top", 25, "how many itemsets/rules to list per section")
+		workers  = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -106,10 +108,28 @@ func main() {
 	if *tcp {
 		cfg.Fabric = core.FabricTCP
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
 	fmt.Fprintf(os.Stderr, "mining with %s on %d nodes, minsup %.3g%%...\n", alg, len(parts), *minsup*100)
 	res, err := core.Mine(tax, parts, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), *traceOut)
 	}
 
 	fmt.Print(res.Stats.String())

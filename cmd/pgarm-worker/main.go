@@ -11,19 +11,34 @@
 //	pgarm-worker -node 0 -addrs :7001,:7002,:7003 -in /tmp/r.n00.ptx -minsup 0.01 &
 //	pgarm-worker -node 1 -addrs :7001,:7002,:7003 -in /tmp/r.n01.ptx -minsup 0.01 &
 //	pgarm-worker -node 2 -addrs :7001,:7002,:7003 -in /tmp/r.n02.ptx -minsup 0.01
+//
+// With -http each worker serves live telemetry while mining: /metrics
+// (Prometheus text exposition: mining counters plus live fabric byte/message
+// gauges), /healthz (JSON with the current pass and fabric health) and the
+// standard /debug/pprof endpoints. -trace writes a Chrome trace_event file of
+// this node's phase spans on exit. If a peer process dies mid-run, the
+// remaining workers exit non-zero with the lost peer named instead of
+// hanging.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pgarm/internal/cluster"
 	"pgarm/internal/core"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/obs"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -32,16 +47,19 @@ func main() {
 	log.SetFlags(0)
 
 	var (
-		nodeID  = flag.Int("node", -1, "this worker's node id (0 = coordinator)")
-		addrs   = flag.String("addrs", "", "comma-separated listen addresses of every node, in id order")
-		inFile  = flag.String("in", "", "this node's transaction partition (from pgarm-gen -nodes)")
-		dataset = flag.String("dataset", "R30F5", "dataset configuration defining the hierarchy")
-		algName = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm")
-		minsup  = flag.Float64("minsup", 0.005, "minimum support fraction")
-		budget  = flag.Int64("budget", 0, "per-node candidate memory budget in bytes")
-		maxK    = flag.Int("maxk", 0, "stop after this pass (0 = completion)")
-		timeout = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
-		topN    = flag.Int("top", 20, "itemsets to list per level (coordinator)")
+		nodeID   = flag.Int("node", -1, "this worker's node id (0 = coordinator)")
+		addrs    = flag.String("addrs", "", "comma-separated listen addresses of every node, in id order")
+		inFile   = flag.String("in", "", "this node's transaction partition (from pgarm-gen -nodes)")
+		dataset  = flag.String("dataset", "R30F5", "dataset configuration defining the hierarchy")
+		algName  = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm")
+		minsup   = flag.Float64("minsup", 0.005, "minimum support fraction")
+		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes")
+		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = completion)")
+		workers  = flag.Int("workers", 0, "scan workers on this node (0 or 1 = scan on the node goroutine)")
+		timeout  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
+		topN     = flag.Int("top", 20, "itemsets to list per level (coordinator)")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address")
+		traceOut = flag.String("trace", "", "write this node's Chrome trace_event JSON file on exit")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("pgarm-worker[%d]: ", *nodeID))
@@ -77,15 +95,52 @@ func main() {
 	}
 	defer closer.Close()
 
-	log.Printf("mining %s over %d local transactions...", alg, local.Len())
-	res, err := core.MineWorker(tax, local, core.Config{
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	reg := obs.NewRegistry()
+	var mineDone atomic.Bool
+	if *httpAddr != "" {
+		serveHTTP(*httpAddr, reg, ep, *nodeID, len(addrList), string(alg), &mineDone)
+	}
+
+	cfg := core.Config{
 		Algorithm:    alg,
 		MinSupport:   *minsup,
 		MaxK:         *maxK,
 		MemoryBudget: *budget,
-	}, ep)
+		Workers:      *workers,
+		Tracer:       tracer,
+		Registry:     reg,
+		// Progress callbacks fire on the coordinator only; followers stay
+		// quiet and expose the same numbers over -http instead.
+		OnPassStart: func(pass, cands int) {
+			log.Printf("pass %d: counting %d candidates...", pass, cands)
+		},
+		OnPass: func(p core.PassProgress) {
+			log.Printf("pass %d done: |C_%d|=%d -> %d large in %v (%d bytes in, %d bytes out)",
+				p.Pass, p.Pass, p.Candidates, p.Large, p.Elapsed.Round(time.Millisecond), p.BytesIn, p.BytesOut)
+		},
+	}
+	log.Printf("mining %s over %d local transactions...", alg, local.Len())
+	res, err := core.MineWorker(tax, local, cfg, ep)
+	mineDone.Store(true)
 	if err != nil {
+		// A dead peer tears the endpoint down and records the cause; name
+		// the lost peer instead of surfacing only the secondary protocol
+		// error, and exit non-zero so supervisors notice.
+		if ferr := ep.Err(); ferr != nil {
+			log.Fatalf("aborted: %v (protocol error: %v)", ferr, err)
+		}
 		log.Fatal(err)
+	}
+
+	if tracer != nil {
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			log.Fatal(werr)
+		}
+		log.Printf("wrote %d spans to %s", tracer.Spans(), *traceOut)
 	}
 
 	if *nodeID == 0 {
@@ -107,4 +162,74 @@ func main() {
 	} else {
 		log.Printf("done: %d large levels", len(res.Large))
 	}
+}
+
+// serveHTTP starts this worker's telemetry server: Prometheus /metrics
+// (registry series plus live fabric gauges), a JSON /healthz and the
+// standard pprof endpoints, all on a private mux so nothing else leaks in.
+func serveHTTP(addr string, reg *obs.Registry, ep cluster.Endpoint, nodeID, nodes int, alg string, done *atomic.Bool) {
+	l := obs.L("node", strconv.Itoa(nodeID))
+	reg.GaugeFunc("pgarm_fabric_bytes_sent", "Fabric payload bytes sent since start.",
+		func() float64 { return float64(ep.Stats().BytesSent) }, l)
+	reg.GaugeFunc("pgarm_fabric_bytes_received", "Fabric payload bytes received since start.",
+		func() float64 { return float64(ep.Stats().BytesRecv) }, l)
+	reg.GaugeFunc("pgarm_fabric_msgs_sent", "Fabric messages sent since start.",
+		func() float64 { return float64(ep.Stats().MsgsSent) }, l)
+	reg.GaugeFunc("pgarm_fabric_msgs_received", "Fabric messages received since start.",
+		func() float64 { return float64(ep.Stats().MsgsRecv) }, l)
+	// The same instrument the mining node updates: register() is idempotent
+	// per name+labels, so this handle reads the live pass number.
+	passGauge := reg.Gauge("pgarm_pass", "Pass currently executing.", l)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := struct {
+			Node        int    `json:"node"`
+			Nodes       int    `json:"nodes"`
+			Algorithm   string `json:"algorithm"`
+			Pass        int64  `json:"pass"`
+			Done        bool   `json:"done"`
+			FabricError string `json:"fabric_error,omitempty"`
+		}{Node: nodeID, Nodes: nodes, Algorithm: alg, Pass: passGauge.Value(), Done: done.Load()}
+		code := http.StatusOK
+		if err := ep.Err(); err != nil {
+			h.FabricError = err.Error()
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		if err := json.NewEncoder(w).Encode(&h); err != nil {
+			log.Printf("healthz: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("http server: %v", err)
+		}
+	}()
+	log.Printf("telemetry on http://%s/metrics /healthz /debug/pprof", addr)
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -88,8 +88,8 @@ func (e *chanEndpoint) Send(to int, kind uint8, payload []byte) error {
 		dst.mu.Unlock()
 		dst.inbox <- msg // inbox full: block without the lock
 	}
-	e.stats.onSend(len(payload))
-	dst.stats.onRecv(len(payload))
+	e.stats.onSend(kind, len(payload))
+	dst.stats.onRecv(kind, len(payload))
 	return nil
 }
 
@@ -97,4 +97,7 @@ func (e *chanEndpoint) Inbox() <-chan Message { return e.inbox }
 
 func (e *chanEndpoint) Stats() Stats { return e.stats.snapshot() }
 
-func (e *chanEndpoint) ResetStats() { e.stats.reset() }
+func (e *chanEndpoint) KindStats() []KindStat { return e.stats.kindSnapshot() }
+
+// Err is always nil: in-process channels cannot lose a peer.
+func (e *chanEndpoint) Err() error { return nil }

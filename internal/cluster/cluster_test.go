@@ -123,9 +123,64 @@ func TestAccountingSymmetry(t *testing.T) {
 			if s0.BytesRecv != 0 || s1.BytesSent != 0 {
 				t.Errorf("phantom traffic: %v / %v", s0, s1)
 			}
-			f.Endpoint(0).ResetStats()
-			if s := f.Endpoint(0).Stats(); s.BytesSent != 0 {
-				t.Errorf("ResetStats failed: %v", s)
+			// Counters are monotonic: per-window accounting subtracts
+			// snapshots instead of resetting.
+			before := f.Endpoint(0).Stats()
+			if err := f.Endpoint(0).Send(1, 0, make([]byte, 10)); err != nil {
+				t.Fatal(err)
+			}
+			<-f.Endpoint(1).Inbox()
+			delta := f.Endpoint(0).Stats().Sub(before)
+			if delta.BytesSent != 10 || delta.MsgsSent != 1 {
+				t.Errorf("snapshot delta = %+v", delta)
+			}
+		})
+	}
+}
+
+// TestKindStatsReconcile asserts the per-kind breakdown sums exactly to the
+// endpoint totals on both fabrics, for sends and receives alike.
+func TestKindStatsReconcile(t *testing.T) {
+	for name, f := range fabrics(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer f.Close()
+			type tx struct {
+				from, to int
+				kind     uint8
+				size     int
+			}
+			txs := []tx{
+				{0, 1, 1, 64}, {0, 1, 3, 100}, {0, 2, 3, 9},
+				{1, 0, 7, 0}, {1, 2, 1, 2048}, {2, 0, 5, 1},
+				{2, 2, 3, 33}, // self-send counts both sides
+			}
+			recvCount := make(map[int]int)
+			for _, x := range txs {
+				if err := f.Endpoint(x.from).Send(x.to, x.kind, make([]byte, x.size)); err != nil {
+					t.Fatal(err)
+				}
+				recvCount[x.to]++
+			}
+			for node, c := range recvCount {
+				for i := 0; i < c; i++ {
+					<-f.Endpoint(node).Inbox()
+				}
+			}
+			for i := 0; i < f.N(); i++ {
+				ep := f.Endpoint(i)
+				total := ep.Stats()
+				byKind := ep.KindStats()
+				if got := SumKindStats(byKind); got != total {
+					t.Errorf("node %d: kind sum %+v != totals %+v", i, got, total)
+				}
+			}
+			// Spot-check one attribution: node 0 sent kinds 1 and 3.
+			ks := f.Endpoint(0).KindStats()
+			if len(ks) < 4 || ks[1].BytesSent != 64 || ks[3].BytesSent != 109 {
+				t.Errorf("node 0 kind stats = %+v", ks)
+			}
+			if err := f.Endpoint(0).Err(); err != nil {
+				t.Errorf("healthy endpoint reports error: %v", err)
 			}
 		})
 	}

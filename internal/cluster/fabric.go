@@ -39,11 +39,18 @@ type Endpoint interface {
 	// Inbox returns the stream of incoming messages. It is closed when the
 	// fabric shuts down.
 	Inbox() <-chan Message
-	// Stats returns a snapshot of this endpoint's traffic counters.
+	// Stats returns a snapshot of this endpoint's traffic counters. Counters
+	// are monotonic for the lifetime of the endpoint; callers that need
+	// per-window accounting snapshot and subtract (Stats.Sub).
 	Stats() Stats
-	// ResetStats zeroes the traffic counters (used between passes so each
-	// pass's communication can be reported separately).
-	ResetStats()
+	// KindStats returns per-message-kind traffic counters, indexed by kind.
+	// The slice covers every kind seen so far (len = max kind + 1); entries
+	// for unseen kinds are zero.
+	KindStats() []KindStat
+	// Err reports why the endpoint is unusable, or nil while it is healthy.
+	// A peer dropping mid-run (TCP fabric) surfaces here after the inbox
+	// closes.
+	Err() error
 }
 
 // Fabric is a cluster interconnect: N endpoints plus lifecycle.
@@ -74,26 +81,94 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// Sub returns the element-wise difference s − o. With monotonic endpoint
+// counters this is how per-pass windows are computed: snapshot at the window
+// start, subtract from the snapshot at its end.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+		BytesSent: s.BytesSent - o.BytesSent,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+	}
+}
+
+// KindStat is one message kind's traffic counters on one endpoint.
+type KindStat struct {
+	MsgsSent, MsgsRecv   int64
+	BytesSent, BytesRecv int64
+}
+
+// Sub returns the element-wise difference k − o.
+func (k KindStat) Sub(o KindStat) KindStat {
+	return KindStat{
+		MsgsSent:  k.MsgsSent - o.MsgsSent,
+		MsgsRecv:  k.MsgsRecv - o.MsgsRecv,
+		BytesSent: k.BytesSent - o.BytesSent,
+		BytesRecv: k.BytesRecv - o.BytesRecv,
+	}
+}
+
+// SumKindStats folds per-kind counters back into aggregate Stats; tests use
+// it to assert the per-kind breakdown reconciles with the endpoint totals.
+func SumKindStats(ks []KindStat) Stats {
+	var s Stats
+	for _, k := range ks {
+		s.MsgsSent += k.MsgsSent
+		s.MsgsRecv += k.MsgsRecv
+		s.BytesSent += k.BytesSent
+		s.BytesRecv += k.BytesRecv
+	}
+	return s
+}
+
 // String renders the counters compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf("sent %d msgs/%d B, recv %d msgs/%d B",
 		s.MsgsSent, s.BytesSent, s.MsgsRecv, s.BytesRecv)
 }
 
-// counters is the shared atomic implementation of Stats.
+// counters is the shared atomic implementation of Stats, with a parallel
+// per-kind breakdown. Counters only ever increase; per-pass attribution is
+// done by snapshot deltas, never by resetting.
 type counters struct {
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+	kinds                [256]kindCounters // indexed by Message.Kind
+	kindLim              atomic.Int64      // 1 + highest kind seen; 0 = none
+}
+
+type kindCounters struct {
 	msgsSent, msgsRecv   atomic.Int64
 	bytesSent, bytesRecv atomic.Int64
 }
 
-func (c *counters) onSend(n int) {
-	c.msgsSent.Add(1)
-	c.bytesSent.Add(int64(n))
+func (c *counters) noteKind(kind uint8) {
+	lim := int64(kind) + 1
+	for {
+		cur := c.kindLim.Load()
+		if cur >= lim || c.kindLim.CompareAndSwap(cur, lim) {
+			return
+		}
+	}
 }
 
-func (c *counters) onRecv(n int) {
+func (c *counters) onSend(kind uint8, n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(n))
+	kc := &c.kinds[kind]
+	kc.msgsSent.Add(1)
+	kc.bytesSent.Add(int64(n))
+	c.noteKind(kind)
+}
+
+func (c *counters) onRecv(kind uint8, n int) {
 	c.msgsRecv.Add(1)
 	c.bytesRecv.Add(int64(n))
+	kc := &c.kinds[kind]
+	kc.msgsRecv.Add(1)
+	kc.bytesRecv.Add(int64(n))
+	c.noteKind(kind)
 }
 
 func (c *counters) snapshot() Stats {
@@ -105,9 +180,20 @@ func (c *counters) snapshot() Stats {
 	}
 }
 
-func (c *counters) reset() {
-	c.msgsSent.Store(0)
-	c.msgsRecv.Store(0)
-	c.bytesSent.Store(0)
-	c.bytesRecv.Store(0)
+func (c *counters) kindSnapshot() []KindStat {
+	lim := c.kindLim.Load()
+	if lim == 0 {
+		return nil
+	}
+	out := make([]KindStat, lim)
+	for k := int64(0); k < lim; k++ {
+		kc := &c.kinds[k]
+		out[k] = KindStat{
+			MsgsSent:  kc.msgsSent.Load(),
+			MsgsRecv:  kc.msgsRecv.Load(),
+			BytesSent: kc.bytesSent.Load(),
+			BytesRecv: kc.bytesRecv.Load(),
+		}
+	}
+	return out
 }

@@ -24,27 +24,16 @@ type MeshOptions struct {
 
 // meshCloser tears down a DialMesh endpoint.
 type meshCloser struct {
-	ep   *tcpEndpoint
-	once sync.Once
-	err  error
+	ep *tcpEndpoint
 }
 
-// Close shuts the endpoint down: connections are closed, reader goroutines
-// drained, and the inbox closed.
+// Close shuts the endpoint down cleanly: connections are closed, reader
+// goroutines drained, and the inbox closed. A shutdown already triggered by
+// a peer drop (see Endpoint.Err) makes this a no-op.
 func (c *meshCloser) Close() error {
-	c.once.Do(func() {
-		close(c.ep.closed)
-		for _, tc := range c.ep.conns {
-			if tc != nil {
-				if err := tc.close(); err != nil && c.err == nil {
-					c.err = err
-				}
-			}
-		}
-		c.ep.readers.Wait()
-		close(c.ep.inbox)
-	})
-	return c.err
+	c.ep.markClosed()
+	c.ep.shutdown(nil)
+	return nil
 }
 
 // DialMesh joins this process into a cross-process shared-nothing mesh: one

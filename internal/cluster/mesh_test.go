@@ -7,8 +7,9 @@ import (
 	"time"
 )
 
-// startMesh brings up an n-node mesh with dynamically allocated ports.
-func startMesh(t *testing.T, n int) ([]Endpoint, func()) {
+// startMesh brings up an n-node mesh with dynamically allocated ports. It
+// returns the endpoints, each node's closer, and a cleanup closing them all.
+func startMesh(t *testing.T, n int) ([]Endpoint, []func() error, func()) {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -46,7 +47,7 @@ func startMesh(t *testing.T, n int) ([]Endpoint, func()) {
 	if firstErr != nil {
 		t.Fatal(firstErr)
 	}
-	return eps, func() {
+	return eps, closers, func() {
 		for _, c := range closers {
 			if c != nil {
 				c()
@@ -56,7 +57,7 @@ func startMesh(t *testing.T, n int) ([]Endpoint, func()) {
 }
 
 func TestMeshDelivery(t *testing.T) {
-	eps, cleanup := startMesh(t, 4)
+	eps, _, cleanup := startMesh(t, 4)
 	defer cleanup()
 	for i, ep := range eps {
 		if ep.ID() != i || ep.N() != 4 {
@@ -90,7 +91,7 @@ func TestMeshDelivery(t *testing.T) {
 }
 
 func TestMeshSelfSend(t *testing.T) {
-	eps, cleanup := startMesh(t, 2)
+	eps, _, cleanup := startMesh(t, 2)
 	defer cleanup()
 	if err := eps[1].Send(1, 9, []byte("self")); err != nil {
 		t.Fatal(err)
@@ -98,6 +99,35 @@ func TestMeshSelfSend(t *testing.T) {
 	m := <-eps[1].Inbox()
 	if m.From != 1 || string(m.Payload) != "self" {
 		t.Errorf("self-send got %+v", m)
+	}
+}
+
+// TestMeshPeerDropSurfacesError kills one node of a live mesh and asserts the
+// survivors notice: their inboxes close (instead of blocking forever) and
+// Err() carries the lost-peer cause.
+func TestMeshPeerDropSurfacesError(t *testing.T) {
+	eps, closers, cleanup := startMesh(t, 3)
+	defer cleanup()
+	// Node 2 vanishes mid-run, as if its process died.
+	if err := closers[2](); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		select {
+		case _, ok := <-eps[i].Inbox():
+			if ok {
+				t.Fatalf("node %d: unexpected message after peer drop", i)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d: inbox did not close after peer drop", i)
+		}
+		if eps[i].Err() == nil {
+			t.Errorf("node %d: Err() = nil after peer drop", i)
+		}
+	}
+	// The departed node closed cleanly on purpose: no failure recorded.
+	if err := eps[2].Err(); err != nil {
+		t.Errorf("node 2: clean close recorded error: %v", err)
 	}
 }
 

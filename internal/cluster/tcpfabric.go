@@ -20,7 +20,6 @@ import (
 type TCPFabric struct {
 	endpoints []*tcpEndpoint
 	closeOnce sync.Once
-	closeErr  error
 }
 
 // NewTCPFabric builds an n-node loopback TCP mesh. inboxBuffer sizes each
@@ -118,25 +117,19 @@ func (f *TCPFabric) N() int { return len(f.endpoints) }
 // Endpoint returns node i's attachment.
 func (f *TCPFabric) Endpoint(i int) Endpoint { return f.endpoints[i] }
 
-// Close tears down every connection and closes all inboxes.
+// Close tears down every connection and closes all inboxes. Every endpoint
+// is marked closing first so its readers treat the dropped connections as a
+// clean shutdown, not a peer failure.
 func (f *TCPFabric) Close() error {
 	f.closeOnce.Do(func() {
 		for _, ep := range f.endpoints {
-			close(ep.closed)
-			for _, c := range ep.conns {
-				if c != nil {
-					if err := c.close(); err != nil && f.closeErr == nil {
-						f.closeErr = err
-					}
-				}
-			}
+			ep.markClosed()
 		}
 		for _, ep := range f.endpoints {
-			ep.readers.Wait()
-			close(ep.inbox)
+			ep.shutdown(nil)
 		}
 	})
-	return f.closeErr
+	return nil
 }
 
 // tcpConn is one side of a pairwise connection with a serialized writer.
@@ -162,6 +155,54 @@ type tcpEndpoint struct {
 	stats   counters
 	readers sync.WaitGroup
 	closed  chan struct{}
+
+	closingOnce  sync.Once // closes e.closed: "stop treating read errors as failures"
+	shutdownOnce sync.Once // full teardown: close conns, drain readers, close inbox
+	failMu       sync.Mutex
+	failErr      error
+}
+
+// markClosed flags the endpoint as intentionally closing, so subsequent read
+// errors are not recorded as peer failures.
+func (e *tcpEndpoint) markClosed() {
+	e.closingOnce.Do(func() { close(e.closed) })
+}
+
+// shutdown tears the endpoint down: closes every connection, waits for the
+// readers to drain, then closes the inbox so a blocked receiver wakes up. A
+// non-nil cause (a peer dropping mid-run) is recorded and surfaced by Err.
+// Safe to call from any goroutine except a reader (it waits on readers).
+func (e *tcpEndpoint) shutdown(cause error) {
+	if cause != nil {
+		e.failMu.Lock()
+		if e.failErr == nil {
+			e.failErr = cause
+		}
+		e.failMu.Unlock()
+	}
+	e.markClosed()
+	e.shutdownOnce.Do(func() {
+		e.connsMu.Lock()
+		conns := append([]*tcpConn(nil), e.conns...)
+		e.connsMu.Unlock()
+		for _, c := range conns {
+			if c != nil {
+				c.close()
+			}
+		}
+		e.readers.Wait()
+		close(e.inbox)
+	})
+}
+
+// closing reports whether the endpoint has been marked closed.
+func (e *tcpEndpoint) closing() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *tcpEndpoint) setConn(peer int, c net.Conn) {
@@ -182,8 +223,8 @@ func (e *tcpEndpoint) Send(to int, kind uint8, payload []byte) error {
 		case <-e.closed:
 			return fmt.Errorf("cluster: node %d self-send after close", e.id)
 		}
-		e.stats.onSend(len(payload))
-		e.stats.onRecv(len(payload))
+		e.stats.onSend(kind, len(payload))
+		e.stats.onRecv(kind, len(payload))
 		return nil
 	}
 	if to < 0 || to >= e.n || e.conns[to] == nil {
@@ -207,7 +248,7 @@ func (e *tcpEndpoint) Send(to int, kind uint8, payload []byte) error {
 	if err := tc.w.Flush(); err != nil {
 		return fmt.Errorf("cluster: flush %d->%d: %w", e.id, to, err)
 	}
-	e.stats.onSend(len(payload))
+	e.stats.onSend(kind, len(payload))
 	return nil
 }
 
@@ -217,16 +258,18 @@ func (e *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
 	for {
 		var hdr [7]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return // connection closed
+			e.onReadError(peer, err)
+			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:4])
 		from := int(binary.BigEndian.Uint16(hdr[4:6]))
 		kind := hdr[6]
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			e.onReadError(peer, err)
 			return
 		}
-		e.stats.onRecv(int(n))
+		e.stats.onRecv(kind, int(n))
 		select {
 		case e.inbox <- Message{From: from, Kind: kind, Payload: payload}:
 		case <-e.closed:
@@ -235,8 +278,27 @@ func (e *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
 	}
 }
 
+// onReadError distinguishes a clean shutdown (the endpoint was marked closed
+// before the connection dropped) from a peer failing mid-run. On failure the
+// teardown runs on a fresh goroutine: shutdown waits for all readers, and
+// this reader has not returned yet.
+func (e *tcpEndpoint) onReadError(peer int, err error) {
+	if e.closing() {
+		return
+	}
+	go e.shutdown(fmt.Errorf("cluster: node %d lost peer %d: %w", e.id, peer, err))
+}
+
 func (e *tcpEndpoint) Inbox() <-chan Message { return e.inbox }
 
 func (e *tcpEndpoint) Stats() Stats { return e.stats.snapshot() }
 
-func (e *tcpEndpoint) ResetStats() { e.stats.reset() }
+func (e *tcpEndpoint) KindStats() []KindStat { return e.stats.kindSnapshot() }
+
+// Err reports the failure that shut this endpoint down, or nil after a clean
+// run. Callers check it once the inbox closes to tell peer loss from Close.
+func (e *tcpEndpoint) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}

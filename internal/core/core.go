@@ -31,6 +31,7 @@ import (
 	"pgarm/internal/cluster"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -100,6 +101,19 @@ type Config struct {
 	Fabric       FabricKind
 	FabricBuffer int // per-inbox message buffer; 0 = default
 	BatchBytes   int // count-support send batching threshold; 0 = default (4KB)
+
+	// Tracer, when non-nil, records phase spans for every node (pass,
+	// generate, scan shards, exchange, barrier) for Chrome-trace export.
+	// Nil tracing costs nothing on the hot path.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives live counters/gauges/histograms per
+	// node (current pass, probes, scan and barrier timings) for /metrics.
+	Registry *obs.Registry
+	// OnPassStart, when non-nil, fires on the coordinator as each pass
+	// begins, before any scanning.
+	OnPassStart func(pass, candidates int)
+	// OnPass, when non-nil, fires on the coordinator as each pass completes.
+	OnPass func(PassProgress)
 }
 
 func (c *Config) batchBytes() int {
@@ -236,6 +250,9 @@ func assembleStats(cfg Config, nodes []*node, elapsed time.Duration) *metrics.Ru
 			}
 		}
 		rs.Passes = append(rs.Passes, ps)
+	}
+	for _, nd := range nodes {
+		rs.Endpoints = append(rs.Endpoints, endpointTotals(nd.id, nd.ep))
 	}
 	return rs
 }

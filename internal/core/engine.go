@@ -100,7 +100,7 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		if hi > int32(len(cands)) {
 			hi = int32(len(cands))
 		}
-		err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+		err := scanShards(n.db, W, n.shardObs("scan"), func(w int, t txn.Transaction) error {
 			st := &wstats[w]
 			st.TxnsScanned++
 			ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)

@@ -72,7 +72,14 @@ func (n *node) startCountPhase(apply func(items []item.Item)) *countPhase {
 		}
 	}
 	n.pending = rest
-	go func() { cp.done <- cp.loop(pre) }()
+	go func() {
+		sp := n.beginRecv()
+		err := cp.loop(pre)
+		sp.Arg("items", cp.itemsRecv)
+		sp.Arg("bytes", cp.bytesRecv)
+		sp.End()
+		cp.done <- err
+	}()
 	return cp
 }
 

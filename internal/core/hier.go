@@ -54,6 +54,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 
 	// Root vectors, owners and the duplication choice are deterministic on
 	// every node; computed once and shared (see candCache).
+	psp := n.tr.Begin(n.id, 0, "partition")
 	plan := n.cands.hierPlan(k, func() *passPlan {
 		vecKeys := make([]string, len(cands))
 		owners := make([]int, len(cands))
@@ -122,6 +123,9 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	dupView := taxonomy.NewView(n.tax, n.largeFlags, dupMember)
 	replaceView := taxonomy.NewView(n.tax, n.largeFlags, nil)
 
+	psp.Arg("duplicated", int64(len(plan.dupSets)))
+	psp.End()
+
 	// Receiver: one unit is the item group t'' a peer selected for us;
 	// candidates contained in its ancestor closure are counted, covering
 	// both the k-itemsets generated from t'' and "all its ancestor
@@ -129,6 +133,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	// the owned table; scan workers only route.
 	applyScratch := make([]item.Item, 0, 64)
 	applySub := make([]item.Item, 0, 2*k)
+	xsp := n.tr.Begin(n.id, 0, "exchange")
 	cp := n.startCountPhase(func(items []item.Item) {
 		ext := cumulate.ExtendFiltered(ownedView, ownedMember, applyScratch[:0], items)
 		applyScratch = ext
@@ -158,7 +163,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	}
 
 	started := time.Now()
-	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+	err := scanShards(n.db, W, n.shardObs("count"), func(w int, t txn.Transaction) error {
 		wk := &workers[w]
 		wk.stats.TxnsScanned++
 
@@ -232,6 +237,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	if ferr := cp.finish(); err == nil {
 		err = ferr
 	}
+	xsp.End()
 	if err != nil {
 		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
 	}
@@ -240,7 +246,6 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		n.cur.AddScanCounters(&workers[w].stats)
 	}
 	n.cur.ScanTime = time.Since(started)
-	n.markDataPlane()
 	n.cur.Probes += ownedTable.Probes()
 
 	ownedSets, ownedCounts := largeOf(ownedTable, n.minCount)

@@ -29,6 +29,7 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	self := n.id
 
 	// Partition: node i keeps the candidates hashing to i.
+	psp := n.tr.Begin(n.id, 0, "partition")
 	table := itemset.NewTable(len(cands)/nNodes + 1)
 	for _, c := range cands {
 		if int(itemset.Hash(c)%uint64(nNodes)) == self {
@@ -38,9 +39,11 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 
 	view := taxonomy.NewView(n.tax, n.largeFlags, cumulate.KeepSet(n.tax, cands))
 	member := cumulate.MemberSet(n.tax, cands)
+	psp.End()
 
 	// The receiver goroutine keeps exclusive ownership of the partitioned
 	// table; scan workers only route units into per-worker batchers.
+	xsp := n.tr.Begin(n.id, 0, "exchange")
 	cp := n.startCountPhase(func(items []item.Item) {
 		// One unit = one k-itemset owned by this node.
 		if id := table.Lookup(items); id >= 0 {
@@ -58,7 +61,7 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	wsub := newWorkerScratch(W, 2*k)
 
 	started := time.Now()
-	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+	err := scanShards(n.db, W, n.shardObs("count"), func(w int, t txn.Transaction) error {
 		st := &wstats[w]
 		st.TxnsScanned++
 		ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
@@ -87,12 +90,12 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	if ferr := cp.finish(); err == nil {
 		err = ferr
 	}
+	xsp.End()
 	if err != nil {
 		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
 	}
 	mergeWorkerStats(&n.cur, wstats)
 	n.cur.ScanTime = time.Since(started)
-	n.markDataPlane()
 	n.cur.Probes += table.Probes()
 
 	ownedSets, ownedCounts := largeOf(table, n.minCount)

@@ -9,6 +9,7 @@ import (
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 	"pgarm/internal/wire"
@@ -71,6 +72,14 @@ type node struct {
 	// Per-pass metrics, one entry per completed pass.
 	perPass []metrics.NodeStats
 	cur     metrics.NodeStats // counters of the pass in flight
+
+	// Observability: phase-span tracer and live instruments (both inert when
+	// unconfigured), plus the monotonic fabric snapshots that delimit the
+	// current pass's communication window.
+	tr       *obs.Tracer
+	ins      nodeInstruments
+	base     cluster.Stats
+	baseKind []cluster.KindStat
 }
 
 func newNode(id int, tax *taxonomy.Taxonomy, db txn.Scanner, ep cluster.Endpoint, cfg Config, cands *candCache) *node {
@@ -81,6 +90,8 @@ func newNode(id int, tax *taxonomy.Taxonomy, db txn.Scanner, ep cluster.Endpoint
 		ep:    ep,
 		cfg:   cfg,
 		cands: cands,
+		tr:    cfg.Tracer,
+		ins:   newNodeInstruments(cfg.Registry, id),
 	}
 }
 
@@ -122,9 +133,14 @@ func (n *node) run() (err error) {
 			err = fmt.Errorf("core: node %d panicked: %v", n.id, r)
 		}
 	}()
+	if n.tr.Enabled() {
+		n.tr.SetThreadName(n.id, 0, "driver")
+	}
+	ssp := n.tr.Begin(n.id, 0, "size-exchange")
 	if err := n.sizeExchange(); err != nil {
 		return err
 	}
+	ssp.End()
 	if err := n.pass1(); err != nil {
 		return err
 	}
@@ -142,7 +158,10 @@ func (n *node) run() (err error) {
 	for k := 2; n.cfg.MaxK == 0 || k <= n.cfg.MaxK; k++ {
 		// Deterministic on every node (same L_{k-1}, same generator);
 		// materialized once and shared read-only, see candCache.
+		gsp := n.tr.Begin(n.id, 0, "generate")
 		cands := n.cands.generate(k, prev)
+		gsp.Arg("candidates", int64(len(cands)))
+		gsp.End()
 		if len(cands) == 0 {
 			return nil
 		}
@@ -212,11 +231,13 @@ func (n *node) sizeExchange() error {
 func (n *node) pass1() error {
 	started := time.Now()
 	n.cur = metrics.NodeStats{Node: n.id}
+	n.ins.startPass(1, n.tax.NumItems())
+	psp := n.tr.Begin(n.id, 0, "pass 1")
 	W := n.cfg.workers()
 	wcounts := workerVectors(W, n.tax.NumItems())
 	wstats := make([]metrics.NodeStats, W)
 	wext := newWorkerScratch(W, 64)
-	err := scanShards(n.db, W, func(w int, t txn.Transaction) error {
+	err := scanShards(n.db, W, n.shardObs("scan"), func(w int, t txn.Transaction) error {
 		wstats[w].TxnsScanned++
 		ext := n.tax.ExtendTransaction(wext[w][:0], t.Items)
 		wext[w] = ext
@@ -233,7 +254,9 @@ func (n *node) pass1() error {
 	mergeWorkerStats(&n.cur, wstats)
 	n.cur.ScanTime = time.Since(started)
 
+	bsp := n.tr.Begin(n.id, 0, "barrier")
 	if n.isCoord() {
+		wait := time.Now()
 		for p := 0; p < n.numPeers(); p++ {
 			m, err := n.recvKind(kCounts1)
 			if err != nil {
@@ -250,6 +273,7 @@ func (n *node) pass1() error {
 				counts[i] += c
 			}
 		}
+		n.cur.BarrierWait += time.Since(wait)
 		n.itemCounts = counts
 		payload := wire.AppendCountsAuto(nil, counts)
 		for p := 1; p < n.ep.N(); p++ {
@@ -261,16 +285,19 @@ func (n *node) pass1() error {
 		if err := n.ep.Send(0, kCounts1, wire.AppendCountsAuto(nil, counts)); err != nil {
 			return err
 		}
+		wait := time.Now()
 		m, err := n.recvKind(kLarge)
 		if err != nil {
 			return err
 		}
+		n.cur.BarrierWait += time.Since(wait)
 		global, _, err := wire.CountsAuto(m.Payload)
 		if err != nil {
 			return fmt.Errorf("core: decode global pass-1 counts: %w", err)
 		}
 		n.itemCounts = global
 	}
+	bsp.End()
 
 	n.largeFlags = make([]bool, n.tax.NumItems())
 	var l1 []itemset.Counted
@@ -281,7 +308,12 @@ func (n *node) pass1() error {
 			l1 = append(l1, itemset.Counted{Items: []item.Item{item.Item(i)}, Count: c})
 		}
 	}
+	n.capturePassComm()
+	n.ins.endPass(&n.cur)
 	n.finishPassStats()
+	psp.Arg("candidates", int64(n.tax.NumItems()))
+	psp.Arg("large", int64(len(l1)))
+	psp.End()
 	if n.isCoord() || n.keepLarge {
 		n.large = append(n.large, l1)
 		n.passMeta = append(n.passMeta, passMeta{
@@ -291,6 +323,7 @@ func (n *node) pass1() error {
 			elapsed:    time.Since(started),
 		})
 	}
+	n.emitProgress(1, n.tax.NumItems(), len(l1), time.Since(started))
 	return nil
 }
 
@@ -299,19 +332,26 @@ func (n *node) pass1() error {
 func (n *node) runPass(eng engine, k int, cands [][]item.Item) ([]itemset.Counted, error) {
 	started := time.Now()
 	n.cur = metrics.NodeStats{Node: n.id}
-	n.ep.ResetStats()
+	n.ins.startPass(k, len(cands))
+	var psp obs.Span
+	if n.tr.Enabled() {
+		psp = n.tr.Begin(n.id, 0, fmt.Sprintf("pass %d", k))
+	}
+	if n.isCoord() && n.cfg.OnPassStart != nil {
+		n.cfg.OnPassStart(k, len(cands))
+	}
 
 	lk, meta, err := eng.pass(k, cands)
 	if err != nil {
 		return nil, fmt.Errorf("core: node %d pass %d: %w", n.id, k, err)
 	}
 
-	st := n.ep.Stats()
-	n.cur.BytesSent = st.BytesSent
-	n.cur.BytesReceived = st.BytesRecv
-	n.cur.MsgsSent = st.MsgsSent
-	n.cur.MsgsReceived = st.MsgsRecv
+	n.capturePassComm()
+	n.ins.endPass(&n.cur)
 	n.finishPassStats()
+	psp.Arg("candidates", int64(len(cands)))
+	psp.Arg("large", int64(len(lk)))
+	psp.End()
 	if n.isCoord() || n.keepLarge {
 		// Mirror the sequential baseline: an empty L_k terminates the run
 		// and is not recorded as a level.
@@ -324,20 +364,12 @@ func (n *node) runPass(eng engine, k int, cands [][]item.Item) ([]itemset.Counte
 		meta.elapsed = time.Since(started)
 		n.passMeta = append(n.passMeta, meta)
 	}
+	n.emitProgress(k, len(cands), len(lk), time.Since(started))
 	return lk, nil
 }
 
 func (n *node) finishPassStats() {
 	n.perPass = append(n.perPass, n.cur)
-}
-
-// markDataPlane snapshots the sent-side fabric counter accumulated so far
-// this pass as count-support data traffic; engines call it right after the
-// count phase, before the L_k gather adds control traffic on top. (The
-// received side is counted at delivery inside the count phase — fabric
-// receive counters can already include a fast peer's early gather message.)
-func (n *node) markDataPlane() {
-	n.cur.DataBytesSent = n.ep.Stats().BytesSent
 }
 
 // gatherLarge implements the pass-end protocol shared by all engines:
@@ -351,6 +383,8 @@ func (n *node) markDataPlane() {
 // dupSets is the (deterministically identical) itemset list behind
 // dupCounts; only the coordinator's copy is read.
 func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets [][]item.Item, dupCounts []int64) ([]itemset.Counted, error) {
+	bsp := n.tr.Begin(n.id, 0, "barrier")
+	defer bsp.End()
 	if !n.isCoord() {
 		if err := n.ep.Send(0, kLocalLarge, wire.AppendCounted(nil, ownedSets, ownedCounts)); err != nil {
 			return nil, err
@@ -358,10 +392,12 @@ func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets
 		if err := n.ep.Send(0, kDupCounts, wire.AppendCountsAuto(nil, dupCounts)); err != nil {
 			return nil, err
 		}
+		wait := time.Now()
 		m, err := n.recvKind(kLarge)
 		if err != nil {
 			return nil, err
 		}
+		n.cur.BarrierWait += time.Since(wait)
 		sets, counts, _, err := wire.Counted(m.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("core: decode L_k broadcast: %w", err)
@@ -381,6 +417,7 @@ func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets
 	}
 	dupTotal := make([]int64, len(dupCounts))
 	copy(dupTotal, dupCounts)
+	wait := time.Now()
 	for got := 0; got < 2*n.numPeers(); got++ {
 		m, err := n.recvKind(kLocalLarge, kDupCounts)
 		if err != nil {
@@ -408,6 +445,7 @@ func (n *node) gatherLarge(ownedSets [][]item.Item, ownedCounts []int64, dupSets
 			}
 		}
 	}
+	n.cur.BarrierWait += time.Since(wait)
 	for i, c := range dupTotal {
 		if c >= n.minCount {
 			all = append(all, itemset.Counted{Items: dupSets[i], Count: c})

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+)
+
+// kindNames maps the mining protocol's message kinds to stable display names
+// (index = kind value).
+var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large"}
+
+func kindName(k uint8) string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// kindDeltas converts the per-kind window delta (cur − base) into the
+// metrics form, naming each kind.
+func kindDeltas(cur, base []cluster.KindStat) []metrics.KindIO {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]metrics.KindIO, len(cur))
+	for k := range cur {
+		d := cur[k]
+		if k < len(base) {
+			d = d.Sub(base[k])
+		}
+		out[k] = metrics.KindIO{
+			Kind: uint8(k), Name: kindName(uint8(k)),
+			MsgsSent: d.MsgsSent, MsgsReceived: d.MsgsRecv,
+			BytesSent: d.BytesSent, BytesReceived: d.BytesRecv,
+		}
+	}
+	return out
+}
+
+// capturePassComm closes the current pass's communication window: the fabric
+// counters are monotonic, so the pass's traffic is the delta against the
+// snapshot taken at the previous pass's end. The windows tile the whole run
+// (the first window opens at zero, before the size exchange), so summed over
+// all passes they reconcile exactly with the endpoint's lifetime totals.
+func (n *node) capturePassComm() {
+	st := n.ep.Stats()
+	ks := n.ep.KindStats()
+	d := st.Sub(n.base)
+	n.cur.BytesSent = d.BytesSent
+	n.cur.BytesReceived = d.BytesRecv
+	n.cur.MsgsSent = d.MsgsSent
+	n.cur.MsgsReceived = d.MsgsRecv
+	n.cur.ByKind = kindDeltas(ks, n.baseKind)
+	// The count-support data plane (Table 6's sent side) is exactly the
+	// kData slice of this window: data batches are only sent during the
+	// node's own count phase, never across a pass boundary.
+	if int(kData) < len(n.cur.ByKind) {
+		n.cur.DataBytesSent = n.cur.ByKind[kData].BytesSent
+	}
+	n.base = st
+	n.baseKind = ks
+}
+
+// endpointTotals snapshots one node's lifetime fabric counters for RunStats.
+func endpointTotals(id int, ep cluster.Endpoint) metrics.EndpointTotals {
+	st := ep.Stats()
+	return metrics.EndpointTotals{
+		Node:          id,
+		MsgsSent:      st.MsgsSent,
+		MsgsReceived:  st.MsgsRecv,
+		BytesSent:     st.BytesSent,
+		BytesReceived: st.BytesRecv,
+		ByKind:        kindDeltas(ep.KindStats(), nil),
+	}
+}
+
+// nodeInstruments are one node's live registry series. The zero value (no
+// registry configured) is fully inert.
+type nodeInstruments struct {
+	pass       *obs.Gauge
+	candidates *obs.Gauge
+	txns       *obs.Counter
+	probes     *obs.Counter
+	increments *obs.Counter
+	itemsSent  *obs.Counter
+	scanSec    *obs.Histogram
+	barrierSec *obs.Histogram
+}
+
+func newNodeInstruments(r *obs.Registry, node int) nodeInstruments {
+	if r == nil {
+		return nodeInstruments{}
+	}
+	l := obs.L("node", strconv.Itoa(node))
+	return nodeInstruments{
+		pass:       r.Gauge("pgarm_pass", "Pass currently executing.", l),
+		candidates: r.Gauge("pgarm_pass_candidates", "Candidate itemsets |C_k| of the current pass.", l),
+		txns:       r.Counter("pgarm_txns_scanned_total", "Transactions scanned across all passes.", l),
+		probes:     r.Counter("pgarm_probes_total", "Candidate-table probes.", l),
+		increments: r.Counter("pgarm_increments_total", "Support-count increments applied.", l),
+		itemsSent:  r.Counter("pgarm_items_sent_total", "Items shipped to other nodes.", l),
+		scanSec:    r.Histogram("pgarm_scan_shard_seconds", "Per-shard local scan wall time.", nil, l),
+		barrierSec: r.Histogram("pgarm_barrier_wait_seconds", "Per-pass L_k barrier wait.", nil, l),
+	}
+}
+
+func (ins *nodeInstruments) startPass(k, candidates int) {
+	ins.pass.Set(int64(k))
+	ins.candidates.Set(int64(candidates))
+}
+
+func (ins *nodeInstruments) endPass(cur *metrics.NodeStats) {
+	ins.txns.Add(cur.TxnsScanned)
+	ins.probes.Add(cur.Probes)
+	ins.increments.Add(cur.Increments)
+	ins.itemsSent.Add(cur.ItemsSent)
+	ins.barrierSec.Observe(cur.BarrierWait.Seconds())
+}
+
+// shardObs carries the per-shard observability hooks of one sharded scan;
+// the zero value disables them at no cost.
+type shardObs struct {
+	tr   *obs.Tracer
+	hist *obs.Histogram
+	node int
+	name string
+}
+
+// shardObs builds the hooks for one of this node's scans. name labels the
+// shard spans ("scan" for pure local scans, "count" when the scan also
+// routes count-support units).
+func (n *node) shardObs(name string) shardObs {
+	if n.tr == nil && n.ins.scanSec == nil {
+		return shardObs{}
+	}
+	return shardObs{tr: n.tr, hist: n.ins.scanSec, node: n.id, name: name}
+}
+
+// begin opens the shard's span and timer; the returned func closes them.
+// lane 0 is the node driver itself (inline scan, nesting under the pass
+// span); worker shards live on lanes 1..W so overlapping workers get their
+// own trace rows.
+func (so shardObs) begin(lane, shard int) func() {
+	if so.tr == nil && so.hist == nil {
+		return func() {}
+	}
+	start := time.Now()
+	var sp obs.Span
+	if so.tr.Enabled() {
+		if lane > 0 {
+			so.tr.SetThreadName(so.node, lane, fmt.Sprintf("scan w%d", shard))
+		}
+		sp = so.tr.Begin(so.node, lane, so.name)
+	}
+	return func() {
+		if so.hist != nil {
+			so.hist.Observe(time.Since(start).Seconds())
+		}
+		sp.End()
+	}
+}
+
+// beginRecv opens the count-phase receiver span on its own lane (W+1).
+func (n *node) beginRecv() obs.Span {
+	if !n.tr.Enabled() {
+		return obs.Span{}
+	}
+	lane := n.cfg.workers() + 1
+	n.tr.SetThreadName(n.id, lane, "recv")
+	return n.tr.Begin(n.id, lane, "recv")
+}
+
+// PassProgress is the per-pass progress callback payload (Config.OnPass),
+// delivered on the coordinator when a pass completes.
+type PassProgress struct {
+	Pass       int
+	Candidates int
+	Large      int
+	Elapsed    time.Duration
+	// BytesIn/BytesOut are the coordinator's fabric payload bytes for the
+	// pass window.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// emitProgress fires the coordinator's pass callbacks; a no-op elsewhere.
+func (n *node) emitProgress(pass, candidates, large int, elapsed time.Duration) {
+	if !n.isCoord() || n.cfg.OnPass == nil {
+		return
+	}
+	n.cfg.OnPass(PassProgress{
+		Pass:       pass,
+		Candidates: candidates,
+		Large:      large,
+		Elapsed:    elapsed,
+		BytesIn:    n.cur.BytesReceived,
+		BytesOut:   n.cur.BytesSent,
+	})
+}

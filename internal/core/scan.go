@@ -24,8 +24,14 @@ import (
 //
 // With workers == 1 the scan runs inline on the calling goroutine, exactly
 // like the pre-worker-pool code path.
-func scanShards(db txn.Scanner, workers int, fn func(w int, t txn.Transaction) error) error {
+//
+// so carries the per-shard observability hooks (span + timing histogram);
+// the zero value disables them. An inline scan records on trace lane 0 (the
+// driver's own row), worker shards on lanes 1..W.
+func scanShards(db txn.Scanner, workers int, so shardObs, fn func(w int, t txn.Transaction) error) error {
 	if workers <= 1 {
+		done := so.begin(0, 0)
+		defer done()
 		return db.Scan(func(t txn.Transaction) error { return fn(0, t) })
 	}
 	errs := make([]error, workers)
@@ -34,6 +40,8 @@ func scanShards(db txn.Scanner, workers int, fn func(w int, t txn.Transaction) e
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			done := so.begin(1+w, w)
+			defer done()
 			defer func() {
 				// A panic on a worker goroutine would escape the node
 				// goroutine's recover and kill the process; convert it to a

@@ -9,6 +9,7 @@ import (
 	"pgarm/internal/cumulate"
 	"pgarm/internal/gen"
 	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
 	"pgarm/internal/txn"
 )
 
@@ -44,6 +45,9 @@ type Options struct {
 	// see metrics.CostModel for why wall-clock is not used on a one-box
 	// reproduction.
 	Cost metrics.CostModel
+	// Tracer, when non-nil, records phase spans of every mining run for
+	// Chrome-trace export (pgarm-bench -trace).
+	Tracer *obs.Tracer
 }
 
 // Defaults returns the options used by `pgarm-bench` and the repo benches:
@@ -71,7 +75,12 @@ type dataset struct {
 type Env struct {
 	opt  Options
 	data map[string]*dataset
+	runs []*metrics.RunStats
 }
+
+// Runs returns the stats of every mining run executed by this environment so
+// far, in execution order — the raw material of `pgarm-bench -json` reports.
+func (e *Env) Runs() []*metrics.RunStats { return e.runs }
 
 // NewEnv validates options and prepares an empty environment.
 func NewEnv(opt Options) (*Env, error) {
@@ -138,11 +147,13 @@ func (e *Env) run(d *dataset, alg core.Algorithm, nodes int, minSup float64, bud
 		MemoryBudget: budget,
 		Fabric:       e.opt.Fabric,
 		Workers:      e.opt.Workers,
+		Tracer:       e.opt.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s, %d nodes, minsup %g: %w", alg, d.ds.Params.Name, nodes, minSup, err)
 	}
 	res.Stats.Dataset = d.ds.Params.Name
+	e.runs = append(e.runs, res.Stats)
 	return res.Stats, nil
 }
 

@@ -20,22 +20,38 @@ type NodeStats struct {
 	Increments    int64 // sup_cou increments actually applied
 	ItemsSent     int64 // items shipped to other nodes (paper's "sends N items")
 	ItemsReceived int64 // items received from other nodes during count support
-	// BytesSent/Received are the whole-pass fabric counters. They are
-	// approximate at pass boundaries: nodes reset their endpoint counters
-	// at their own pass start, so traffic from a faster peer may be
-	// attributed to the adjacent pass (or wiped by a late reset). Use
-	// DataBytes* for exact figures.
+	// BytesSent/Received are the whole-pass fabric counters, computed as
+	// deltas between monotonic endpoint snapshots taken at pass boundaries.
+	// The per-pass windows tile the run exactly: summed over all passes they
+	// equal the endpoint's lifetime totals.
 	BytesSent     int64
 	BytesReceived int64
-	// DataBytesSent/Received cover only the count-support exchange — the
-	// traffic Table 6 reports — excluding the L_k gather and broadcast.
-	// They are exact: the sent side is snapshotted before any pass-end
-	// control message, the received side counted at delivery.
+	// DataBytesSent/Received cover only the count-support exchange (message
+	// kind "data") — the traffic Table 6 reports — excluding the L_k gather
+	// and broadcast. The sent side is the per-kind snapshot delta, the
+	// received side counted at delivery.
 	DataBytesSent     int64
 	DataBytesReceived int64
 	MsgsSent          int64         // fabric messages sent
 	MsgsReceived      int64         // fabric messages received
 	ScanTime          time.Duration // local scan + counting wall time
+	// BarrierWait is how long this node blocked in the pass-end L_k
+	// gather/broadcast barrier — the direct measure of load skew: an idle
+	// node waits for the cluster's straggler.
+	BarrierWait time.Duration
+	// ByKind breaks the pass's fabric traffic down by message kind, indexed
+	// by kind; entries for kinds unused this pass are zero.
+	ByKind []KindIO
+}
+
+// KindIO is one message kind's traffic during one node's pass window.
+type KindIO struct {
+	Kind          uint8  `json:"kind"`
+	Name          string `json:"name,omitempty"`
+	MsgsSent      int64  `json:"msgs_sent"`
+	MsgsReceived  int64  `json:"msgs_received"`
+	BytesSent     int64  `json:"bytes_sent"`
+	BytesReceived int64  `json:"bytes_received"`
 }
 
 // AddScanCounters folds a scan worker's counters into the node's pass
@@ -107,12 +123,14 @@ func (p *PassStats) ProbeSkew() Skew {
 
 // Skew describes how evenly a per-node quantity is distributed.
 type Skew struct {
-	Min, Max, Mean float64
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
 	// CV is the coefficient of variation (stddev/mean); 0 is perfectly flat.
-	CV float64
+	CV float64 `json:"cv"`
 	// MaxOverMean is the bottleneck factor: >1 means the busiest node does
 	// proportionally more work than average, bounding speedup.
-	MaxOverMean float64
+	MaxOverMean float64 `json:"max_over_mean"`
 }
 
 // Summarize computes skew statistics over per-node values.
@@ -159,6 +177,20 @@ type RunStats struct {
 	MinSup    float64
 	Elapsed   time.Duration
 	Passes    []PassStats
+	// Endpoints are the lifetime fabric totals per node, captured when the
+	// run finishes. Per-pass windows reconcile against them: for every node
+	// and kind, the pass deltas sum exactly to these totals.
+	Endpoints []EndpointTotals
+}
+
+// EndpointTotals are one node's lifetime fabric counters.
+type EndpointTotals struct {
+	Node          int      `json:"node"`
+	MsgsSent      int64    `json:"msgs_sent"`
+	MsgsReceived  int64    `json:"msgs_received"`
+	BytesSent     int64    `json:"bytes_sent"`
+	BytesReceived int64    `json:"bytes_received"`
+	ByKind        []KindIO `json:"by_kind,omitempty"`
 }
 
 // Pass returns the stats of pass k, or nil if the run ended earlier.

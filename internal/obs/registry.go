@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key, Val string
+}
+
+// L builds a label.
+func L(key, val string) Label { return Label{key, val} }
+
+// Registry holds named instrument families and renders them in Prometheus
+// text exposition format. All instruments are safe for concurrent use; a nil
+// Registry hands out nil instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]instrument // key: rendered label set
+}
+
+type instrument interface {
+	// write appends the exposition lines of one series; name already
+	// carries the family name, labels the rendered label set ("" or
+	// `{k="v",...}`).
+	write(b *strings.Builder, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string, labels []Label, mk func() instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]instrument)}
+		r.families[name] = f
+	}
+	key := renderLabels(labels)
+	if ins, ok := f.series[key]; ok {
+		return ins
+	}
+	ins := mk()
+	f.series[key] = ins
+	return ins
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Val)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "counter", labels, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// Gauge is a settable integer metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, g.v.Load())
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "gauge", labels, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// gaugeFunc samples a callback at exposition time — the hook live endpoints
+// (fabric byte counters, current pass) are exported through.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+func (g *gaugeFunc) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", labels, func() instrument { return &gaugeFunc{fn: fn} })
+}
+
+// DefSecondsBuckets are the default histogram buckets for wall-time
+// observations, spanning 100µs to ~100s.
+func DefSecondsBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 50, 100}
+}
+
+// Histogram is a fixed-bucket cumulative histogram over float64 samples.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound, plus +Inf at the end
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	total  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(labels, formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.total.Load())
+}
+
+// mergeLE splices the le label into a rendered label set.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(labels, "}"), le)
+}
+
+// Histogram registers (or returns the existing) histogram series. bounds
+// must be sorted ascending; nil selects DefSecondsBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefSecondsBuckets()
+	}
+	return r.register(name, help, "histogram", labels, func() instrument {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent for
+// typical values, no trailing zeros).
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// WritePrometheus renders every family in text exposition format, families
+// and series in lexicographic order — deterministic, so tests can golden it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "")
+		return err
+	}
+	// Held across the render: registrations are rare (instrument handles are
+	// cached by callers) and instrument reads are atomic.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f.series[k].write(&b, f.name, k)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "help")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter must stay zero")
+	}
+	g := r.Gauge("b", "help")
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must stay zero")
+	}
+	h := r.Histogram("c", "help", nil)
+	h.Observe(1.5)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram must stay empty")
+	}
+	r.GaugeFunc("d", "help", func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", b.String())
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition output: family ordering,
+// HELP/TYPE lines, sorted labels, and cumulative histogram buckets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pgarm_msgs_total", "Messages sent.", L("node", "1"), L("kind", "data"))
+	c.Add(5)
+	r.Counter("pgarm_msgs_total", "Messages sent.", L("node", "0"), L("kind", "data")).Add(2)
+	g := r.Gauge("pgarm_pass", "Current pass.")
+	g.Set(3)
+	h := r.Histogram("pgarm_scan_seconds", "Shard scan time.", []float64{0.1, 1}, L("node", "0"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("pgarm_up", "Liveness.", func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pgarm_msgs_total Messages sent.
+# TYPE pgarm_msgs_total counter
+pgarm_msgs_total{kind="data",node="0"} 2
+pgarm_msgs_total{kind="data",node="1"} 5
+# HELP pgarm_pass Current pass.
+# TYPE pgarm_pass gauge
+pgarm_pass 3
+# HELP pgarm_scan_seconds Shard scan time.
+# TYPE pgarm_scan_seconds histogram
+pgarm_scan_seconds_bucket{node="0",le="0.1"} 1
+pgarm_scan_seconds_bucket{node="0",le="1"} 2
+pgarm_scan_seconds_bucket{node="0",le="+Inf"} 3
+pgarm_scan_seconds_sum{node="0"} 2.55
+pgarm_scan_seconds_count{node="0"} 3
+# HELP pgarm_up Liveness.
+# TYPE pgarm_up gauge
+pgarm_up 1
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestRegisterIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", L("node", "0"))
+	b := r.Counter("x_total", "h", L("node", "0"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("x_total", "h", L("node", "1"))
+	if a == other {
+		t.Fatal("distinct labels must return distinct counters")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("shared series must share state")
+	}
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // on a bound: belongs to le="1" (le is inclusive)
+	h.Observe(1.5)
+	h.Observe(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_count 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", L("g", string(rune('a'+g))))
+			h := r.Histogram("conc_seconds", "", nil)
+			for i := 0; i < 200; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 100)
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := r.Histogram("conc_seconds", "", nil)
+	if h.Count() != 8*200 {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), 8*200)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+	sp := tr.Begin(0, 0, "x")
+	sp.Arg("k", 1)
+	sp.End()
+	tr.SetThreadName(0, 0, "driver")
+	if tr.Spans() != 0 || tr.Dropped() != 0 || tr.Rollups() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-tracer trace is not JSON: %v", err)
+	}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTracer()
+	parent := tr.Begin(2, 0, "pass 2")
+	child1 := tr.Begin(2, 0, "scan")
+	time.Sleep(time.Millisecond)
+	child1.End()
+	child2 := tr.Begin(2, 0, "barrier")
+	child2.End()
+	parent.Arg("candidates", 42)
+	parent.End()
+
+	if got := tr.Spans(); got != 3 {
+		t.Fatalf("spans = %d, want 3", got)
+	}
+	evs := decodeSpanEvents(t, tr)
+	// Export is ordered by start time: parent opened first.
+	if evs[0].Name != "pass 2" || evs[1].Name != "scan" || evs[2].Name != "barrier" {
+		t.Fatalf("event order: %q %q %q", evs[0].Name, evs[1].Name, evs[2].Name)
+	}
+	// Children nest inside the parent interval (Perfetto nests X events on
+	// one track by time containment).
+	p, c1, c2 := evs[0], evs[1], evs[2]
+	for _, c := range []spanEvent{c1, c2} {
+		if c.Ts < p.Ts || c.Ts+c.Dur > p.Ts+p.Dur+1e-3 {
+			t.Errorf("child %q [%f,%f] not inside parent [%f,%f]",
+				c.Name, c.Ts, c.Ts+c.Dur, p.Ts, p.Ts+p.Dur)
+		}
+	}
+	// The two children are ordered and disjoint.
+	if c2.Ts < c1.Ts+c1.Dur {
+		t.Errorf("sequential children overlap: %f < %f", c2.Ts, c1.Ts+c1.Dur)
+	}
+	if p.Args["candidates"] != 42 {
+		t.Errorf("args = %v", p.Args)
+	}
+	if p.Pid != 2 || p.Tid != 0 {
+		t.Errorf("track = pid %d tid %d", p.Pid, p.Tid)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin(0, 0, "x")
+	sp.End()
+	sp.End()
+	if got := tr.Spans(); got != 1 {
+		t.Fatalf("spans = %d, want 1", got)
+	}
+}
+
+// spanEvent mirrors the fields every "X" event must carry.
+type spanEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int32            `json:"pid"`
+	Tid  int32            `json:"tid"`
+	Args map[string]int64 `json:"args"`
+}
+
+type metaArgs struct {
+	Name string `json:"name"`
+}
+type anyEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  int32           `json:"pid"`
+	Tid  int32           `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// decodeSpanEvents validates the whole file against the trace_event schema
+// and returns the "X" events.
+func decodeSpanEvents(t *testing.T, tr *Tracer) []spanEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var out []spanEvent
+	for _, raw := range file.TraceEvents {
+		var ev anyEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("bad event %s: %v", raw, err)
+		}
+		switch ev.Ph {
+		case "M":
+			var args metaArgs
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == "" {
+				t.Fatalf("metadata event without name: %s", raw)
+			}
+		case "X":
+			var sp spanEvent
+			if err := json.Unmarshal(raw, &sp); err != nil {
+				t.Fatalf("bad span event %s: %v", raw, err)
+			}
+			if sp.Name == "" || sp.Ts < 0 || sp.Dur < 0 {
+				t.Fatalf("malformed span event: %s", raw)
+			}
+			out = append(out, sp)
+		default:
+			t.Fatalf("unexpected phase %q in %s", ev.Ph, raw)
+		}
+	}
+	return out
+}
+
+func TestThreadNameMetadata(t *testing.T) {
+	tr := NewTracer()
+	tr.SetThreadName(1, 0, "driver")
+	tr.SetThreadName(1, 2, "scan w1")
+	sp := tr.Begin(1, 2, "scan")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"node 1"`, `"driver"`, `"scan w1"`, `"process_name"`, `"thread_name"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRollups(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		sp := tr.Begin(0, 0, "scan")
+		sp.End()
+	}
+	sp := tr.Begin(0, 0, "barrier")
+	sp.End()
+	rs := tr.Rollups()
+	if len(rs) != 2 {
+		t.Fatalf("rollups = %+v", rs)
+	}
+	// Sorted by name: barrier before scan.
+	if rs[0].Name != "barrier" || rs[0].Count != 1 {
+		t.Errorf("rollup[0] = %+v", rs[0])
+	}
+	if rs[1].Name != "scan" || rs[1].Count != 3 {
+		t.Errorf("rollup[1] = %+v", rs[1])
+	}
+	if rs[1].MinMS > rs[1].MaxMS || rs[1].TotalMS < rs[1].MaxMS {
+		t.Errorf("inconsistent rollup stats: %+v", rs[1])
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin(g, i%4, "work")
+				sp.Arg("i", int64(i))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Spans(); got != 8*200 {
+		t.Fatalf("spans = %d, want %d", got, 8*200)
+	}
+	decodeSpanEvents(t, tr)
+}

@@ -273,7 +273,9 @@ func (nd *seqNode) pass1() ([]Pattern, error) {
 func (nd *seqNode) passK(k int, cands [][][]item.Item) ([]Pattern, error) {
 	started := time.Now()
 	nd.cur = metrics.NodeStats{Node: nd.id}
-	nd.ep.ResetStats()
+	// The fabric counters are monotonic; this pass's traffic is the delta
+	// against the snapshot taken here.
+	base := nd.ep.Stats()
 
 	var counts []int64
 	var err error
@@ -286,9 +288,10 @@ func (nd *seqNode) passK(k int, cands [][][]item.Item) ([]Pattern, error) {
 	if err != nil {
 		return nil, fmt.Errorf("seq: node %d pass %d: %w", nd.id, k, err)
 	}
-	// Sent-side count-support data plane, before the reduce; the received
+	// Sent-side count-support data plane: everything sent since the pass
+	// snapshot, read before the reduce adds control traffic; the received
 	// side is accumulated at delivery in the receiver loop.
-	nd.cur.DataBytesSent = nd.ep.Stats().BytesSent
+	nd.cur.DataBytesSent = nd.ep.Stats().BytesSent - base.BytesSent
 	global, err := nd.reduceCounts(counts)
 	if err != nil {
 		return nil, err
@@ -300,9 +303,9 @@ func (nd *seqNode) passK(k int, cands [][][]item.Item) ([]Pattern, error) {
 		}
 	}
 	SortPatterns(fk)
-	st := nd.ep.Stats()
-	nd.cur.BytesSent, nd.cur.BytesReceived = st.BytesSent, st.BytesRecv
-	nd.cur.MsgsSent, nd.cur.MsgsReceived = st.MsgsSent, st.MsgsRecv
+	d := nd.ep.Stats().Sub(base)
+	nd.cur.BytesSent, nd.cur.BytesReceived = d.BytesSent, d.BytesRecv
+	nd.cur.MsgsSent, nd.cur.MsgsReceived = d.MsgsSent, d.MsgsRecv
 	nd.finishPass(k, len(cands), len(fk), started, fk)
 	return fk, nil
 }
