@@ -1,16 +1,19 @@
-// Command pgarm-mine runs one parallel mining job and prints the large
-// itemsets, the derived generalized association rules and per-pass
-// statistics.
+// Command pgarm-mine runs one parallel mining job and prints the results
+// and per-pass statistics.
 //
-// The transaction source is either generated on the fly (-scale) or loaded
-// from files produced by pgarm-gen (-in, repeatable or comma-separated);
-// the classification hierarchy is reconstructed deterministically from the
-// dataset configuration.
+// The default mode mines generalized association rules (-mode itemset): the
+// transaction source is either generated on the fly (-scale) or loaded from
+// files produced by pgarm-gen (-in, repeatable or comma-separated), with the
+// classification hierarchy reconstructed deterministically from the dataset
+// configuration. With -mode seq it instead mines generalized sequential
+// patterns with the [SK98] miners (NPSPM, SPSPM, HPSPM) over a generated
+// customer-sequence database (-customers, -items, -roots, -fanout).
 //
 // Examples:
 //
 //	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
 //	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules 0.6
+//	pgarm-mine -mode seq -algorithm HPSPM -customers 5000 -nodes 4 -minsup 0.05 -trace seq.json
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"pgarm/internal/obs"
 	"pgarm/internal/profiling"
 	"pgarm/internal/rules"
+	"pgarm/internal/seq"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -35,8 +39,13 @@ func main() {
 	log.SetPrefix("pgarm-mine: ")
 
 	var (
-		algName  = flag.String("algorithm", "H-HPGM-FGD", "NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD")
+		mode     = flag.String("mode", "itemset", "itemset (association rules) or seq (sequential patterns)")
+		algName  = flag.String("algorithm", "", "itemset: NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD (default H-HPGM-FGD); seq: NPSPM, SPSPM or HPSPM (default HPSPM)")
 		dataset  = flag.String("dataset", "R30F5", "dataset configuration (defines the hierarchy): R30F5, R30F3 or R30F10")
+		cust     = flag.Int("customers", 2000, "seq mode: customers to generate")
+		seqItems = flag.Int("items", 300, "seq mode: item universe size")
+		seqRoots = flag.Int("roots", 5, "seq mode: hierarchy roots")
+		seqFan   = flag.Int("fanout", 4, "seq mode: hierarchy fanout")
 		scale    = flag.Float64("scale", 0.005, "generate this fraction of the paper dataset (ignored with -in)")
 		seed     = flag.Int64("seed", 1998, "generator seed (ignored with -in)")
 		inFiles  = flag.String("in", "", "comma-separated per-node transaction files from pgarm-gen")
@@ -61,6 +70,31 @@ func main() {
 	}
 	defer stopProf()
 
+	if *mode == "seq" {
+		mineSequences(seqOptions{
+			algorithm: *algName,
+			customers: *cust,
+			items:     *seqItems,
+			roots:     *seqRoots,
+			fanout:    *seqFan,
+			seed:      *seed,
+			nodes:     *nodes,
+			minsup:    *minsup,
+			maxK:      *maxK,
+			workers:   *workers,
+			tcp:       *tcp,
+			traceOut:  *traceOut,
+			quiet:     *quiet,
+			topN:      *topN,
+		})
+		return
+	}
+	if *mode != "itemset" {
+		log.Fatalf("unknown mode %q (itemset or seq)", *mode)
+	}
+	if *algName == "" {
+		*algName = "H-HPGM-FGD"
+	}
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
 		log.Fatal(err)
@@ -171,6 +205,101 @@ func main() {
 				break
 			}
 			fmt.Printf("  %s\n", r)
+		}
+	}
+}
+
+// seqOptions are the flags relevant to -mode seq.
+type seqOptions struct {
+	algorithm string
+	customers int
+	items     int
+	roots     int
+	fanout    int
+	seed      int64
+	nodes     int
+	minsup    float64
+	maxK      int
+	workers   int
+	tcp       bool
+	traceOut  string
+	quiet     bool
+	topN      int
+}
+
+// mineSequences runs one parallel sequential-pattern job: generate a
+// customer-sequence database, mine it with the selected [SK98] miner and
+// print the frequent patterns with per-pass statistics.
+func mineSequences(o seqOptions) {
+	if o.algorithm == "" {
+		o.algorithm = "HPSPM"
+	}
+	alg, err := seq.ParseAlgorithm(o.algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tax, err := taxonomy.Balanced(o.items, o.roots, o.fanout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := seq.DefaultGenParams()
+	p.NumCustomers = o.customers
+	p.Seed = o.seed
+	fmt.Fprintf(os.Stderr, "generating %d customer sequences over %s...\n", p.NumCustomers, tax)
+	db := seq.GenerateSequences(tax, p)
+
+	cfg := seq.ParallelConfig{
+		Algorithm:  alg,
+		MinSupport: o.minsup,
+		MaxK:       o.maxK,
+		Workers:    o.workers,
+	}
+	if o.tcp {
+		cfg.Fabric = seq.FabricTCP
+	}
+	var tracer *obs.Tracer
+	if o.traceOut != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
+	fmt.Fprintf(os.Stderr, "mining with %s on %d nodes, minsup %.3g%%...\n", alg, o.nodes, o.minsup*100)
+	res, err := seq.MineParallel(tax, seq.Partition(db, o.nodes), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Stats.Dataset = fmt.Sprintf("SEQ-C%d", db.Len())
+	if tracer != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), o.traceOut)
+	}
+
+	fmt.Print(res.Stats.String())
+	if o.quiet {
+		return
+	}
+	for k := 1; k <= len(res.Frequent); k++ {
+		fk := res.FrequentK(k)
+		fmt.Printf("\nF_%d: %d patterns", k, len(fk))
+		if k == 1 {
+			fmt.Println()
+			continue
+		}
+		fmt.Println(":")
+		for i, pat := range fk {
+			if i >= o.topN {
+				fmt.Printf("  ... %d more\n", len(fk)-i)
+				break
+			}
+			fmt.Printf("  %s\n", pat)
 		}
 	}
 }

@@ -26,9 +26,8 @@ package core
 
 import (
 	"fmt"
-	"time"
 
-	"pgarm/internal/cluster"
+	"pgarm/internal/driver"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
 	"pgarm/internal/obs"
@@ -65,15 +64,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return "", fmt.Errorf("core: unknown algorithm %q", s)
 }
 
-// FabricKind selects the interconnect emulation.
-type FabricKind int
+// FabricKind selects the interconnect emulation (see internal/driver).
+type FabricKind = driver.FabricKind
 
 const (
 	// FabricChan runs the nodes over in-process channels (default).
-	FabricChan FabricKind = iota
+	FabricChan = driver.FabricChan
 	// FabricTCP runs the nodes over loopback TCP connections.
-	FabricTCP
+	FabricTCP = driver.FabricTCP
 )
+
+// PassProgress is the per-pass progress callback payload (Config.OnPass),
+// delivered on the coordinator when a pass completes.
+type PassProgress = driver.PassProgress
 
 // Config parameterizes a parallel mining run.
 type Config struct {
@@ -116,18 +119,20 @@ type Config struct {
 	OnPass func(PassProgress)
 }
 
-func (c *Config) batchBytes() int {
-	if c.BatchBytes <= 0 {
-		return 4 << 10
+// driverConfig maps the runtime-relevant half of the Config onto the shared
+// pass driver's knobs; the mining-relevant half (Algorithm, MemoryBudget)
+// stays with the itemset miner.
+func (c *Config) driverConfig() driver.Config {
+	return driver.Config{
+		MinSupport:  c.MinSupport,
+		MaxK:        c.MaxK,
+		Workers:     c.Workers,
+		BatchBytes:  c.BatchBytes,
+		Tracer:      c.Tracer,
+		Registry:    c.Registry,
+		OnPassStart: c.OnPassStart,
+		OnPass:      c.OnPass,
 	}
-	return c.BatchBytes
-}
-
-func (c *Config) workers() int {
-	if c.Workers <= 1 {
-		return 1
-	}
-	return c.Workers
 }
 
 // Result is the outcome of a parallel run.
@@ -182,77 +187,34 @@ func Mine(tax *taxonomy.Taxonomy, parts []txn.Scanner, cfg Config) (*Result, err
 		return nil, err
 	}
 
-	var fabric cluster.Fabric
-	switch cfg.Fabric {
-	case FabricChan:
-		fabric = cluster.NewChanFabric(n, cfg.FabricBuffer)
-	case FabricTCP:
-		f, err := cluster.NewTCPFabric(n, cfg.FabricBuffer)
-		if err != nil {
-			return nil, err
-		}
-		fabric = f
-	default:
-		return nil, fmt.Errorf("core: unknown fabric kind %d", cfg.Fabric)
+	fabric, err := driver.NewFabric(cfg.Fabric, n, cfg.FabricBuffer)
+	if err != nil {
+		return nil, err
 	}
 	defer fabric.Close()
 
+	// The candidate cache shares each pass's replicated derivations between
+	// the in-process node goroutines; every node still holds its own miner.
 	cache := newCandCache(tax)
-	nodes := make([]*node, n)
+	miners := make([]driver.Miner, n)
+	coord := (*itemsetMiner)(nil)
 	for i := 0; i < n; i++ {
-		nodes[i] = newNode(i, tax, parts[i], fabric.Endpoint(i), cfg, cache)
-	}
-
-	start := time.Now()
-	errs := make(chan error, n)
-	for _, nd := range nodes {
-		go func(nd *node) { errs <- nd.run() }(nd)
-	}
-	var firstErr error
-	for range nodes {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
+		m, err := newItemsetMiner(tax, parts[i], cfg, cache)
+		if err != nil {
+			return nil, err
 		}
+		if i == 0 {
+			coord = m
+		}
+		miners[i] = m
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	elapsed := time.Since(start)
 
-	coord := nodes[0]
+	nodes, elapsed, err := driver.Run(fabric, cfg.driverConfig(), miners)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{Large: coord.large}
-	res.Stats = assembleStats(cfg, nodes, elapsed)
+	res.Stats = driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, nodes, elapsed)
 	return res, nil
-}
-
-// assembleStats merges each node's per-pass counters with the coordinator's
-// per-pass metadata into a RunStats.
-func assembleStats(cfg Config, nodes []*node, elapsed time.Duration) *metrics.RunStats {
-	coord := nodes[0]
-	rs := &metrics.RunStats{
-		Algorithm: string(cfg.Algorithm),
-		Nodes:     len(nodes),
-		MinSup:    cfg.MinSupport,
-		Elapsed:   elapsed,
-	}
-	for pi, meta := range coord.passMeta {
-		ps := metrics.PassStats{
-			Pass:       meta.pass,
-			Candidates: meta.candidates,
-			Duplicated: meta.duplicated,
-			Fragments:  meta.fragments,
-			Large:      meta.large,
-			Elapsed:    meta.elapsed,
-		}
-		for _, nd := range nodes {
-			if pi < len(nd.perPass) {
-				ps.Nodes = append(ps.Nodes, nd.perPass[pi])
-			}
-		}
-		rs.Passes = append(rs.Passes, ps)
-	}
-	for _, nd := range nodes {
-		rs.Endpoints = append(rs.Endpoints, endpointTotals(nd.id, nd.ep))
-	}
-	return rs
 }

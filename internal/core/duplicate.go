@@ -22,7 +22,7 @@ const (
 // index into cands. The decision is a pure function of globally replicated
 // state (L1 counts, candidates, owners), so every node computes the same
 // set without communication — the paper's step 1 of Figures 7/9/11.
-func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys []string, owners []int) map[int32]bool {
+func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands [][]item.Item, vecKeys []string, owners []int) map[int32]bool {
 	dup := make(map[int32]bool)
 	if kind == dupNone || len(cands) == 0 {
 		return dup
@@ -30,7 +30,7 @@ func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys
 
 	// With no budget configured memory is unlimited and everything is
 	// duplicated — every variant degenerates to fully local counting.
-	if n.cfg.MemoryBudget <= 0 {
+	if m.cfg.MemoryBudget <= 0 {
 		for i := range cands {
 			dup[int32(i)] = true
 		}
@@ -40,7 +40,7 @@ func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys
 	// ("count the number of candidates allocated for each node").
 	capLeft := len(cands)
 	{
-		ownedPerNode := make([]int, n.ep.N())
+		ownedPerNode := make([]int, nNodes)
 		for _, o := range owners {
 			ownedPerNode[o]++
 		}
@@ -50,7 +50,7 @@ func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys
 				maxOwned = c
 			}
 		}
-		slots := int(n.cfg.MemoryBudget / candBytes(k))
+		slots := int(m.cfg.MemoryBudget / candBytes(k))
 		capLeft = slots - maxOwned
 		if capLeft <= 0 {
 			return dup
@@ -59,15 +59,15 @@ func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys
 
 	switch kind {
 	case dupTree:
-		selectTreeGrain(n, cands, vecKeys, capLeft, dup)
+		selectTreeGrain(m, cands, vecKeys, capLeft, dup)
 	case dupPath:
-		lowest := make([]bool, n.tax.NumItems())
-		for _, x := range lowestLargeItems(n.tax, n.largeFlags) {
+		lowest := make([]bool, m.tax.NumItems())
+		for _, x := range lowestLargeItems(m.tax, m.largeFlags) {
 			lowest[x] = true
 		}
-		selectItemGrain(n, cands, capLeft, dup, func(x item.Item) bool { return lowest[x] })
+		selectItemGrain(m, cands, capLeft, dup, func(x item.Item) bool { return lowest[x] })
 	case dupFine:
-		selectItemGrain(n, cands, capLeft, dup, func(item.Item) bool { return true })
+		selectItemGrain(m, cands, capLeft, dup, func(item.Item) bool { return true })
 	}
 	return dup
 }
@@ -76,7 +76,7 @@ func selectDuplicates(n *node, kind dupKind, k int, cands [][]item.Item, vecKeys
 // decreasing order of root frequency until the next group no longer fits —
 // the coarse grain that wastes free space at small minimum support
 // (Figure 14's TGD-equals-H-HPGM regime).
-func selectTreeGrain(n *node, cands [][]item.Item, vecKeys []string, capLeft int, dup map[int32]bool) {
+func selectTreeGrain(m *itemsetMiner, cands [][]item.Item, vecKeys []string, capLeft int, dup map[int32]bool) {
 	groups := make(map[string][]int32)
 	for i := range cands {
 		groups[vecKeys[i]] = append(groups[vecKeys[i]], int32(i))
@@ -89,7 +89,7 @@ func selectTreeGrain(n *node, cands [][]item.Item, vecKeys []string, capLeft int
 	for key := range groups {
 		var s int64
 		for _, r := range itemset.ParseKey(key) {
-			s += n.itemCounts[r]
+			s += m.itemCounts[r]
 		}
 		order = append(order, scored{key: key, score: s})
 	}
@@ -117,7 +117,7 @@ func selectTreeGrain(n *node, cands [][]item.Item, vecKeys []string, capLeft int
 // items' summed frequency — the order the paper obtains by generating
 // k-itemsets from the frequency-sorted item list — and duplicate each one
 // together with all its ancestor candidates, while the free space lasts.
-func selectItemGrain(n *node, cands [][]item.Item, capLeft int, dup map[int32]bool, eligible func(item.Item) bool) {
+func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup map[int32]bool, eligible func(item.Item) bool) {
 	type scored struct {
 		idx   int32
 		score int64
@@ -133,7 +133,7 @@ func selectItemGrain(n *node, cands [][]item.Item, capLeft int, dup map[int32]bo
 				ok = false
 				break
 			}
-			s += n.itemCounts[x]
+			s += m.itemCounts[x]
 		}
 		if ok {
 			order = append(order, scored{idx: int32(i), score: s})
@@ -155,7 +155,7 @@ func selectItemGrain(n *node, cands [][]item.Item, capLeft int, dup map[int32]bo
 		// duplication group.
 		group = group[:0]
 		group = append(group, sc.idx)
-		forEachAncestorCombo(n.tax, cands[sc.idx], func(anc []item.Item) {
+		forEachAncestorCombo(m.tax, cands[sc.idx], func(anc []item.Item) {
 			if aidx, ok := candIdx[itemset.Key(anc)]; ok && !dup[aidx] {
 				group = append(group, aidx)
 			}

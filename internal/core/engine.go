@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pgarm/internal/cumulate"
+	"pgarm/internal/driver"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
@@ -12,30 +13,43 @@ import (
 	"pgarm/internal/txn"
 )
 
-// engine is one algorithm's per-pass behaviour. The pass driver (node.go)
-// owns candidate generation and the L_k barrier; the engine owns candidate
-// partitioning, the count-support phase and the hand-off to gatherLarge.
-type engine interface {
-	pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error)
+// engineOut is one node's barrier contribution for a pass: the frequents it
+// owns outright, the dense count vector of its replicated candidates (with
+// the deterministically identical itemset list behind it — only the
+// coordinator's copy is read), and the pass metadata.
+type engineOut struct {
+	ownedSets   [][]item.Item
+	ownedCounts []int64
+	dupSets     [][]item.Item
+	dupCounts   []int64
+	duplicated  int
+	fragments   int
 }
 
-// newEngine instantiates the engine for the node's configured algorithm.
-func newEngine(n *node) (engine, error) {
-	switch n.cfg.Algorithm {
+// engine is one algorithm's per-pass behaviour. The runtime (internal/driver)
+// owns candidate generation and the L_k barrier; the engine owns candidate
+// partitioning and the count-support phase.
+type engine interface {
+	pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error)
+}
+
+// newEngine instantiates the engine for the miner's configured algorithm.
+func newEngine(m *itemsetMiner) (engine, error) {
+	switch m.cfg.Algorithm {
 	case NPGM:
-		return &npgmEngine{n: n}, nil
+		return &npgmEngine{m: m}, nil
 	case HPGM:
-		return &hpgmEngine{n: n}, nil
+		return &hpgmEngine{m: m}, nil
 	case HHPGM:
-		return &hierEngine{n: n, dup: dupNone}, nil
+		return &hierEngine{m: m, dup: dupNone}, nil
 	case HHPGMTGD:
-		return &hierEngine{n: n, dup: dupTree}, nil
+		return &hierEngine{m: m, dup: dupTree}, nil
 	case HHPGMPGD:
-		return &hierEngine{n: n, dup: dupPath}, nil
+		return &hierEngine{m: m, dup: dupPath}, nil
 	case HHPGMFGD:
-		return &hierEngine{n: n, dup: dupFine}, nil
+		return &hierEngine{m: m, dup: dupFine}, nil
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %q", n.cfg.Algorithm)
+	return nil, fmt.Errorf("core: unknown algorithm %q", m.cfg.Algorithm)
 }
 
 // candBytes estimates the per-candidate memory footprint the paper's M
@@ -68,14 +82,14 @@ func fragmentCount(numCands, k int, budget int64) int {
 // re-scanned once per fragment — the cost that makes NPGM collapse at small
 // minimum support (Figure 14).
 type npgmEngine struct {
-	n *node
+	m *itemsetMiner
 }
 
-func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error) {
-	n := e.n
-	frags := fragmentCount(len(cands), k, n.cfg.MemoryBudget)
-	view := taxonomy.NewView(n.tax, n.largeFlags, cumulate.KeepSet(n.tax, cands))
-	member := cumulate.MemberSet(n.tax, cands)
+func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
+	m := e.m
+	frags := fragmentCount(len(cands), k, m.cfg.MemoryBudget)
+	view := taxonomy.NewView(m.tax, m.largeFlags, cumulate.KeepSet(m.tax, cands))
+	member := cumulate.MemberSet(m.tax, cands)
 
 	// The candidate set is replicated: one shared index plus a per-node
 	// count vector stands in for N identical hash tables (see candCache).
@@ -86,12 +100,12 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	// pure sharding: every worker probes the shared read-only index
 	// (Index.Lookup is pure and allocation-free) into its own count vector,
 	// merged once after the last fragment.
-	index := n.cands.fullIndex(k, cands)
-	W := n.cfg.workers()
-	wcounts := workerVectors(W, len(cands))
+	index := m.cands.fullIndex(k, cands)
+	W := n.Workers()
+	wcounts := driver.WorkerVectors(W, len(cands))
 	wstats := make([]metrics.NodeStats, W)
-	wext := newWorkerScratch(W, 64)
-	wsub := newWorkerScratch(W, 2*k)
+	wext := driver.WorkerScratch(W, 64)
+	wsub := driver.WorkerScratch(W, 2*k)
 	started := time.Now()
 	per := (len(cands) + frags - 1) / frags
 	for f := 0; f < frags; f++ {
@@ -100,37 +114,38 @@ func (e *npgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		if hi > int32(len(cands)) {
 			hi = int32(len(cands))
 		}
-		err := scanShards(n.db, W, n.shardObs("scan"), func(w int, t txn.Transaction) error {
-			st := &wstats[w]
-			st.TxnsScanned++
+		err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, t txn.Transaction) error {
+			ws := &wstats[w]
+			ws.TxnsScanned++
 			ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
 			wext[w] = ext
 			counts := wcounts[w]
 			itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
-				st.Probes++
+				ws.Probes++
 				if id := index.Lookup(sub); id >= lo && id < hi {
 					counts[id]++
-					st.Increments++
+					ws.Increments++
 				}
 				return true
 			})
 			return nil
 		})
 		if err != nil {
-			return nil, passMeta{}, fmt.Errorf("fragment %d scan: %w", f, err)
+			return engineOut{}, fmt.Errorf("fragment %d scan: %w", f, err)
 		}
 	}
-	counts := mergeWorkerVectors(wcounts)
-	mergeWorkerStats(&n.cur, wstats)
-	n.cur.ScanTime = time.Since(started)
+	counts := driver.MergeWorkerVectors(wcounts)
+	driver.MergeWorkerStats(st, wstats)
+	st.ScanTime = time.Since(started)
 
 	// NPGM has no count-support communication: the only exchange is the
-	// reduce of the replicated counts, which gatherLarge performs. (The
-	// paper broadcasts each fragment's L_k^d as it completes; reducing once
-	// after the last fragment yields the same L_k with one barrier.)
-	lk, err := n.gatherLarge(nil, nil, cands, counts)
-	if err != nil {
-		return nil, passMeta{}, err
-	}
-	return lk, passMeta{fragments: frags, duplicated: len(cands)}, nil
+	// reduce of the replicated counts, which the runtime's barrier performs.
+	// (The paper broadcasts each fragment's L_k^d as it completes; reducing
+	// once after the last fragment yields the same L_k with one barrier.)
+	return engineOut{
+		dupSets:    cands,
+		dupCounts:  counts,
+		duplicated: len(cands),
+		fragments:  frags,
+	}, nil
 }

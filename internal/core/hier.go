@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pgarm/internal/cumulate"
+	"pgarm/internal/driver"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
@@ -17,7 +18,7 @@ import (
 // buffer. Nothing in here is shared, so the scan body never synchronizes.
 type hierWorker struct {
 	stats       metrics.NodeStats
-	bat         *batcher
+	bat         *driver.Batcher
 	dupCounts   []int64
 	dupExt      []item.Item
 	tPrime      []item.Item
@@ -43,28 +44,28 @@ type hierWorker struct {
 // hot itemsets plus their ancestor candidates — which are then counted
 // locally on every node, flattening the probe-load distribution (Fig 15).
 type hierEngine struct {
-	n   *node
+	m   *itemsetMiner
 	dup dupKind
 }
 
-func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error) {
-	n := e.n
-	nNodes := n.ep.N()
-	self := n.id
+func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
+	m := e.m
+	nNodes := n.NumNodes()
+	self := n.ID()
 
 	// Root vectors, owners and the duplication choice are deterministic on
 	// every node; computed once and shared (see candCache).
-	psp := n.tr.Begin(n.id, 0, "partition")
-	plan := n.cands.hierPlan(k, func() *passPlan {
+	psp := n.Span("partition")
+	plan := m.cands.hierPlan(k, func() *passPlan {
 		vecKeys := make([]string, len(cands))
 		owners := make([]int, len(cands))
 		vecScratch := make([]item.Item, 0, k)
 		for i, c := range cands {
-			vecScratch = rootVector(n.tax, vecScratch[:0], c)
+			vecScratch = rootVector(m.tax, vecScratch[:0], c)
 			vecKeys[i] = itemset.Key(vecScratch)
 			owners[i] = int(itemset.Hash(vecScratch) % uint64(nNodes))
 		}
-		dup := selectDuplicates(n, e.dup, k, cands, vecKeys, owners)
+		dup := selectDuplicates(m, nNodes, e.dup, k, cands, vecKeys, owners)
 		// Duplicated candidates in ascending id order: the layout of every
 		// node's count vector and of the coordinator reduce.
 		dupSets := make([][]item.Item, 0, len(dup))
@@ -117,11 +118,11 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	for _, c := range ownedCands {
 		ownedTable.Add(c)
 	}
-	ownedMember := cumulate.MemberSet(n.tax, ownedCands)
-	ownedView := taxonomy.NewView(n.tax, n.largeFlags, ownedMember)
-	dupMember := cumulate.MemberSet(n.tax, plan.dupSets)
-	dupView := taxonomy.NewView(n.tax, n.largeFlags, dupMember)
-	replaceView := taxonomy.NewView(n.tax, n.largeFlags, nil)
+	ownedMember := cumulate.MemberSet(m.tax, ownedCands)
+	ownedView := taxonomy.NewView(m.tax, m.largeFlags, ownedMember)
+	dupMember := cumulate.MemberSet(m.tax, plan.dupSets)
+	dupView := taxonomy.NewView(m.tax, m.largeFlags, dupMember)
+	replaceView := taxonomy.NewView(m.tax, m.largeFlags, nil)
 
 	psp.Arg("duplicated", int64(len(plan.dupSets)))
 	psp.End()
@@ -133,27 +134,27 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	// the owned table; scan workers only route.
 	applyScratch := make([]item.Item, 0, 64)
 	applySub := make([]item.Item, 0, 2*k)
-	xsp := n.tr.Begin(n.id, 0, "exchange")
-	cp := n.startCountPhase(func(items []item.Item) {
+	xsp := n.Span("exchange")
+	cp := n.StartExchange(driver.ItemsApplier(func(items []item.Item) {
 		ext := cumulate.ExtendFiltered(ownedView, ownedMember, applyScratch[:0], items)
 		applyScratch = ext
 		itemset.ForEachSubsetScratch(ext, k, applySub, func(sub []item.Item) bool {
 			if id := ownedTable.Lookup(sub); id >= 0 {
 				ownedTable.Increment(id)
-				n.cur.Increments++
+				st.Increments++
 			}
 			return true
 		})
-	})
+	}))
 
 	// Per-worker scan state: each worker owns a batcher, a duplicated-table
 	// count vector and every per-transaction scratch buffer.
-	W := n.cfg.workers()
-	wdup := workerVectors(W, len(plan.dupSets))
+	W := n.Workers()
+	wdup := driver.WorkerVectors(W, len(plan.dupSets))
 	workers := make([]hierWorker, W)
 	for w := range workers {
 		workers[w] = hierWorker{
-			bat:         cp.newBatcher(),
+			bat:         cp.NewBatcher(),
 			dupCounts:   wdup[w],
 			rootsByDest: make([][]item.Item, nNodes),
 			touched:     make([]int, 0, nNodes),
@@ -163,7 +164,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 	}
 
 	started := time.Now()
-	err := scanShards(n.db, W, n.shardObs("count"), func(w int, t txn.Transaction) error {
+	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, t txn.Transaction) error {
 		wk := &workers[w]
 		wk.stats.TxnsScanned++
 
@@ -189,14 +190,14 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			return nil
 		}
 		// Distinct roots present with their item multiplicities.
-		wk.rootRuns = rootRunsOf(n.tax, wk.rootRuns[:0], wk.tPrime)
+		wk.rootRuns = rootRunsOf(m.tax, wk.rootRuns[:0], wk.tPrime)
 
 		// Enumerate realizable root k-multisets; union the roots each
 		// destination needs. vecInfo is shared read-only.
 		wk.touched = wk.touched[:0]
 		wk.multiset = wk.multiset[:0]
-		enumerateMultisets(wk.rootRuns, k, wk.multiset, func(m []item.Item) {
-			wk.keyBuf = itemset.AppendKey(wk.keyBuf[:0], m)
+		enumerateMultisets(wk.rootRuns, k, wk.multiset, func(mv []item.Item) {
+			wk.keyBuf = itemset.AppendKey(wk.keyBuf[:0], mv)
 			ve := vecInfo[string(wk.keyBuf)]
 			if ve == nil || ve.remaining == 0 {
 				return
@@ -204,7 +205,7 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			if len(wk.rootsByDest[ve.owner]) == 0 {
 				wk.touched = append(wk.touched, ve.owner)
 			}
-			for _, r := range m {
+			for _, r := range mv {
 				wk.rootsByDest[ve.owner] = append(wk.rootsByDest[ve.owner], r)
 			}
 		})
@@ -214,14 +215,14 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 			roots := item.Dedup(wk.rootsByDest[dest])
 			wk.group = wk.group[:0]
 			for _, x := range wk.tPrime {
-				if item.Contains(roots, n.tax.Root(x)) {
+				if item.Contains(roots, m.tax.Root(x)) {
 					wk.group = append(wk.group, x)
 				}
 			}
 			if dest != self {
 				wk.stats.ItemsSent += int64(len(wk.group))
 			}
-			if err := wk.bat.add(dest, wk.group); err != nil {
+			if err := wk.bat.AddItems(dest, wk.group); err != nil {
 				sendErr = err
 			}
 			wk.rootsByDest[dest] = wk.rootsByDest[dest][:0]
@@ -232,28 +233,31 @@ func (e *hierEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		if err != nil {
 			break
 		}
-		err = workers[w].bat.flushAll()
+		err = workers[w].bat.FlushAll()
 	}
-	if ferr := cp.finish(); err == nil {
+	if ferr := cp.Finish(); err == nil {
 		err = ferr
 	}
 	xsp.End()
 	if err != nil {
-		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
+		return engineOut{}, fmt.Errorf("count support: %w", err)
 	}
-	dupCounts := mergeWorkerVectors(wdup)
+	dupCounts := driver.MergeWorkerVectors(wdup)
 	for w := range workers {
-		n.cur.AddScanCounters(&workers[w].stats)
+		st.AddScanCounters(&workers[w].stats)
 	}
-	n.cur.ScanTime = time.Since(started)
-	n.cur.Probes += ownedTable.Probes()
+	st.ScanTime = time.Since(started)
+	st.Probes += ownedTable.Probes()
 
-	ownedSets, ownedCounts := largeOf(ownedTable, n.minCount)
-	lk, err := n.gatherLarge(ownedSets, ownedCounts, plan.dupSets, dupCounts)
-	if err != nil {
-		return nil, passMeta{}, err
-	}
-	return lk, passMeta{fragments: 1, duplicated: len(plan.dupSets)}, nil
+	ownedSets, ownedCounts := largeOf(ownedTable, n.MinCount())
+	return engineOut{
+		ownedSets:   ownedSets,
+		ownedCounts: ownedCounts,
+		dupSets:     plan.dupSets,
+		dupCounts:   dupCounts,
+		duplicated:  len(plan.dupSets),
+		fragments:   1,
+	}, nil
 }
 
 // rootVector computes the sorted multiset of roots of an itemset's members,

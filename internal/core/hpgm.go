@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pgarm/internal/cumulate"
+	"pgarm/internal/driver"
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
@@ -20,16 +21,16 @@ import (
 // 3 items turns into 18 shipped items — which is exactly the communication
 // blow-up H-HPGM eliminates (Table 6).
 type hpgmEngine struct {
-	n *node
+	m *itemsetMiner
 }
 
-func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMeta, error) {
-	n := e.n
-	nNodes := n.ep.N()
-	self := n.id
+func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
+	m := e.m
+	nNodes := n.NumNodes()
+	self := n.ID()
 
 	// Partition: node i keeps the candidates hashing to i.
-	psp := n.tr.Begin(n.id, 0, "partition")
+	psp := n.Span("partition")
 	table := itemset.NewTable(len(cands)/nNodes + 1)
 	for _, c := range cands {
 		if int(itemset.Hash(c)%uint64(nNodes)) == self {
@@ -37,33 +38,33 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		}
 	}
 
-	view := taxonomy.NewView(n.tax, n.largeFlags, cumulate.KeepSet(n.tax, cands))
-	member := cumulate.MemberSet(n.tax, cands)
+	view := taxonomy.NewView(m.tax, m.largeFlags, cumulate.KeepSet(m.tax, cands))
+	member := cumulate.MemberSet(m.tax, cands)
 	psp.End()
 
 	// The receiver goroutine keeps exclusive ownership of the partitioned
 	// table; scan workers only route units into per-worker batchers.
-	xsp := n.tr.Begin(n.id, 0, "exchange")
-	cp := n.startCountPhase(func(items []item.Item) {
+	xsp := n.Span("exchange")
+	cp := n.StartExchange(driver.ItemsApplier(func(items []item.Item) {
 		// One unit = one k-itemset owned by this node.
 		if id := table.Lookup(items); id >= 0 {
 			table.Increment(id)
-			n.cur.Increments++
+			st.Increments++
 		}
-	})
-	W := n.cfg.workers()
-	bats := make([]*batcher, W)
+	}))
+	W := n.Workers()
+	bats := make([]*driver.Batcher, W)
 	for w := range bats {
-		bats[w] = cp.newBatcher()
+		bats[w] = cp.NewBatcher()
 	}
 	wstats := make([]metrics.NodeStats, W)
-	wext := newWorkerScratch(W, 64)
-	wsub := newWorkerScratch(W, 2*k)
+	wext := driver.WorkerScratch(W, 64)
+	wsub := driver.WorkerScratch(W, 2*k)
 
 	started := time.Now()
-	err := scanShards(n.db, W, n.shardObs("count"), func(w int, t txn.Transaction) error {
-		st := &wstats[w]
-		st.TxnsScanned++
+	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, t txn.Transaction) error {
+		ws := &wstats[w]
+		ws.TxnsScanned++
 		ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
 		wext[w] = ext
 		bat := bats[w]
@@ -71,9 +72,9 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
 			dest := int(itemset.Hash(sub) % uint64(nNodes))
 			if dest != self {
-				st.ItemsSent += int64(len(sub))
+				ws.ItemsSent += int64(len(sub))
 			}
-			if err := bat.add(dest, sub); err != nil {
+			if err := bat.AddItems(dest, sub); err != nil {
 				sendErr = err
 				return false
 			}
@@ -85,25 +86,25 @@ func (e *hpgmEngine) pass(k int, cands [][]item.Item) ([]itemset.Counted, passMe
 		if err != nil {
 			break
 		}
-		err = bat.flushAll()
+		err = bat.FlushAll()
 	}
-	if ferr := cp.finish(); err == nil {
+	if ferr := cp.Finish(); err == nil {
 		err = ferr
 	}
 	xsp.End()
 	if err != nil {
-		return nil, passMeta{}, fmt.Errorf("count support: %w", err)
+		return engineOut{}, fmt.Errorf("count support: %w", err)
 	}
-	mergeWorkerStats(&n.cur, wstats)
-	n.cur.ScanTime = time.Since(started)
-	n.cur.Probes += table.Probes()
+	driver.MergeWorkerStats(st, wstats)
+	st.ScanTime = time.Since(started)
+	st.Probes += table.Probes()
 
-	ownedSets, ownedCounts := largeOf(table, n.minCount)
-	lk, err := n.gatherLarge(ownedSets, ownedCounts, nil, nil)
-	if err != nil {
-		return nil, passMeta{}, err
-	}
-	return lk, passMeta{fragments: 1}, nil
+	ownedSets, ownedCounts := largeOf(table, n.MinCount())
+	return engineOut{
+		ownedSets:   ownedSets,
+		ownedCounts: ownedCounts,
+		fragments:   1,
+	}, nil
 }
 
 // largeOf extracts the itemsets meeting minCount from a fully counted local

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"pgarm/internal/cluster"
+	"pgarm/internal/driver"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -24,15 +24,16 @@ func MineWorker(tax *taxonomy.Taxonomy, local txn.Scanner, cfg Config, ep cluste
 	if _, err := ParseAlgorithm(string(cfg.Algorithm)); err != nil {
 		return nil, err
 	}
-	nd := newNode(ep.ID(), tax, local, ep, cfg, newCandCache(tax))
-	nd.keepLarge = true
-	start := time.Now()
-	if err := nd.run(); err != nil {
+	m, err := newItemsetMiner(tax, local, cfg, newCandCache(tax))
+	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	nd, elapsed, err := driver.RunWorker(ep, cfg.driverConfig(), m)
+	if err != nil {
+		return nil, err
+	}
 
-	res := &Result{Large: nd.large}
-	res.Stats = assembleStats(cfg, []*node{nd}, elapsed)
+	res := &Result{Large: m.large}
+	res.Stats = driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, []*driver.Node{nd}, elapsed)
 	return res, nil
 }

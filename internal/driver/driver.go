@@ -1,0 +1,211 @@
+// Package driver is the shared-nothing pass runtime every parallel miner in
+// this repository runs on: N node goroutines (or processes) over a
+// cluster.Fabric, node 0 doubling as coordinator, executing the level-wise
+// protocol of the paper — size exchange, pass 1 reduce, then for each k a
+// candidate generation, a count-support phase and an F_k gather/broadcast
+// barrier.
+//
+// The runtime owns everything that is identical across workloads:
+//
+//   - coordinator/worker lifecycle and kind-filtered receive with a pending
+//     stash (a fast peer's pass-k traffic must not be lost while this node
+//     still waits on its pass-(k-1) barrier);
+//   - the size exchange and the dense pass-1 count reduce;
+//   - the count-support Exchange (producer/consumer split with loopback,
+//     batching and buffer recycling) and the sharded local scan;
+//   - the F_k barrier: locally-owned frequents gathered from every node plus
+//     a reduce of replicated count vectors, merged and broadcast;
+//   - per-pass metrics.NodeStats capture with monotonic fabric snapshots
+//     whose windows tile the run, phase-span tracing and registry
+//     instruments.
+//
+// What varies per workload — candidate representation, partitioning,
+// counting a local shard, encoding frequents — is behind the Miner
+// interface. internal/core (the paper's six itemset algorithms) and
+// internal/seq (the SK98 NPSPM/SPSPM/HPSPM sequence miners) are both Miner
+// implementations.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+)
+
+// Message kinds of the mining protocol. Per-sender FIFO delivery (all
+// fabrics guarantee it) plus the pass barriers make each kind unambiguous:
+// within a pass a sender emits KData* messages, then one KDone, then its
+// results (KLocalLarge/KDupCounts), and the coordinator answers with one
+// KLarge. The numeric values and display names predate this package and are
+// part of the per-kind accounting surface (metrics.KindIO.Name).
+const (
+	KSize       uint8 = iota + 1 // node -> coord: local partition size; coord -> node: |D|
+	KCounts1                     // node -> coord: pass-1 dense item counts
+	KData                        // node -> node: count-support payload batch
+	KDone                        // node -> node: end of count-support stream
+	KLocalLarge                  // node -> coord: locally-owned frequents
+	KDupCounts                   // node -> coord: duplicated/replicated table counts
+	KLarge                       // coord -> node: global F_k broadcast
+)
+
+// FabricKind selects the interconnect emulation for in-process clusters.
+type FabricKind int
+
+const (
+	// FabricChan runs the nodes over in-process channels (default).
+	FabricChan FabricKind = iota
+	// FabricTCP runs the nodes over loopback TCP connections.
+	FabricTCP
+)
+
+// NewFabric constructs the selected in-process fabric for n nodes.
+func NewFabric(kind FabricKind, n, buffer int) (cluster.Fabric, error) {
+	switch kind {
+	case FabricChan:
+		return cluster.NewChanFabric(n, buffer), nil
+	case FabricTCP:
+		return cluster.NewTCPFabric(n, buffer)
+	}
+	return nil, fmt.Errorf("driver: unknown fabric kind %d", kind)
+}
+
+// Config parameterizes the runtime side of a run; the mining side lives in
+// the Miner.
+type Config struct {
+	MinSupport float64 // fraction of the global database size
+	MaxK       int     // 0 = run until F_k is empty
+
+	// Workers is the number of scan goroutines each node uses over its local
+	// partition (see ScanShards). 0 or 1 scans on the node goroutine itself.
+	Workers int
+
+	// BatchBytes is the count-support send batching threshold; 0 = 4KB.
+	BatchBytes int
+
+	// KeepResults makes every node record result levels and pass metadata,
+	// not just the coordinator — the multi-process worker mode, where each
+	// process only sees its own node.
+	KeepResults bool
+
+	// Tracer, when non-nil, records phase spans for every node (pass,
+	// generate, scan shards, exchange, barrier) for Chrome-trace export.
+	// Nil tracing costs nothing on the hot path.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives live counters/gauges/histograms per
+	// node (current pass, probes, scan and barrier timings) for /metrics.
+	Registry *obs.Registry
+	// OnPassStart, when non-nil, fires on the coordinator as each pass k>=2
+	// begins, before any scanning.
+	OnPassStart func(pass, candidates int)
+	// OnPass, when non-nil, fires on the coordinator as each pass completes.
+	OnPass func(PassProgress)
+}
+
+func (c *Config) batchBytes() int {
+	if c.BatchBytes <= 0 {
+		return 4 << 10
+	}
+	return c.BatchBytes
+}
+
+func (c *Config) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Miner is the mining-logic half of a run. The runtime calls these hooks
+// from the node goroutine in protocol order; every hook receives the Node
+// for access to cluster position (ID/NumNodes), the derived global state
+// (TotalSize/MinCount) and the communication helpers (StartExchange,
+// ShardObs, Span).
+//
+// A Miner instance belongs to exactly one node and is never called
+// concurrently with itself; replicated derivations (candidate generation)
+// must be pure functions of state identical on every node after each
+// barrier.
+type Miner interface {
+	// LocalSize is the size of the local partition (transactions, customers)
+	// reported during the size exchange.
+	LocalSize() int
+
+	// NumItems is the size of the dense pass-1 count vector (the item
+	// universe).
+	NumItems() int
+
+	// CountPass1 scans the local partition and returns the dense per-item
+	// support counts; scan counters (TxnsScanned, ...) go into st.
+	CountPass1(n *Node, st *metrics.NodeStats) ([]int64, error)
+
+	// FinishPass1 consumes the globally reduced pass-1 counts, records F_1
+	// (when n.Keep()) and returns |F_1|. Returning 0 ends the run.
+	FinishPass1(n *Node, global []int64) (int, error)
+
+	// Generate materializes C_k from F_(k-1) — identical on every node — and
+	// returns |C_k|. Returning 0 ends the run.
+	Generate(n *Node, k int) (int, error)
+
+	// CountPass runs pass k's partition and count-support phase over the
+	// local shard (routing units through n.StartExchange as needed) and
+	// returns this node's barrier contribution. Scan and probe counters go
+	// into st, which is the node's live pass window.
+	CountPass(n *Node, k int, st *metrics.NodeStats) (PassOutcome, error)
+
+	// MergeFrequents runs on the coordinator only: it merges its own pass
+	// outcome (held internally by the miner), the peers' encoded owned
+	// frequents and the reduced replicated counts into the global F_k,
+	// records it (when n.Keep()) and returns its encoded broadcast form plus
+	// |F_k|.
+	MergeFrequents(n *Node, k int, peerOwned [][]byte, dupTotal []int64) ([]byte, int, error)
+
+	// FinishPass runs on followers only: it decodes the coordinator's F_k
+	// broadcast, records it (when n.Keep()) and returns |F_k|.
+	FinishPass(n *Node, k int, payload []byte) (int, error)
+}
+
+// PassOutcome is one node's contribution to the pass-k barrier.
+type PassOutcome struct {
+	// Owned is the encoded locally-determined frequents, sent to the
+	// coordinator as KLocalLarge. Followers must always set it (possibly to
+	// an encoded empty list); the coordinator keeps its own share in miner
+	// state for MergeFrequents and may leave Owned nil.
+	Owned []byte
+
+	// DupCounts is the dense count vector of candidates this node counted
+	// redundantly (replicated or duplicated candidates); the coordinator
+	// reduces the vectors element-wise before thresholding. May be nil when
+	// the algorithm has no replicated candidates. The vector layout must be
+	// identical on every node.
+	DupCounts []int64
+
+	// Duplicated and Fragments feed the pass metadata (metrics.PassStats).
+	Duplicated int
+	Fragments  int
+}
+
+// passMeta is the coordinator-side metadata of one pass.
+type passMeta struct {
+	pass       int
+	candidates int
+	duplicated int
+	fragments  int
+	large      int
+	elapsed    time.Duration
+}
+
+// PassProgress is the per-pass progress callback payload (Config.OnPass),
+// delivered on the coordinator when a pass completes.
+type PassProgress struct {
+	Pass       int
+	Candidates int
+	Large      int
+	Elapsed    time.Duration
+	// BytesIn/BytesOut are the coordinator's fabric payload bytes for the
+	// pass window.
+	BytesIn  int64
+	BytesOut int64
+}

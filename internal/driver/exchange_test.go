@@ -1,4 +1,4 @@
-package core
+package driver
 
 import (
 	"sync"
@@ -10,14 +10,14 @@ import (
 	"pgarm/internal/wire"
 )
 
-// newTestNodes wires bare nodes (no taxonomy, no database) to a channel
-// fabric for exercising the count-phase machinery directly.
-func newTestNodes(t *testing.T, n int) ([]*node, cluster.Fabric) {
+// newTestNodes wires bare nodes (no miner) to a channel fabric for
+// exercising the count-phase machinery directly.
+func newTestNodes(t *testing.T, n int) ([]*Node, cluster.Fabric) {
 	t.Helper()
 	f := cluster.NewChanFabric(n, 16)
-	nodes := make([]*node, n)
+	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = &node{id: i, ep: f.Endpoint(i), cfg: Config{BatchBytes: 64}}
+		nodes[i] = &Node{id: i, ep: f.Endpoint(i), cfg: Config{BatchBytes: 64}}
 	}
 	return nodes, f
 }
@@ -32,26 +32,26 @@ func TestCountPhaseDeliversAllUnits(t *testing.T) {
 	for i, nd := range nodes {
 		received[i] = map[string]int{}
 		wg.Add(1)
-		go func(i int, nd *node) {
+		go func(i int, nd *Node) {
 			defer wg.Done()
 			recv := received[i]
-			cp := nd.startCountPhase(func(items []item.Item) {
+			cp := nd.StartExchange(ItemsApplier(func(items []item.Item) {
 				recv[itemset.Key(items)]++
-			})
-			bat := cp.newBatcher()
+			}))
+			bat := cp.NewBatcher()
 			for u := 0; u < unitsPerPeer; u++ {
 				// Unit value encodes the sender so receivers can verify.
 				unit := []item.Item{item.Item(i), item.Item(100 + u)}
 				for dest := 0; dest < 3; dest++ {
-					if err := bat.add(dest, unit); err != nil {
+					if err := bat.AddItems(dest, unit); err != nil {
 						t.Errorf("add: %v", err)
 					}
 				}
 			}
-			if err := bat.flushAll(); err != nil {
+			if err := bat.FlushAll(); err != nil {
 				t.Errorf("flush: %v", err)
 			}
-			if err := cp.finish(); err != nil {
+			if err := cp.Finish(); err != nil {
 				t.Errorf("finish: %v", err)
 			}
 		}(i, nd)
@@ -79,17 +79,17 @@ func TestCountPhaseSingleNodeLoopback(t *testing.T) {
 	defer f.Close()
 	nd := nodes[0]
 	got := 0
-	cp := nd.startCountPhase(func(items []item.Item) { got += len(items) })
-	bat := cp.newBatcher()
+	cp := nd.StartExchange(ItemsApplier(func(items []item.Item) { got += len(items) }))
+	bat := cp.NewBatcher()
 	for i := 0; i < 10; i++ {
-		if err := bat.add(0, []item.Item{1, 2, 3}); err != nil {
+		if err := bat.AddItems(0, []item.Item{1, 2, 3}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := bat.flushAll(); err != nil {
+	if err := bat.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cp.finish(); err != nil {
+	if err := cp.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	if got != 30 {
@@ -107,35 +107,58 @@ func TestBatcherFlushesAtThreshold(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		cp := b.startCountPhase(func([]item.Item) { recvUnits++ })
-		bcp := cp.newBatcher()
-		_ = bcp
-		if err := cp.finish(); err != nil {
+		cp := b.StartExchange(ItemsApplier(func([]item.Item) { recvUnits++ }))
+		if err := cp.Finish(); err != nil {
 			t.Errorf("b finish: %v", err)
 		}
 	}()
 
-	cp := a.startCountPhase(func([]item.Item) {})
-	bat := cp.newBatcher()
+	cp := a.StartExchange(ItemsApplier(func([]item.Item) {}))
+	bat := cp.NewBatcher()
 	// BatchBytes is 64; a 2-item unit encodes to ~3-9 bytes, so well before
-	// 100 units at least one flush must have happened without flushAll.
+	// 100 units at least one flush must have happened without FlushAll.
 	for i := 0; i < 100; i++ {
-		if err := bat.add(1, []item.Item{item.Item(i), item.Item(i + 1000)}); err != nil {
+		if err := bat.AddItems(1, []item.Item{item.Item(i), item.Item(i + 1000)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if a.ep.Stats().MsgsSent == 0 {
 		t.Error("no automatic flush at threshold")
 	}
-	if err := bat.flushAll(); err != nil {
+	if err := bat.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if err := cp.finish(); err != nil {
+	if err := cp.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
 	if recvUnits != 100 {
 		t.Errorf("receiver saw %d units, want 100", recvUnits)
+	}
+}
+
+func TestBatcherAddRawMatchesAddItems(t *testing.T) {
+	nodes, f := newTestNodes(t, 1)
+	defer f.Close()
+	nd := nodes[0]
+	var got [][]item.Item
+	cp := nd.StartExchange(ItemsApplier(func(items []item.Item) {
+		cp := make([]item.Item, len(items))
+		copy(cp, items)
+		got = append(got, cp)
+	}))
+	bat := cp.NewBatcher()
+	if err := bat.AddRaw(0, wire.AppendItems(nil, []item.Item{4, 5, 6})); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 3 || got[0][0] != 4 || got[0][2] != 6 {
+		t.Fatalf("AddRaw unit decoded as %v", got)
 	}
 }
 
@@ -145,28 +168,28 @@ func TestRecvKindStashesOthers(t *testing.T) {
 	a, b := nodes[0], nodes[1]
 	// b sends a data message then a large broadcast; a waits for the
 	// broadcast first — the data message must survive in pending.
-	if err := b.ep.Send(0, kData, []byte{1}); err != nil {
+	if err := b.ep.Send(0, KData, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ep.Send(0, kLarge, []byte{2}); err != nil {
+	if err := b.ep.Send(0, KLarge, []byte{2}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := a.recvKind(kLarge)
+	m, err := a.recvKind(KLarge)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Kind != kLarge {
+	if m.Kind != KLarge {
 		t.Fatalf("got kind %d", m.Kind)
 	}
-	if len(a.pending) != 1 || a.pending[0].Kind != kData {
+	if len(a.pending) != 1 || a.pending[0].Kind != KData {
 		t.Fatalf("pending = %+v", a.pending)
 	}
 	// And the stashed message is consumed first on the next matching recv.
-	m, err = a.recvKind(kData)
+	m, err = a.recvKind(KData)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Kind != kData || len(a.pending) != 0 {
+	if m.Kind != KData || len(a.pending) != 0 {
 		t.Fatalf("stash replay failed: %+v pending=%d", m, len(a.pending))
 	}
 }
@@ -178,17 +201,17 @@ func TestCountPhaseConsumesPreStashedData(t *testing.T) {
 
 	// b runs a full (empty) count phase later; first it pushes data + done
 	// to a, which a stashes while waiting for an unrelated kind.
-	unit := wireUnit([]item.Item{7, 9})
-	if err := b.ep.Send(0, kData, unit); err != nil {
+	unit := wire.AppendItems(nil, []item.Item{7, 9})
+	if err := b.ep.Send(0, KData, unit); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ep.Send(0, kDone, nil); err != nil {
+	if err := b.ep.Send(0, KDone, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ep.Send(0, kLarge, nil); err != nil {
+	if err := b.ep.Send(0, KLarge, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.recvKind(kLarge); err != nil {
+	if _, err := a.recvKind(KLarge); err != nil {
 		t.Fatal(err)
 	}
 	if len(a.pending) != 2 {
@@ -196,8 +219,8 @@ func TestCountPhaseConsumesPreStashedData(t *testing.T) {
 	}
 
 	got := 0
-	cp := a.startCountPhase(func(items []item.Item) { got++ })
-	if err := cp.finish(); err != nil {
+	cp := a.StartExchange(ItemsApplier(func(items []item.Item) { got++ }))
+	if err := cp.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	if got != 1 {
@@ -206,9 +229,4 @@ func TestCountPhaseConsumesPreStashedData(t *testing.T) {
 	if len(a.pending) != 0 {
 		t.Errorf("pending not drained: %d", len(a.pending))
 	}
-}
-
-// wireUnit encodes one payload unit exactly as the batcher does.
-func wireUnit(items []item.Item) []byte {
-	return wire.AppendItems(nil, items)
 }

@@ -1,0 +1,414 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/cumulate"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+	"pgarm/internal/wire"
+)
+
+// Node is one shared-nothing processor of the runtime: a fabric endpoint,
+// the pass-driver state machine and the per-pass instrumentation. Node 0
+// doubles as the coordinator, as in the paper. The mining logic itself lives
+// in the attached Miner.
+type Node struct {
+	id    int
+	ep    cluster.Endpoint
+	cfg   Config
+	miner Miner
+
+	totalSize int
+	minCount  int64
+
+	// pending holds inbox messages that arrived ahead of the phase that
+	// consumes them (e.g. a fast peer's pass-k data while we still await the
+	// pass-(k-1) KLarge broadcast).
+	pending []cluster.Message
+
+	// Pass metadata, recorded where results are kept (coordinator, or every
+	// node with Config.KeepResults).
+	passMeta []passMeta
+
+	// Per-pass metrics, one entry per completed pass.
+	perPass []metrics.NodeStats
+	cur     metrics.NodeStats // counters of the pass in flight
+
+	// Observability: phase-span tracer and live instruments (both inert when
+	// unconfigured), plus the monotonic fabric snapshots that delimit the
+	// current pass's communication window.
+	tr       *obs.Tracer
+	ins      nodeInstruments
+	base     cluster.Stats
+	baseKind []cluster.KindStat
+}
+
+// NewNode wires one node of the protocol to an endpoint. Run executes it.
+func NewNode(ep cluster.Endpoint, cfg Config, m Miner) *Node {
+	return &Node{
+		id:    ep.ID(),
+		ep:    ep,
+		cfg:   cfg,
+		miner: m,
+		tr:    cfg.Tracer,
+		ins:   newNodeInstruments(cfg.Registry, ep.ID()),
+	}
+}
+
+// ID is this node's cluster rank; node 0 is the coordinator.
+func (n *Node) ID() int { return n.id }
+
+// NumNodes is the cluster size.
+func (n *Node) NumNodes() int { return n.ep.N() }
+
+// IsCoord reports whether this node is the coordinator.
+func (n *Node) IsCoord() bool { return n.id == 0 }
+
+// Keep reports whether this node records result levels (the coordinator
+// always does; followers only in KeepResults worker mode).
+func (n *Node) Keep() bool { return n.IsCoord() || n.cfg.KeepResults }
+
+// TotalSize is the global database size |D| established by the size
+// exchange.
+func (n *Node) TotalSize() int { return n.totalSize }
+
+// MinCount is the absolute minimum support count derived from |D|.
+func (n *Node) MinCount() int64 { return n.minCount }
+
+// Workers is the effective scan-worker count (>= 1).
+func (n *Node) Workers() int { return n.cfg.workers() }
+
+// Span opens a phase span on this node's driver lane (lane 0). Inert when
+// no tracer is configured.
+func (n *Node) Span(name string) obs.Span { return n.tr.Begin(n.id, 0, name) }
+
+// numPeers returns the number of other nodes.
+func (n *Node) numPeers() int { return n.ep.N() - 1 }
+
+// recvKind blocks until a message of one of the wanted kinds arrives,
+// stashing everything else in the pending queue for later phases. When the
+// inbox closes the endpoint's terminal error (e.g. a lost TCP peer) is
+// attached as the cause.
+func (n *Node) recvKind(want ...uint8) (cluster.Message, error) {
+	match := func(k uint8) bool {
+		for _, w := range want {
+			if k == w {
+				return true
+			}
+		}
+		return false
+	}
+	for i, m := range n.pending {
+		if match(m.Kind) {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for m := range n.ep.Inbox() {
+		if match(m.Kind) {
+			return m, nil
+		}
+		n.pending = append(n.pending, m)
+	}
+	if cause := n.ep.Err(); cause != nil {
+		return cluster.Message{}, fmt.Errorf("driver: node %d inbox closed while waiting for kind %v: %w", n.id, want, cause)
+	}
+	return cluster.Message{}, fmt.Errorf("driver: node %d inbox closed while waiting for kind %v", n.id, want)
+}
+
+// Run executes the whole mining protocol on this node.
+func (n *Node) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("driver: node %d panicked: %v", n.id, r)
+		}
+	}()
+	if n.tr.Enabled() {
+		n.tr.SetThreadName(n.id, 0, "driver")
+	}
+	ssp := n.tr.Begin(n.id, 0, "size-exchange")
+	if err := n.sizeExchange(); err != nil {
+		return err
+	}
+	ssp.End()
+	nf, err := n.pass1()
+	if err != nil {
+		return err
+	}
+	if nf == 0 {
+		return nil
+	}
+	for k := 2; n.cfg.MaxK == 0 || k <= n.cfg.MaxK; k++ {
+		// Deterministic on every node (same F_(k-1), same generator).
+		gsp := n.tr.Begin(n.id, 0, "generate")
+		nc, err := n.miner.Generate(n, k)
+		if err != nil {
+			return err
+		}
+		gsp.Arg("candidates", int64(nc))
+		gsp.End()
+		if nc == 0 {
+			return nil
+		}
+		nf, err = n.runPass(k, nc)
+		if err != nil {
+			return err
+		}
+		if nf == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// sizeExchange establishes the global database size |D| (and from it the
+// absolute minimum support count): every node reports its local partition
+// size to the coordinator, which broadcasts the sum. In-process clusters
+// could compute this directly, but routing it through the protocol keeps a
+// single code path for multi-process workers that only know their own disk.
+func (n *Node) sizeExchange() error {
+	if n.IsCoord() {
+		total := int64(n.miner.LocalSize())
+		for p := 0; p < n.numPeers(); p++ {
+			m, err := n.recvKind(KSize)
+			if err != nil {
+				return err
+			}
+			v, _, err := wire.Uvarint(m.Payload)
+			if err != nil {
+				return fmt.Errorf("driver: decode size from node %d: %w", m.From, err)
+			}
+			total += int64(v)
+		}
+		payload := wire.AppendUvarint(nil, uint64(total))
+		for p := 1; p < n.ep.N(); p++ {
+			if err := n.ep.Send(p, KSize, payload); err != nil {
+				return err
+			}
+		}
+		n.totalSize = int(total)
+	} else {
+		if err := n.ep.Send(0, KSize, wire.AppendUvarint(nil, uint64(n.miner.LocalSize()))); err != nil {
+			return err
+		}
+		m, err := n.recvKind(KSize)
+		if err != nil {
+			return err
+		}
+		v, _, err := wire.Uvarint(m.Payload)
+		if err != nil {
+			return fmt.Errorf("driver: decode |D| broadcast: %w", err)
+		}
+		n.totalSize = int(v)
+	}
+	n.minCount = cumulate.MinCount(n.cfg.MinSupport, n.totalSize)
+	return nil
+}
+
+// pass1 runs the miner's dense pass-1 count over the local partition,
+// reduces the vectors on the coordinator and broadcasts the global result.
+// Every algorithm shares it: C_1 is just an array indexed by item, so there
+// is nothing to partition.
+func (n *Node) pass1() (int, error) {
+	started := time.Now()
+	n.cur = metrics.NodeStats{Node: n.id}
+	numItems := n.miner.NumItems()
+	n.ins.startPass(1, numItems)
+	psp := n.tr.Begin(n.id, 0, "pass 1")
+	counts, err := n.miner.CountPass1(n, &n.cur)
+	if err != nil {
+		return 0, fmt.Errorf("driver: node %d pass 1 scan: %w", n.id, err)
+	}
+	n.cur.ScanTime = time.Since(started)
+
+	bsp := n.tr.Begin(n.id, 0, "barrier")
+	global, err := n.reduceCounts(counts)
+	if err != nil {
+		return 0, err
+	}
+	bsp.End()
+
+	nf, err := n.miner.FinishPass1(n, global)
+	if err != nil {
+		return 0, err
+	}
+	n.capturePassComm()
+	n.ins.endPass(&n.cur)
+	n.finishPassStats()
+	psp.Arg("candidates", int64(numItems))
+	psp.Arg("large", int64(nf))
+	psp.End()
+	if n.Keep() {
+		n.passMeta = append(n.passMeta, passMeta{
+			pass:       1,
+			candidates: numItems,
+			large:      nf,
+			elapsed:    time.Since(started),
+		})
+	}
+	n.emitProgress(1, numItems, nf, time.Since(started))
+	return nf, nil
+}
+
+// reduceCounts sums dense count vectors at the coordinator (KCounts1) and
+// broadcasts the global vector (KLarge).
+func (n *Node) reduceCounts(counts []int64) ([]int64, error) {
+	if n.IsCoord() {
+		wait := time.Now()
+		for p := 0; p < n.numPeers(); p++ {
+			m, err := n.recvKind(KCounts1)
+			if err != nil {
+				return nil, err
+			}
+			remote, _, err := wire.CountsAuto(m.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("driver: decode pass-1 counts from node %d: %w", m.From, err)
+			}
+			if len(remote) != len(counts) {
+				return nil, fmt.Errorf("driver: node %d sent %d item counts, want %d", m.From, len(remote), len(counts))
+			}
+			for i, c := range remote {
+				counts[i] += c
+			}
+		}
+		n.cur.BarrierWait += time.Since(wait)
+		payload := wire.AppendCountsAuto(nil, counts)
+		for p := 1; p < n.ep.N(); p++ {
+			if err := n.ep.Send(p, KLarge, payload); err != nil {
+				return nil, err
+			}
+		}
+		return counts, nil
+	}
+	if err := n.ep.Send(0, KCounts1, wire.AppendCountsAuto(nil, counts)); err != nil {
+		return nil, err
+	}
+	wait := time.Now()
+	m, err := n.recvKind(KLarge)
+	if err != nil {
+		return nil, err
+	}
+	n.cur.BarrierWait += time.Since(wait)
+	global, _, err := wire.CountsAuto(m.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("driver: decode global pass-1 counts: %w", err)
+	}
+	return global, nil
+}
+
+// runPass executes one count-support pass for k >= 2 and returns |F_k|
+// (identical on every node after the broadcast).
+func (n *Node) runPass(k, nCands int) (int, error) {
+	started := time.Now()
+	n.cur = metrics.NodeStats{Node: n.id}
+	n.ins.startPass(k, nCands)
+	var psp obs.Span
+	if n.tr.Enabled() {
+		psp = n.tr.Begin(n.id, 0, fmt.Sprintf("pass %d", k))
+	}
+	if n.IsCoord() && n.cfg.OnPassStart != nil {
+		n.cfg.OnPassStart(k, nCands)
+	}
+
+	out, err := n.miner.CountPass(n, k, &n.cur)
+	if err != nil {
+		return 0, fmt.Errorf("driver: node %d pass %d: %w", n.id, k, err)
+	}
+	nf, err := n.gatherFrequents(k, out)
+	if err != nil {
+		return 0, err
+	}
+
+	n.capturePassComm()
+	n.ins.endPass(&n.cur)
+	n.finishPassStats()
+	psp.Arg("candidates", int64(nCands))
+	psp.Arg("large", int64(nf))
+	psp.End()
+	if n.Keep() {
+		n.passMeta = append(n.passMeta, passMeta{
+			pass:       k,
+			candidates: nCands,
+			duplicated: out.Duplicated,
+			fragments:  out.Fragments,
+			large:      nf,
+			elapsed:    time.Since(started),
+		})
+	}
+	n.emitProgress(k, nCands, nf, time.Since(started))
+	return nf, nil
+}
+
+func (n *Node) finishPassStats() {
+	n.perPass = append(n.perPass, n.cur)
+}
+
+// gatherFrequents implements the pass-end protocol shared by every miner:
+//
+//   - every non-coordinator sends its locally determined frequents
+//     (out.Owned, already filtered by MinCount and encoded by the miner) and
+//     the dense count vector of its replicated candidates (out.DupCounts,
+//     may be empty);
+//   - the coordinator reduces the replicated counts, hands both to the
+//     miner's MergeFrequents, and broadcasts the returned global F_k.
+func (n *Node) gatherFrequents(k int, out PassOutcome) (int, error) {
+	bsp := n.tr.Begin(n.id, 0, "barrier")
+	defer bsp.End()
+	if !n.IsCoord() {
+		if err := n.ep.Send(0, KLocalLarge, out.Owned); err != nil {
+			return 0, err
+		}
+		if err := n.ep.Send(0, KDupCounts, wire.AppendCountsAuto(nil, out.DupCounts)); err != nil {
+			return 0, err
+		}
+		wait := time.Now()
+		m, err := n.recvKind(KLarge)
+		if err != nil {
+			return 0, err
+		}
+		n.cur.BarrierWait += time.Since(wait)
+		return n.miner.FinishPass(n, k, m.Payload)
+	}
+
+	// Coordinator: collect N-1 owned-frequent messages and N-1 replicated
+	// count vectors.
+	dupTotal := make([]int64, len(out.DupCounts))
+	copy(dupTotal, out.DupCounts)
+	var peerOwned [][]byte
+	wait := time.Now()
+	for got := 0; got < 2*n.numPeers(); got++ {
+		m, err := n.recvKind(KLocalLarge, KDupCounts)
+		if err != nil {
+			return 0, err
+		}
+		switch m.Kind {
+		case KLocalLarge:
+			peerOwned = append(peerOwned, m.Payload)
+		case KDupCounts:
+			counts, _, err := wire.CountsAuto(m.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("driver: decode replicated counts from node %d: %w", m.From, err)
+			}
+			if len(counts) != len(dupTotal) {
+				return 0, fmt.Errorf("driver: node %d sent %d replicated counts, want %d", m.From, len(counts), len(dupTotal))
+			}
+			for i, c := range counts {
+				dupTotal[i] += c
+			}
+		}
+	}
+	n.cur.BarrierWait += time.Since(wait)
+	payload, nf, err := n.miner.MergeFrequents(n, k, peerOwned, dupTotal)
+	if err != nil {
+		return 0, err
+	}
+	for p := 1; p < n.ep.N(); p++ {
+		if err := n.ep.Send(p, KLarge, payload); err != nil {
+			return 0, err
+		}
+	}
+	return nf, nil
+}

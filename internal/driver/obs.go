@@ -1,4 +1,4 @@
-package core
+package driver
 
 import (
 	"fmt"
@@ -47,7 +47,7 @@ func kindDeltas(cur, base []cluster.KindStat) []metrics.KindIO {
 // snapshot taken at the previous pass's end. The windows tile the whole run
 // (the first window opens at zero, before the size exchange), so summed over
 // all passes they reconcile exactly with the endpoint's lifetime totals.
-func (n *node) capturePassComm() {
+func (n *Node) capturePassComm() {
 	st := n.ep.Stats()
 	ks := n.ep.KindStats()
 	d := st.Sub(n.base)
@@ -57,17 +57,17 @@ func (n *node) capturePassComm() {
 	n.cur.MsgsReceived = d.MsgsRecv
 	n.cur.ByKind = kindDeltas(ks, n.baseKind)
 	// The count-support data plane (Table 6's sent side) is exactly the
-	// kData slice of this window: data batches are only sent during the
+	// KData slice of this window: data batches are only sent during the
 	// node's own count phase, never across a pass boundary.
-	if int(kData) < len(n.cur.ByKind) {
-		n.cur.DataBytesSent = n.cur.ByKind[kData].BytesSent
+	if int(KData) < len(n.cur.ByKind) {
+		n.cur.DataBytesSent = n.cur.ByKind[KData].BytesSent
 	}
 	n.base = st
 	n.baseKind = ks
 }
 
-// endpointTotals snapshots one node's lifetime fabric counters for RunStats.
-func endpointTotals(id int, ep cluster.Endpoint) metrics.EndpointTotals {
+// EndpointTotals snapshots one node's lifetime fabric counters for RunStats.
+func EndpointTotals(id int, ep cluster.Endpoint) metrics.EndpointTotals {
 	st := ep.Stats()
 	return metrics.EndpointTotals{
 		Node:          id,
@@ -122,30 +122,30 @@ func (ins *nodeInstruments) endPass(cur *metrics.NodeStats) {
 	ins.barrierSec.Observe(cur.BarrierWait.Seconds())
 }
 
-// shardObs carries the per-shard observability hooks of one sharded scan;
+// ShardObs carries the per-shard observability hooks of one sharded scan;
 // the zero value disables them at no cost.
-type shardObs struct {
+type ShardObs struct {
 	tr   *obs.Tracer
 	hist *obs.Histogram
 	node int
 	name string
 }
 
-// shardObs builds the hooks for one of this node's scans. name labels the
+// ShardObs builds the hooks for one of this node's scans. name labels the
 // shard spans ("scan" for pure local scans, "count" when the scan also
 // routes count-support units).
-func (n *node) shardObs(name string) shardObs {
+func (n *Node) ShardObs(name string) ShardObs {
 	if n.tr == nil && n.ins.scanSec == nil {
-		return shardObs{}
+		return ShardObs{}
 	}
-	return shardObs{tr: n.tr, hist: n.ins.scanSec, node: n.id, name: name}
+	return ShardObs{tr: n.tr, hist: n.ins.scanSec, node: n.id, name: name}
 }
 
 // begin opens the shard's span and timer; the returned func closes them.
 // lane 0 is the node driver itself (inline scan, nesting under the pass
 // span); worker shards live on lanes 1..W so overlapping workers get their
 // own trace rows.
-func (so shardObs) begin(lane, shard int) func() {
+func (so ShardObs) begin(lane, shard int) func() {
 	if so.tr == nil && so.hist == nil {
 		return func() {}
 	}
@@ -166,7 +166,7 @@ func (so shardObs) begin(lane, shard int) func() {
 }
 
 // beginRecv opens the count-phase receiver span on its own lane (W+1).
-func (n *node) beginRecv() obs.Span {
+func (n *Node) beginRecv() obs.Span {
 	if !n.tr.Enabled() {
 		return obs.Span{}
 	}
@@ -175,22 +175,9 @@ func (n *node) beginRecv() obs.Span {
 	return n.tr.Begin(n.id, lane, "recv")
 }
 
-// PassProgress is the per-pass progress callback payload (Config.OnPass),
-// delivered on the coordinator when a pass completes.
-type PassProgress struct {
-	Pass       int
-	Candidates int
-	Large      int
-	Elapsed    time.Duration
-	// BytesIn/BytesOut are the coordinator's fabric payload bytes for the
-	// pass window.
-	BytesIn  int64
-	BytesOut int64
-}
-
 // emitProgress fires the coordinator's pass callbacks; a no-op elsewhere.
-func (n *node) emitProgress(pass, candidates, large int, elapsed time.Duration) {
-	if !n.isCoord() || n.cfg.OnPass == nil {
+func (n *Node) emitProgress(pass, candidates, large int, elapsed time.Duration) {
+	if !n.IsCoord() || n.cfg.OnPass == nil {
 		return
 	}
 	n.cfg.OnPass(PassProgress{

@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/metrics"
+)
+
+// Run executes the full mining protocol over fabric with one node goroutine
+// per miner (miners[i] becomes node i; node 0 coordinates). It returns the
+// nodes — whose miners now hold the results — and the wall-clock elapsed
+// time. The first node error, if any, is returned after every node has
+// exited.
+func Run(fabric cluster.Fabric, cfg Config, miners []Miner) ([]*Node, time.Duration, error) {
+	nodes := make([]*Node, len(miners))
+	for i, m := range miners {
+		nodes[i] = NewNode(fabric.Endpoint(i), cfg, m)
+	}
+	start := time.Now()
+	errs := make(chan error, len(nodes))
+	for _, nd := range nodes {
+		go func(nd *Node) { errs <- nd.Run() }(nd)
+	}
+	var firstErr error
+	for range nodes {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return nodes, time.Since(start), nil
+}
+
+// RunWorker executes one node of the protocol over a caller-provided
+// endpoint — the entry point for true multi-process clusters (DialMesh).
+// KeepResults is forced on so this process's miner records the global
+// frequents even when it is not the coordinator.
+func RunWorker(ep cluster.Endpoint, cfg Config, m Miner) (*Node, time.Duration, error) {
+	cfg.KeepResults = true
+	nd := NewNode(ep, cfg, m)
+	start := time.Now()
+	if err := nd.Run(); err != nil {
+		return nil, 0, err
+	}
+	return nd, time.Since(start), nil
+}
+
+// AssembleStats merges each node's per-pass counters with the coordinator's
+// per-pass metadata into a RunStats. nodes[0] must be the node that recorded
+// pass metadata (the coordinator, or the single local node of a worker run).
+func AssembleStats(algorithm string, minSup float64, nodes []*Node, elapsed time.Duration) *metrics.RunStats {
+	coord := nodes[0]
+	rs := &metrics.RunStats{
+		Algorithm: algorithm,
+		Nodes:     len(nodes),
+		MinSup:    minSup,
+		Elapsed:   elapsed,
+	}
+	for pi, meta := range coord.passMeta {
+		ps := metrics.PassStats{
+			Pass:       meta.pass,
+			Candidates: meta.candidates,
+			Duplicated: meta.duplicated,
+			Fragments:  meta.fragments,
+			Large:      meta.large,
+			Elapsed:    meta.elapsed,
+		}
+		for _, nd := range nodes {
+			if pi < len(nd.perPass) {
+				ps.Nodes = append(ps.Nodes, nd.perPass[pi])
+			}
+		}
+		rs.Passes = append(rs.Passes, ps)
+	}
+	for _, nd := range nodes {
+		rs.Endpoints = append(rs.Endpoints, EndpointTotals(nd.id, nd.ep))
+	}
+	return rs
+}

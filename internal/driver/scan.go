@@ -1,4 +1,4 @@
-package core
+package driver
 
 import (
 	"fmt"
@@ -6,21 +6,21 @@ import (
 
 	"pgarm/internal/item"
 	"pgarm/internal/metrics"
-	"pgarm/internal/txn"
 )
 
-// scanShards drives one pass over the node's local partition with `workers`
-// scan goroutines. Worker w receives exactly the transactions whose scan
-// ordinal o satisfies o % workers == w, so the shard assignment is a pure
-// function of storage order — independent of goroutine scheduling. fn runs
+// ScanShards drives one pass over a node's local partition with `workers`
+// scan goroutines. Worker w receives exactly the records whose scan ordinal
+// o satisfies o % workers == w, so the shard assignment is a pure function
+// of storage order — independent of goroutine scheduling. fn runs
 // concurrently across workers but serially within one worker; all fn calls
-// happen-before scanShards returns.
+// happen-before ScanShards returns.
 //
-// Each worker performs its own Scan over the Scanner and skips foreign
-// ordinals: both txn.DB (slice iteration) and txn.File (private file handle
-// per Scan) support concurrent independent scans, and skipping a transaction
-// costs one ordinal check — negligible next to extension + subset
-// enumeration, which only the owning worker performs.
+// scan is the partition's iteration primitive (txn.Scanner.Scan, seq.DB.Scan,
+// ...): each worker performs its own scan and skips foreign ordinals. The
+// storage types used here all support concurrent independent scans (slice
+// iteration, or a private file handle per scan), and skipping a record costs
+// one ordinal check — negligible next to extension + subset enumeration,
+// which only the owning worker performs.
 //
 // With workers == 1 the scan runs inline on the calling goroutine, exactly
 // like the pre-worker-pool code path.
@@ -28,11 +28,11 @@ import (
 // so carries the per-shard observability hooks (span + timing histogram);
 // the zero value disables them. An inline scan records on trace lane 0 (the
 // driver's own row), worker shards on lanes 1..W.
-func scanShards(db txn.Scanner, workers int, so shardObs, fn func(w int, t txn.Transaction) error) error {
+func ScanShards[T any](scan func(func(T) error) error, workers int, so ShardObs, fn func(w int, t T) error) error {
 	if workers <= 1 {
 		done := so.begin(0, 0)
 		defer done()
-		return db.Scan(func(t txn.Transaction) error { return fn(0, t) })
+		return scan(func(t T) error { return fn(0, t) })
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -51,7 +51,7 @@ func scanShards(db txn.Scanner, workers int, so shardObs, fn func(w int, t txn.T
 				}
 			}()
 			ord := 0
-			errs[w] = db.Scan(func(t txn.Transaction) error {
+			errs[w] = scan(func(t T) error {
 				mine := ord%workers == w
 				ord++
 				if !mine {
@@ -70,11 +70,11 @@ func scanShards(db txn.Scanner, workers int, so shardObs, fn func(w int, t txn.T
 	return nil
 }
 
-// workerVectors returns `workers` count vectors of length n whose index-0
+// WorkerVectors returns `workers` count vectors of length n whose index-0
 // vector is primary: worker w accumulates into vectors[w], and
-// mergeWorkerVectors folds vectors 1..W-1 back into vectors[0]. With one
+// MergeWorkerVectors folds vectors 1..W-1 back into vectors[0]. With one
 // worker this allocates exactly the single vector the sequential path used.
-func workerVectors(workers, n int) [][]int64 {
+func WorkerVectors(workers, n int) [][]int64 {
 	vs := make([][]int64, workers)
 	for w := range vs {
 		vs[w] = make([]int64, n)
@@ -82,11 +82,11 @@ func workerVectors(workers, n int) [][]int64 {
 	return vs
 }
 
-// mergeWorkerVectors sums vectors[1..] into vectors[0] and returns it.
+// MergeWorkerVectors sums vectors[1..] into vectors[0] and returns it.
 // Addition is associative and commutative over exact integers, and the merge
 // order (ascending worker index) is fixed, so the result is bit-identical to
 // a sequential scan regardless of how the workers were scheduled.
-func mergeWorkerVectors(vectors [][]int64) []int64 {
+func MergeWorkerVectors(vectors [][]int64) []int64 {
 	total := vectors[0]
 	for _, v := range vectors[1:] {
 		for i, c := range v {
@@ -96,16 +96,16 @@ func mergeWorkerVectors(vectors [][]int64) []int64 {
 	return total
 }
 
-// mergeWorkerStats folds per-worker scan counters into the node's pass
+// MergeWorkerStats folds per-worker scan counters into the node's pass
 // counters, in worker order.
-func mergeWorkerStats(cur *metrics.NodeStats, ws []metrics.NodeStats) {
+func MergeWorkerStats(cur *metrics.NodeStats, ws []metrics.NodeStats) {
 	for i := range ws {
 		cur.AddScanCounters(&ws[i])
 	}
 }
 
-// newWorkerScratch allocates one reusable item buffer per worker.
-func newWorkerScratch(workers, capacity int) [][]item.Item {
+// WorkerScratch allocates one reusable item buffer per worker.
+func WorkerScratch(workers, capacity int) [][]item.Item {
 	out := make([][]item.Item, workers)
 	for w := range out {
 		out[w] = make([]item.Item, 0, capacity)

@@ -1,0 +1,428 @@
+package seq
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/driver"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/wire"
+)
+
+// seqMiner is the sequence-mining half of a node: the driver.Miner that
+// plugs the [SK98] family (NPSPM/SPSPM/HPSPM) into the shared-nothing
+// runtime. One instance per node; the runtime calls its hooks from the node
+// goroutine in protocol order.
+type seqMiner struct {
+	tax *taxonomy.Taxonomy
+	db  *DB
+	cfg ParallelConfig
+
+	// Global mining state, identical on every node after each barrier.
+	large []bool          // frequent-item flags after pass 1
+	prev  []Pattern       // F_{k-1}, the generation input
+	cands [][][]item.Item // C_k of the pass in flight
+
+	// Barrier contribution of the pass in flight: the frequent patterns this
+	// node owns (partitioned algorithms). The coordinator merges its own
+	// share from here instead of round-tripping it through the wire encoding.
+	owned []Pattern
+
+	// Result accumulation, filled where the runtime keeps results.
+	result *Result
+}
+
+func newSeqMiner(tax *taxonomy.Taxonomy, db *DB, cfg ParallelConfig) *seqMiner {
+	return &seqMiner{tax: tax, db: db, cfg: cfg}
+}
+
+func (m *seqMiner) LocalSize() int { return m.db.Len() }
+
+func (m *seqMiner) NumItems() int { return m.tax.NumItems() }
+
+// CountPass1 counts item support per customer: a customer supports item x
+// when some element's closure contains x. ExtendTransaction dedups against
+// the accumulated scratch, so each item counts once per customer — exactly
+// the sequential baseline's pass 1.
+func (m *seqMiner) CountPass1(n *driver.Node, st *metrics.NodeStats) ([]int64, error) {
+	W := n.Workers()
+	wcounts := driver.WorkerVectors(W, m.tax.NumItems())
+	wstats := make([]metrics.NodeStats, W)
+	wscratch := driver.WorkerScratch(W, 64)
+	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, s Sequence) error {
+		wstats[w].TxnsScanned++
+		scratch := wscratch[w][:0]
+		for _, e := range s.Elements {
+			scratch = m.tax.ExtendTransaction(scratch, e)
+		}
+		wscratch[w] = scratch
+		counts := wcounts[w]
+		for _, x := range scratch {
+			counts[x]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	driver.MergeWorkerStats(st, wstats)
+	return driver.MergeWorkerVectors(wcounts), nil
+}
+
+// FinishPass1 consumes the globally reduced pass-1 counts and derives the
+// replicated F_1 state every later pass builds on.
+func (m *seqMiner) FinishPass1(n *driver.Node, global []int64) (int, error) {
+	m.large = make([]bool, m.tax.NumItems())
+	var f1 []Pattern
+	for i, c := range global {
+		if c >= n.MinCount() {
+			m.large[i] = true
+			f1 = append(f1, Pattern{Elements: [][]item.Item{{item.Item(i)}}, Count: c})
+		}
+	}
+	m.record(n, f1)
+	return len(f1), nil
+}
+
+// Generate materializes C_k from F_{k-1} via the GSP join + prune;
+// deterministic on every node (same F_{k-1}, same generator).
+func (m *seqMiner) Generate(_ *driver.Node, k int) (int, error) {
+	m.cands = GenerateCandidates(m.tax, m.prev, k)
+	return len(m.cands), nil
+}
+
+// CountPass runs pass k's count-support phase under the configured
+// algorithm and prepares this node's barrier contribution.
+func (m *seqMiner) CountPass(n *driver.Node, k int, st *metrics.NodeStats) (driver.PassOutcome, error) {
+	m.owned = m.owned[:0]
+	po := driver.PassOutcome{}
+	switch m.cfg.Algorithm {
+	case NPSPM:
+		counts, err := m.countReplicated(n, st)
+		if err != nil {
+			return driver.PassOutcome{}, err
+		}
+		po.DupCounts = counts
+		po.Duplicated = len(m.cands)
+	case SPSPM, HPSPM:
+		if err := m.countPartitioned(n, k, st); err != nil {
+			return driver.PassOutcome{}, err
+		}
+	default:
+		return driver.PassOutcome{}, fmt.Errorf("seq: unknown algorithm %q", m.cfg.Algorithm)
+	}
+	if !n.IsCoord() {
+		po.Owned = encodePatternList(m.owned)
+	}
+	return po, nil
+}
+
+// countReplicated is NPSPM: every candidate is counted locally against the
+// local customers; the coordinator reduces the dense vectors at the barrier.
+// No count-support data moves between nodes.
+func (m *seqMiner) countReplicated(n *driver.Node, st *metrics.NodeStats) ([]int64, error) {
+	W := n.Workers()
+	wcounts := driver.WorkerVectors(W, len(m.cands))
+	wstats := make([]metrics.NodeStats, W)
+	started := time.Now()
+	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, s Sequence) error {
+		ws := &wstats[w]
+		ws.TxnsScanned++
+		closures := Closures(m.tax, s, m.large)
+		counts := wcounts[w]
+		for i, c := range m.cands {
+			ws.Probes++
+			if Contains(c, closures) {
+				counts[i]++
+				ws.Increments++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	driver.MergeWorkerStats(st, wstats)
+	st.ScanTime = time.Since(started)
+	return driver.MergeWorkerVectors(wcounts), nil
+}
+
+// countPartitioned covers the two hash-partitioned miners. Both assign every
+// candidate to one owner; every customer sequence travels to the owners so
+// each candidate is counted exactly once, globally:
+//
+//	SPSPM  broadcasts each closed local sequence to every node — simple, but
+//	       the whole database crosses the fabric N-1 times.
+//	HPSPM  ships each destination only what it can use: elements filtered to
+//	       the items of the destination's owned candidates, with emptied
+//	       elements dropped and the sequence skipped entirely when fewer
+//	       than k items survive (a k-item candidate needs k matched items
+//	       across distinct elements). Filtering never changes a contained
+//	       candidate's match — its items all survive the filter by
+//	       construction — so counts are identical while bytes shrink.
+func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats) error {
+	nNodes := n.NumNodes()
+	self := n.ID()
+
+	// Candidate ownership is deterministic on every node. SPSPM hashes the
+	// canonical pattern key; HPSPM hashes the pattern's root vector (the
+	// sorted multiset of its items' hierarchy roots), the H-HPGM rule: all
+	// candidates of one tree combination live on one node, so a destination's
+	// item filter covers whole subtrees.
+	psp := n.Span("partition")
+	owners := make([]int, len(m.cands))
+	var ownedIdx []int
+	for i, c := range m.cands {
+		owners[i] = candidateOwner(m.tax, m.cfg.Algorithm, c, nNodes)
+		if owners[i] == self {
+			ownedIdx = append(ownedIdx, i)
+		}
+	}
+	// HPSPM: per-destination item filter — the union of the destination's
+	// owned candidates' items.
+	var keep [][]bool
+	if m.cfg.Algorithm == HPSPM {
+		keep = make([][]bool, nNodes)
+		for d := range keep {
+			keep[d] = make([]bool, m.tax.NumItems())
+		}
+		for i, c := range m.cands {
+			kd := keep[owners[i]]
+			for _, e := range c {
+				for _, x := range e {
+					kd[x] = true
+				}
+			}
+		}
+	}
+	psp.Arg("owned", int64(len(ownedIdx)))
+	psp.End()
+
+	// Receiver: one unit is one (possibly filtered) closed customer
+	// sequence; the receiver alone touches the owned counts and the node's
+	// probe counters.
+	counts := make([]int64, len(m.cands))
+	xsp := n.Span("exchange")
+	cp := n.StartExchange(func(batch []byte) (int64, error) {
+		var items int64
+		for off := 0; off < len(batch); {
+			closures, used, err := wire.ItemsList(batch[off:])
+			if err != nil {
+				return items, err
+			}
+			off += used
+			items += closureItems(closures)
+			for _, i := range ownedIdx {
+				st.Probes++
+				if Contains(m.cands[i], closures) {
+					counts[i]++
+					st.Increments++
+				}
+			}
+		}
+		return items, nil
+	})
+
+	W := n.Workers()
+	wstats := make([]metrics.NodeStats, W)
+	bats := make([]*driver.Batcher, W)
+	wunit := make([][]byte, W)
+	welem := driver.WorkerScratch(W, 32)
+	for w := range bats {
+		bats[w] = cp.NewBatcher()
+	}
+	started := time.Now()
+	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, s Sequence) error {
+		ws := &wstats[w]
+		ws.TxnsScanned++
+		closures := Closures(m.tax, s, m.large)
+		if m.cfg.Algorithm == SPSPM {
+			unit := wire.AppendItemsList(wunit[w][:0], closures)
+			wunit[w] = unit
+			items := closureItems(closures)
+			for dest := 0; dest < nNodes; dest++ {
+				if dest != self {
+					ws.ItemsSent += items
+				}
+				if err := bats[w].AddRaw(dest, unit); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// HPSPM: filter per destination.
+		for dest := 0; dest < nNodes; dest++ {
+			kd := keep[dest]
+			nel, nit := 0, 0
+			for _, cl := range closures {
+				ne := 0
+				for _, x := range cl {
+					if kd[x] {
+						ne++
+					}
+				}
+				if ne > 0 {
+					nel++
+					nit += ne
+				}
+			}
+			if nit < k {
+				continue // cannot contain any k-item candidate owned by dest
+			}
+			unit := wire.AppendUvarint(wunit[w][:0], uint64(nel))
+			for _, cl := range closures {
+				elem := welem[w][:0]
+				for _, x := range cl {
+					if kd[x] {
+						elem = append(elem, x)
+					}
+				}
+				welem[w] = elem
+				if len(elem) > 0 {
+					unit = wire.AppendItems(unit, elem)
+				}
+			}
+			wunit[w] = unit
+			if dest != self {
+				ws.ItemsSent += int64(nit)
+			}
+			if err := bats[w].AddRaw(dest, unit); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for w := range bats {
+		if err != nil {
+			break
+		}
+		err = bats[w].FlushAll()
+	}
+	if ferr := cp.Finish(); err == nil {
+		err = ferr
+	}
+	xsp.End()
+	if err != nil {
+		return fmt.Errorf("count support: %w", err)
+	}
+	driver.MergeWorkerStats(st, wstats)
+	st.ScanTime = time.Since(started)
+
+	// Threshold the owned candidates locally; only frequent ones travel to
+	// the coordinator.
+	for _, i := range ownedIdx {
+		if counts[i] >= n.MinCount() {
+			m.owned = append(m.owned, Pattern{Elements: m.cands[i], Count: counts[i]})
+		}
+	}
+	return nil
+}
+
+// MergeFrequents merges the coordinator's own owned share, the peers' owned
+// frequents and the reduced replicated counts (NPSPM) into the global F_k.
+func (m *seqMiner) MergeFrequents(n *driver.Node, _ int, peerOwned [][]byte, dupTotal []int64) ([]byte, int, error) {
+	all := append([]Pattern(nil), m.owned...)
+	for _, p := range peerOwned {
+		pats, counts, _, err := wire.PatternList(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("seq: decode owned frequents: %w", err)
+		}
+		for i := range pats {
+			all = append(all, Pattern{Elements: pats[i], Count: counts[i]})
+		}
+	}
+	for i, c := range dupTotal {
+		if c >= n.MinCount() {
+			all = append(all, Pattern{Elements: m.cands[i], Count: c})
+		}
+	}
+	SortPatterns(all)
+	m.record(n, all)
+	return encodePatternList(all), len(all), nil
+}
+
+// FinishPass decodes the coordinator's F_k broadcast on a follower.
+func (m *seqMiner) FinishPass(n *driver.Node, _ int, payload []byte) (int, error) {
+	pats, counts, _, err := wire.PatternList(payload)
+	if err != nil {
+		return 0, fmt.Errorf("seq: decode F_k broadcast: %w", err)
+	}
+	fk := make([]Pattern, len(pats))
+	for i := range pats {
+		fk[i] = Pattern{Elements: pats[i], Count: counts[i]}
+	}
+	m.record(n, fk)
+	return len(fk), nil
+}
+
+// record stores F_k (mirroring the sequential baseline, an empty F_k
+// terminates the run and is not recorded as a level) and stages it as the
+// next pass's generation input.
+func (m *seqMiner) record(n *driver.Node, fk []Pattern) {
+	if n.Keep() {
+		if m.result == nil {
+			m.result = &Result{NumCustomers: n.TotalSize()}
+		}
+		if len(fk) > 0 {
+			m.result.Frequent = append(m.result.Frequent, fk)
+		}
+	}
+	m.prev = fk
+}
+
+// candidateOwner maps a candidate sequence to the node that counts it.
+func candidateOwner(tax *taxonomy.Taxonomy, alg Algorithm, elements [][]item.Item, nNodes int) int {
+	if alg == HPSPM {
+		return int(patternRootHash(tax, elements) % uint64(nNodes))
+	}
+	return int(patternHash(elements) % uint64(nNodes))
+}
+
+// patternHash hashes a pattern's canonical key (FNV-1a).
+func patternHash(elements [][]item.Item) uint64 {
+	key := Key(elements)
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// patternRootHash hashes the pattern's root vector — the sorted multiset of
+// the hierarchy roots of every item across its elements. Candidates of one
+// tree combination share a hash, so they share an owner (the H-HPGM rule).
+func patternRootHash(tax *taxonomy.Taxonomy, elements [][]item.Item) uint64 {
+	var roots []item.Item
+	for _, e := range elements {
+		for _, x := range e {
+			roots = append(roots, tax.Root(x))
+		}
+	}
+	item.Sort(roots)
+	return itemset.Hash(roots)
+}
+
+// encodePatternList serializes patterns with their counts for the barrier.
+func encodePatternList(ps []Pattern) []byte {
+	elems := make([][][]item.Item, len(ps))
+	counts := make([]int64, len(ps))
+	for i, p := range ps {
+		elems[i] = p.Elements
+		counts[i] = p.Count
+	}
+	return wire.AppendPatternList(nil, elems, counts)
+}
+
+// closureItems counts the items of a closed sequence.
+func closureItems(closures [][]item.Item) int64 {
+	var n int64
+	for _, c := range closures {
+		n += int64(len(c))
+	}
+	return n
+}

@@ -2,14 +2,12 @@ package seq
 
 import (
 	"fmt"
-	"time"
 
 	"pgarm/internal/cluster"
-	"pgarm/internal/cumulate"
-	"pgarm/internal/item"
+	"pgarm/internal/driver"
 	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
 	"pgarm/internal/taxonomy"
-	"pgarm/internal/wire"
 )
 
 // Algorithm selects a parallel sequential-pattern miner, following the
@@ -22,24 +20,114 @@ import (
 //	       nodes; every node broadcasts its local customer sequences so each
 //	       owner can count its share (the analogue of naive HPGM — heavy
 //	       communication, aggregate-memory friendly).
-//
-// [SK98]'s HPSPM refinement (routing subsequences by hash instead of
-// broadcasting whole sequences) is the natural next step and is left as
-// future work here, mirroring the paper's own outlook section.
+//	HPSPM  Hash-Partitioned: candidates partitioned by the hash of their
+//	       *root vector* (the roots of every member item), the H-HPGM rule,
+//	       so each node is shipped only the sequence items relevant to its
+//	       own candidates — same counts as SPSPM at a fraction of the bytes.
 type Algorithm string
 
 // The implemented parallel sequential miners.
 const (
 	NPSPM Algorithm = "NPSPM"
 	SPSPM Algorithm = "SPSPM"
+	HPSPM Algorithm = "HPSPM"
 )
+
+// Algorithms lists every implemented algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{NPSPM, SPSPM, HPSPM}
+}
+
+// ParseAlgorithm resolves a name (as printed by the Algorithm constants,
+// case-sensitive) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("seq: unknown algorithm %q", s)
+}
+
+// FabricKind selects the interconnect emulation (see internal/driver).
+type FabricKind = driver.FabricKind
+
+const (
+	// FabricChan runs the nodes over in-process channels (default).
+	FabricChan = driver.FabricChan
+	// FabricTCP runs the nodes over loopback TCP connections.
+	FabricTCP = driver.FabricTCP
+)
+
+// PassProgress is the per-pass progress callback payload (Config.OnPass),
+// delivered on the coordinator when a pass completes.
+type PassProgress = driver.PassProgress
 
 // ParallelConfig controls a parallel GSP run.
 type ParallelConfig struct {
 	Algorithm  Algorithm
 	MinSupport float64 // fraction of all customers
 	MaxK       int     // 0 = run to completion
-	Buffer     int     // fabric inbox buffer (0 = default)
+
+	// Workers is the number of scan goroutines each node uses over its local
+	// partition (see driver.ScanShards); 0 or 1 scans on the node goroutine.
+	Workers int
+
+	Fabric     FabricKind
+	Buffer     int // per-inbox message buffer; 0 = default
+	BatchBytes int // count-support send batching threshold; 0 = default (4KB)
+
+	// Tracer, when non-nil, records phase spans for every node (pass,
+	// generate, scan shards, exchange, barrier) for Chrome-trace export.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives live counters/gauges/histograms per
+	// node (current pass, probes, scan and barrier timings) for /metrics.
+	Registry *obs.Registry
+	// OnPassStart, when non-nil, fires on the coordinator as each pass k>=2
+	// begins, before any scanning.
+	OnPassStart func(pass, candidates int)
+	// OnPass, when non-nil, fires on the coordinator as each pass completes.
+	OnPass func(PassProgress)
+}
+
+// validate rejects malformed configurations before any fabric (listeners,
+// goroutines) is constructed.
+func (c *ParallelConfig) validate() error {
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return fmt.Errorf("seq: minimum support %g out of (0,1]", c.MinSupport)
+	}
+	if _, err := ParseAlgorithm(string(c.Algorithm)); err != nil {
+		return err
+	}
+	if c.MaxK < 0 {
+		return fmt.Errorf("seq: negative MaxK %d", c.MaxK)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("seq: negative Workers %d", c.Workers)
+	}
+	if c.Buffer < 0 {
+		return fmt.Errorf("seq: negative Buffer %d", c.Buffer)
+	}
+	if c.BatchBytes < 0 {
+		return fmt.Errorf("seq: negative BatchBytes %d", c.BatchBytes)
+	}
+	return nil
+}
+
+// driverConfig maps the runtime-relevant half of the config onto the shared
+// pass driver's knobs; the mining-relevant half (Algorithm) stays with the
+// sequence miner.
+func (c *ParallelConfig) driverConfig() driver.Config {
+	return driver.Config{
+		MinSupport:  c.MinSupport,
+		MaxK:        c.MaxK,
+		Workers:     c.Workers,
+		BatchBytes:  c.BatchBytes,
+		Tracer:      c.Tracer,
+		Registry:    c.Registry,
+		OnPassStart: c.OnPassStart,
+		OnPass:      c.OnPass,
+	}
 }
 
 // ParallelResult carries the frequent patterns and per-pass statistics.
@@ -48,500 +136,72 @@ type ParallelResult struct {
 	Stats *metrics.RunStats
 }
 
-// Message kinds of the (much simpler) sequential-pattern protocol.
-const (
-	sSize   uint8 = iota + 1 // size exchange, both directions
-	sCounts                  // dense count vector to coordinator
-	sSeq                     // SPSPM: one customer sequence broadcast
-	sDone                    // SPSPM: end of sequence stream
-	sFreq                    // coordinator broadcast of F_k
-)
-
 // MineParallel runs the configured algorithm over len(parts) shared-nothing
-// nodes (goroutines over a channel fabric) and returns the frequent
+// nodes (goroutines over the configured fabric) and returns the frequent
 // generalized sequential patterns — identical to sequential Mine.
 func MineParallel(tax *taxonomy.Taxonomy, parts []*DB, cfg ParallelConfig) (*ParallelResult, error) {
 	n := len(parts)
 	if n == 0 {
 		return nil, fmt.Errorf("seq: no partitions")
 	}
-	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
-		return nil, fmt.Errorf("seq: minimum support %g out of (0,1]", cfg.MinSupport)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Algorithm != NPSPM && cfg.Algorithm != SPSPM {
-		return nil, fmt.Errorf("seq: unknown algorithm %q", cfg.Algorithm)
+
+	fabric, err := driver.NewFabric(cfg.Fabric, n, cfg.Buffer)
+	if err != nil {
+		return nil, err
 	}
-	fabric := cluster.NewChanFabric(n, cfg.Buffer)
 	defer fabric.Close()
 
-	nodes := make([]*seqNode, n)
-	for i := range nodes {
-		nodes[i] = &seqNode{
-			id:  i,
-			tax: tax,
-			db:  parts[i],
-			ep:  fabric.Endpoint(i),
-			cfg: cfg,
+	miners := make([]driver.Miner, n)
+	coord := (*seqMiner)(nil)
+	for i := 0; i < n; i++ {
+		m := newSeqMiner(tax, parts[i], cfg)
+		if i == 0 {
+			coord = m
 		}
-	}
-	start := time.Now()
-	errs := make(chan error, n)
-	for _, nd := range nodes {
-		go func(nd *seqNode) { errs <- nd.run() }(nd)
-	}
-	var firstErr error
-	for range nodes {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		miners[i] = m
 	}
 
-	coord := nodes[0]
-	rs := &metrics.RunStats{
-		Algorithm: string(cfg.Algorithm),
-		Nodes:     n,
-		MinSup:    cfg.MinSupport,
-		Elapsed:   time.Since(start),
-	}
-	for pi := range coord.passMeta {
-		ps := coord.passMeta[pi]
-		for _, nd := range nodes {
-			if pi < len(nd.perPass) {
-				ps.Nodes = append(ps.Nodes, nd.perPass[pi])
-			}
-		}
-		rs.Passes = append(rs.Passes, ps)
-	}
-	return &ParallelResult{Result: coord.result, Stats: rs}, nil
-}
-
-// seqNode is one shared-nothing processor of the sequential miner.
-type seqNode struct {
-	id  int
-	tax *taxonomy.Taxonomy
-	db  *DB
-	ep  cluster.Endpoint
-	cfg ParallelConfig
-
-	totalCustomers int
-	minCount       int64
-	large          []bool
-
-	result   *Result // coordinator only
-	passMeta []metrics.PassStats
-	perPass  []metrics.NodeStats
-	cur      metrics.NodeStats
-
-	// pending stashes messages that arrived ahead of their phase (a fast
-	// peer may broadcast pass-k+1 sequences before our pass-k F_k landed).
-	pending []cluster.Message
-}
-
-func (nd *seqNode) isCoord() bool { return nd.id == 0 }
-
-func (nd *seqNode) peers() int { return nd.ep.N() - 1 }
-
-// recv blocks for the next message of the wanted kind, stashing everything
-// else for later phases.
-func (nd *seqNode) recv(kind uint8) (cluster.Message, error) {
-	for i, m := range nd.pending {
-		if m.Kind == kind {
-			nd.pending = append(nd.pending[:i], nd.pending[i+1:]...)
-			return m, nil
-		}
-	}
-	for m := range nd.ep.Inbox() {
-		if m.Kind == kind {
-			return m, nil
-		}
-		nd.pending = append(nd.pending, m)
-	}
-	return cluster.Message{}, fmt.Errorf("seq: node %d inbox closed", nd.id)
-}
-
-func (nd *seqNode) run() (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("seq: node %d panicked: %v", nd.id, r)
-		}
-	}()
-	if err := nd.sizeExchange(); err != nil {
-		return err
-	}
-	prev, err := nd.pass1()
-	if err != nil {
-		return err
-	}
-	if len(prev) == 0 {
-		return nil
-	}
-	for k := 2; nd.cfg.MaxK == 0 || k <= nd.cfg.MaxK; k++ {
-		cands := GenerateCandidates(nd.tax, prev, k)
-		if len(cands) == 0 {
-			return nil
-		}
-		fk, err := nd.passK(k, cands)
-		if err != nil {
-			return err
-		}
-		if len(fk) == 0 {
-			return nil
-		}
-		prev = fk
-	}
-	return nil
-}
-
-func (nd *seqNode) sizeExchange() error {
-	if nd.isCoord() {
-		total := int64(nd.db.Len())
-		for p := 0; p < nd.peers(); p++ {
-			m, err := nd.recv(sSize)
-			if err != nil {
-				return err
-			}
-			v, _, err := wire.Uvarint(m.Payload)
-			if err != nil {
-				return err
-			}
-			total += int64(v)
-		}
-		for p := 1; p < nd.ep.N(); p++ {
-			if err := nd.ep.Send(p, sSize, wire.AppendUvarint(nil, uint64(total))); err != nil {
-				return err
-			}
-		}
-		nd.totalCustomers = int(total)
-	} else {
-		if err := nd.ep.Send(0, sSize, wire.AppendUvarint(nil, uint64(nd.db.Len()))); err != nil {
-			return err
-		}
-		m, err := nd.recv(sSize)
-		if err != nil {
-			return err
-		}
-		v, _, err := wire.Uvarint(m.Payload)
-		if err != nil {
-			return err
-		}
-		nd.totalCustomers = int(v)
-	}
-	nd.minCount = cumulate.MinCount(nd.cfg.MinSupport, nd.totalCustomers)
-	return nil
-}
-
-// pass1 counts item support per customer and reduces at the coordinator.
-func (nd *seqNode) pass1() ([]Pattern, error) {
-	started := time.Now()
-	nd.cur = metrics.NodeStats{Node: nd.id}
-	counts := make([]int64, nd.tax.NumItems())
-	scratch := make([]item.Item, 0, 64)
-	err := nd.db.Scan(func(s Sequence) error {
-		nd.cur.TxnsScanned++
-		scratch = scratch[:0]
-		for _, e := range s.Elements {
-			scratch = nd.tax.ExtendTransaction(scratch, e)
-		}
-		for _, x := range scratch {
-			counts[x]++
-		}
-		return nil
-	})
+	nodes, elapsed, err := driver.Run(fabric, cfg.driverConfig(), miners)
 	if err != nil {
 		return nil, err
 	}
-	global, err := nd.reduceCounts(counts)
+
+	res := coord.result
+	if res == nil {
+		res = &Result{NumCustomers: nodes[0].TotalSize()}
+	}
+	return &ParallelResult{
+		Result: res,
+		Stats:  driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, nodes, elapsed),
+	}, nil
+}
+
+// MineWorker runs a single node of the sequence-mining protocol over a
+// caller-provided endpoint — the entry point for true multi-process
+// shared-nothing clusters (see cluster.DialMesh). Every worker must run the
+// same config; node 0 acts as coordinator.
+//
+// The returned result carries the global frequent patterns (identical on
+// every node after the final broadcast) but its Stats cover only this
+// worker's node — other processes' counters are not visible here.
+func MineWorker(tax *taxonomy.Taxonomy, local *DB, cfg ParallelConfig, ep cluster.Endpoint) (*ParallelResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := newSeqMiner(tax, local, cfg)
+	nd, elapsed, err := driver.RunWorker(ep, cfg.driverConfig(), m)
 	if err != nil {
 		return nil, err
 	}
-	nd.large = make([]bool, nd.tax.NumItems())
-	var f1 []Pattern
-	for i, c := range global {
-		if c >= nd.minCount {
-			nd.large[i] = true
-			f1 = append(f1, Pattern{Elements: [][]item.Item{{item.Item(i)}}, Count: c})
-		}
+	res := m.result
+	if res == nil {
+		res = &Result{NumCustomers: nd.TotalSize()}
 	}
-	nd.finishPass(1, nd.tax.NumItems(), len(f1), started, f1)
-	return f1, nil
-}
-
-// passK counts candidate k-sequences under the configured algorithm.
-func (nd *seqNode) passK(k int, cands [][][]item.Item) ([]Pattern, error) {
-	started := time.Now()
-	nd.cur = metrics.NodeStats{Node: nd.id}
-	// The fabric counters are monotonic; this pass's traffic is the delta
-	// against the snapshot taken here.
-	base := nd.ep.Stats()
-
-	var counts []int64
-	var err error
-	switch nd.cfg.Algorithm {
-	case NPSPM:
-		counts, err = nd.countReplicated(cands)
-	case SPSPM:
-		counts, err = nd.countPartitioned(cands)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("seq: node %d pass %d: %w", nd.id, k, err)
-	}
-	// Sent-side count-support data plane: everything sent since the pass
-	// snapshot, read before the reduce adds control traffic; the received
-	// side is accumulated at delivery in the receiver loop.
-	nd.cur.DataBytesSent = nd.ep.Stats().BytesSent - base.BytesSent
-	global, err := nd.reduceCounts(counts)
-	if err != nil {
-		return nil, err
-	}
-	var fk []Pattern
-	for i, c := range global {
-		if c >= nd.minCount {
-			fk = append(fk, Pattern{Elements: cands[i], Count: c})
-		}
-	}
-	SortPatterns(fk)
-	d := nd.ep.Stats().Sub(base)
-	nd.cur.BytesSent, nd.cur.BytesReceived = d.BytesSent, d.BytesRecv
-	nd.cur.MsgsSent, nd.cur.MsgsReceived = d.MsgsSent, d.MsgsRecv
-	nd.finishPass(k, len(cands), len(fk), started, fk)
-	return fk, nil
-}
-
-// countReplicated is NPSPM: every candidate counted locally.
-func (nd *seqNode) countReplicated(cands [][][]item.Item) ([]int64, error) {
-	counts := make([]int64, len(cands))
-	err := nd.db.Scan(func(s Sequence) error {
-		nd.cur.TxnsScanned++
-		closures := Closures(nd.tax, s, nd.large)
-		for i, c := range cands {
-			nd.cur.Probes++
-			if Contains(c, closures) {
-				counts[i]++
-				nd.cur.Increments++
-			}
-		}
-		return nil
-	})
-	return counts, err
-}
-
-// countPartitioned is SPSPM: node owns cands[i] when hash(i) maps here;
-// every local sequence is broadcast so owners can count their share.
-func (nd *seqNode) countPartitioned(cands [][][]item.Item) ([]int64, error) {
-	nNodes := nd.ep.N()
-	owned := make([]int, 0, len(cands)/nNodes+1)
-	for i, c := range cands {
-		if int(patternHash(c)%uint64(nNodes)) == nd.id {
-			owned = append(owned, i)
-		}
-	}
-	counts := make([]int64, len(cands))
-
-	count := func(closures [][]item.Item) {
-		for _, i := range owned {
-			nd.cur.Probes++
-			if Contains(cands[i], closures) {
-				counts[i]++
-				nd.cur.Increments++
-			}
-		}
-	}
-
-	// Hand pre-stashed broadcast messages to the receiver, then run it.
-	var pre []cluster.Message
-	rest := nd.pending[:0]
-	for _, m := range nd.pending {
-		if m.Kind == sSeq || m.Kind == sDone {
-			pre = append(pre, m)
-		} else {
-			rest = append(rest, m)
-		}
-	}
-	nd.pending = rest
-
-	// Receiver goroutine: it exclusively owns the owned-candidate counting
-	// (counts and the probe counters), so the scanning goroutine routes its
-	// local sequences through the loopback channel instead of counting them
-	// itself — the same producer/consumer split that keeps the itemset
-	// engines deadlock- and race-free.
-	local := make(chan [][]item.Item, 64)
-	recvDone := make(chan error, 1)
-	var stash []cluster.Message
-	go func() {
-		peersLeft := nd.peers()
-		for _, m := range pre {
-			if m.Kind == sDone {
-				peersLeft--
-				continue
-			}
-			closures, err := decodeClosures(m.Payload)
-			if err != nil {
-				recvDone <- err
-				return
-			}
-			nd.cur.ItemsReceived += closureItems(closures)
-			nd.cur.DataBytesReceived += int64(len(m.Payload))
-			count(closures)
-		}
-		inbox := nd.ep.Inbox()
-		lq := local
-		for peersLeft > 0 || lq != nil {
-			select {
-			case m, ok := <-inbox:
-				if !ok {
-					recvDone <- fmt.Errorf("inbox closed mid broadcast")
-					return
-				}
-				switch m.Kind {
-				case sSeq:
-					closures, err := decodeClosures(m.Payload)
-					if err != nil {
-						recvDone <- err
-						return
-					}
-					nd.cur.ItemsReceived += closureItems(closures)
-					nd.cur.DataBytesReceived += int64(len(m.Payload))
-					count(closures)
-				case sDone:
-					peersLeft--
-				default:
-					stash = append(stash, m)
-				}
-			case closures, ok := <-lq:
-				if !ok {
-					lq = nil
-					continue
-				}
-				count(closures)
-			}
-		}
-		recvDone <- nil
-	}()
-
-	err := nd.db.Scan(func(s Sequence) error {
-		nd.cur.TxnsScanned++
-		closures := Closures(nd.tax, s, nd.large)
-		local <- closures // local share, counted by the receiver
-		payload := encodeClosures(closures)
-		items := closureItems(closures)
-		for p := 0; p < nNodes; p++ {
-			if p == nd.id {
-				continue
-			}
-			nd.cur.ItemsSent += items
-			if err := nd.ep.Send(p, sSeq, payload); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err == nil {
-		for p := 0; p < nNodes; p++ {
-			if p == nd.id {
-				continue
-			}
-			if err = nd.ep.Send(p, sDone, nil); err != nil {
-				break
-			}
-		}
-	}
-	close(local)
-	if rerr := <-recvDone; err == nil {
-		err = rerr
-	}
-	nd.pending = append(nd.pending, stash...)
-	return counts, err
-}
-
-// reduceCounts sums dense count vectors at the coordinator and broadcasts
-// the result.
-func (nd *seqNode) reduceCounts(local []int64) ([]int64, error) {
-	if nd.isCoord() {
-		total := make([]int64, len(local))
-		copy(total, local)
-		for p := 0; p < nd.peers(); p++ {
-			m, err := nd.recv(sCounts)
-			if err != nil {
-				return nil, err
-			}
-			remote, _, err := wire.Counts(m.Payload)
-			if err != nil {
-				return nil, err
-			}
-			if len(remote) != len(total) {
-				return nil, fmt.Errorf("count vector length mismatch: %d vs %d", len(remote), len(total))
-			}
-			for i, c := range remote {
-				total[i] += c
-			}
-		}
-		payload := wire.AppendCounts(nil, total)
-		for p := 1; p < nd.ep.N(); p++ {
-			if err := nd.ep.Send(p, sFreq, payload); err != nil {
-				return nil, err
-			}
-		}
-		return total, nil
-	}
-	if err := nd.ep.Send(0, sCounts, wire.AppendCounts(nil, local)); err != nil {
-		return nil, err
-	}
-	m, err := nd.recv(sFreq)
-	if err != nil {
-		return nil, err
-	}
-	total, _, err := wire.Counts(m.Payload)
-	return total, err
-}
-
-func (nd *seqNode) finishPass(k, cands, freq int, started time.Time, fk []Pattern) {
-	nd.perPass = append(nd.perPass, nd.cur)
-	nd.passMeta = append(nd.passMeta, metrics.PassStats{
-		Pass:       k,
-		Candidates: cands,
-		Large:      freq,
-		Elapsed:    time.Since(started),
-	})
-	if nd.isCoord() {
-		if nd.result == nil {
-			nd.result = &Result{NumCustomers: nd.totalCustomers}
-		}
-		if len(fk) > 0 {
-			nd.result.Frequent = append(nd.result.Frequent, fk)
-		}
-	}
-}
-
-// patternHash hashes a pattern's canonical key.
-func patternHash(elements [][]item.Item) uint64 {
-	key := Key(elements)
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return h
-}
-
-// encodeClosures serializes a closed sequence for broadcast.
-func encodeClosures(closures [][]item.Item) []byte {
-	return wire.AppendItemsList(nil, closures)
-}
-
-// decodeClosures is the inverse of encodeClosures.
-func decodeClosures(b []byte) ([][]item.Item, error) {
-	sets, _, err := wire.ItemsList(b)
-	return sets, err
-}
-
-func closureItems(closures [][]item.Item) int64 {
-	var n int64
-	for _, c := range closures {
-		n += int64(len(c))
-	}
-	return n
+	return &ParallelResult{
+		Result: res,
+		Stats:  driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, []*driver.Node{nd}, elapsed),
+	}, nil
 }

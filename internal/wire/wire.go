@@ -103,6 +103,48 @@ func ItemsList(b []byte) ([][]item.Item, int, error) {
 	return out, off, nil
 }
 
+// AppendPatternList appends sequential-pattern/count pairs: each pattern is
+// its element list (itemsets in temporal order, encoded as an itemset list)
+// followed by its support count — what the partitioned sequence miners send
+// the coordinator as their locally determined frequent patterns, and what the
+// F_k broadcast carries back. len(counts) must equal len(patterns).
+func AppendPatternList(dst []byte, patterns [][][]item.Item, counts []int64) []byte {
+	dst = AppendUvarint(dst, uint64(len(patterns)))
+	for i, p := range patterns {
+		dst = AppendItemsList(dst, p)
+		dst = AppendUvarint(dst, uint64(counts[i]))
+	}
+	return dst
+}
+
+// PatternList decodes pairs encoded by AppendPatternList.
+func PatternList(b []byte) (patterns [][][]item.Item, counts []int64, used int, err error) {
+	n, off, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if n > uint64(len(b)) { // each pattern takes >= 2 bytes
+		return nil, nil, 0, fmt.Errorf("wire: pattern list length %d exceeds payload", n)
+	}
+	patterns = make([][][]item.Item, 0, n)
+	counts = make([]int64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		elements, u, err := ItemsList(b[off:])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		off += u
+		c, u2, err := Uvarint(b[off:])
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		off += u2
+		patterns = append(patterns, elements)
+		counts = append(counts, int64(c))
+	}
+	return patterns, counts, off, nil
+}
+
 // AppendCounts appends a dense support-count vector (what nodes send to the
 // coordinator when gathering sup_cou of replicated candidates).
 func AppendCounts(dst []byte, counts []int64) []byte {

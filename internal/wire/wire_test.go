@@ -101,6 +101,39 @@ func TestCountedRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPatternListRoundTrip(t *testing.T) {
+	patterns := [][][]item.Item{
+		{{1, 2}, {3}},
+		{{9}},
+		{{4, 5, 6}, {7}, {8}},
+	}
+	counts := []int64{42, 7, 1 << 33}
+	b := AppendPatternList(nil, patterns, counts)
+	gp, gc, used, err := PatternList(b)
+	if err != nil || used != len(b) {
+		t.Fatalf("decode: %v used=%d", err, used)
+	}
+	if len(gp) != len(patterns) {
+		t.Fatalf("len = %d", len(gp))
+	}
+	for i := range patterns {
+		if gc[i] != counts[i] || len(gp[i]) != len(patterns[i]) {
+			t.Fatalf("pattern %d: %v/%d", i, gp[i], gc[i])
+		}
+		for j := range patterns[i] {
+			if !item.Equal(gp[i][j], patterns[i][j]) {
+				t.Errorf("pattern %d element %d: %v", i, j, gp[i][j])
+			}
+		}
+	}
+	// Empty list round-trips (the partitioned miners send it when a node owns
+	// no frequent candidates).
+	ep, ec, used, err := PatternList(AppendPatternList(nil, nil, nil))
+	if err != nil || used != 1 || len(ep) != 0 || len(ec) != 0 {
+		t.Errorf("empty pattern list: %v %v used=%d err=%v", ep, ec, used, err)
+	}
+}
+
 func TestDecodeRejectsTruncation(t *testing.T) {
 	b := AppendItems(nil, []item.Item{1, 2, 3})
 	for cut := 1; cut < len(b); cut++ {
@@ -130,6 +163,15 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 	}
 	if _, _, _, err := Counted(huge); err == nil {
 		t.Error("oversized counted length accepted")
+	}
+	if _, _, _, err := PatternList(huge); err == nil {
+		t.Error("oversized pattern list length accepted")
+	}
+	bp := AppendPatternList(nil, [][][]item.Item{{{1, 2}, {3}}}, []int64{5})
+	for cut := 1; cut < len(bp); cut++ {
+		if _, _, _, err := PatternList(bp[:cut]); err == nil {
+			t.Errorf("truncated pattern list at %d accepted", cut)
+		}
 	}
 }
 
