@@ -8,6 +8,12 @@
 //	pgarm-bench -experiment all -scale 0.01 | tee results.txt
 //	pgarm-bench -experiment table6 -scale 0.002 -trace trace.json -json report.json
 //	pgarm-bench -experiment seq -nodes 8 -json seq.json
+//	pgarm-bench -experiment serve -scale 0.005 -clients 8 -requests 2000 -json serve.json
+//
+// -experiment serve is the serving-side load bench: it mines the dataset,
+// derives rules, stands up the pgarm-serve index over loopback HTTP and
+// replays a zipf-skewed basket mix with concurrent clients, reporting QPS and
+// p50/p99 latency with the recommendation cache off and on.
 //
 // -trace writes a Chrome trace_event file (load it in chrome://tracing or
 // https://ui.perfetto.dev) covering every mining run; -json writes a
@@ -40,6 +46,9 @@ type benchReport struct {
 	Nodes      int              `json:"nodes"`
 	Reports    []metrics.Report `json:"reports"`
 	Spans      []obs.Rollup     `json:"spans,omitempty"`
+	// Serve holds the serving load-bench arms (cache off / cache on) when
+	// `-experiment serve` ran.
+	Serve []metrics.ServeReport `json:"serve,omitempty"`
 }
 
 func main() {
@@ -48,7 +57,7 @@ func main() {
 
 	def := experiment.Defaults()
 	var (
-		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq or all")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve or all")
 		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
 		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
@@ -59,6 +68,11 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a machine-readable run report to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		sdef     = experiment.ServeDefaults()
+		clients  = flag.Int("clients", sdef.Clients, "serve bench: concurrent load-generator clients")
+		requests = flag.Int("requests", sdef.Requests, "serve bench: total requests per arm")
+		minconf  = flag.Float64("minconf", sdef.MinConfidence, "serve bench: rule-derivation confidence threshold")
 	)
 	flag.Parse()
 
@@ -166,6 +180,24 @@ func main() {
 		}
 		fmt.Println(t.Render())
 	}
+	var serveReports []metrics.ServeReport
+	// The serve bench measures real wall-clock load on whatever machine runs
+	// it, unlike the modeled mining experiments, so it is opt-in rather than
+	// part of "all".
+	if *exp == "serve" {
+		ran = true
+		step("serving load bench")
+		so := sdef
+		so.Clients = *clients
+		so.Requests = *requests
+		so.MinConfidence = *minconf
+		t, reps, err := env.Serve(so)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Render())
+		serveReports = reps
+	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -189,6 +221,7 @@ func main() {
 		if tracer != nil {
 			rep.Spans = tracer.Rollups()
 		}
+		rep.Serve = serveReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			log.Fatal(err)

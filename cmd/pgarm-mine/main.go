@@ -9,10 +9,16 @@
 // patterns with the [SK98] miners (NPSPM, SPSPM, HPSPM) over a generated
 // customer-sequence database (-customers, -items, -roots, -fanout).
 //
+// With -rules the run continues past itemset mining into rule derivation
+// (internal/rules) at the -minconf threshold; with -o the complete mined
+// model — taxonomy, large itemsets, rules, generation metadata — is written
+// as a snapshot file that pgarm-serve can serve and hot-swap.
+//
 // Examples:
 //
 //	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
-//	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules 0.6
+//	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules -minconf 0.6
+//	pgarm-mine -dataset R30F5 -scale 0.002 -minsup 0.01 -minconf 0.3 -o /tmp/model.pgarm -quiet
 //	pgarm-mine -mode seq -algorithm HPSPM -customers 5000 -nodes 4 -minsup 0.05 -trace seq.json
 package main
 
@@ -22,10 +28,12 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"pgarm/internal/core"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/model"
 	"pgarm/internal/obs"
 	"pgarm/internal/profiling"
 	"pgarm/internal/rules"
@@ -51,7 +59,10 @@ func main() {
 		inFiles  = flag.String("in", "", "comma-separated per-node transaction files from pgarm-gen")
 		nodes    = flag.Int("nodes", 8, "cluster size (ignored with -in: one node per file)")
 		minsup   = flag.Float64("minsup", 0.005, "minimum support as a fraction (0.005 = 0.5%)")
-		minconf  = flag.Float64("rules", 0, "derive rules at this minimum confidence (0 = skip)")
+		rulesOn  = flag.Bool("rules", false, "derive and print rules after mining")
+		minconf  = flag.Float64("minconf", 0.5, "minimum confidence for rule derivation (-rules / -o)")
+		interest = flag.Float64("interest", 0, "R-interestingness prune factor, e.g. 1.1 (0 = keep all rules)")
+		outModel = flag.String("o", "", "write the mined model (taxonomy, itemsets, rules, metadata) to this snapshot file")
 		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes (0 = unlimited)")
 		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
 		tcp      = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
@@ -71,6 +82,9 @@ func main() {
 	defer stopProf()
 
 	if *mode == "seq" {
+		if *outModel != "" {
+			log.Fatal("-o snapshots require -mode itemset (sequential patterns have no serving format yet)")
+		}
 		mineSequences(seqOptions{
 			algorithm: *algName,
 			customers: *cust,
@@ -186,25 +200,54 @@ func main() {
 		}
 	}
 
-	if *minconf > 0 {
+	if *rulesOn || *outModel != "" {
 		total := 0
 		for _, p := range parts {
 			total += p.Len()
 		}
-		rs, err := rules.Derive(tax, res.All(), res.SupportIndex(), rules.Config{
+		support := res.SupportIndex()
+		rs, err := rules.Derive(tax, res.All(), support, rules.Config{
 			MinConfidence: *minconf,
 			NumTxns:       total,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%d rules at confidence >= %.0f%%:\n", len(rs), *minconf*100)
-		for i, r := range rs {
-			if i >= *topN {
-				fmt.Printf("  ... %d more\n", len(rs)-i)
-				break
+		if *interest > 0 {
+			before := len(rs)
+			rs = rules.Prune(tax, rs, support, total, *interest)
+			fmt.Fprintf(os.Stderr, "R-interestingness (R=%g) pruned %d of %d rules\n", *interest, before-len(rs), before)
+		}
+		if *rulesOn {
+			fmt.Printf("\n%d rules at confidence >= %.0f%%:\n", len(rs), *minconf*100)
+			for i, r := range rs {
+				if i >= *topN {
+					fmt.Printf("  ... %d more\n", len(rs)-i)
+					break
+				}
+				fmt.Printf("  %s\n", r)
 			}
-			fmt.Printf("  %s\n", r)
+		}
+		if *outModel != "" {
+			m := &model.Model{
+				Meta: model.Meta{
+					Dataset:       params.Name,
+					Algorithm:     string(alg),
+					Tool:          model.ToolVersion,
+					NumTxns:       int64(total),
+					MinSupport:    *minsup,
+					MinConfidence: *minconf,
+					CreatedUnix:   time.Now().Unix(),
+				},
+				Taxonomy: tax,
+				Large:    res.Large,
+				Rules:    rs,
+			}
+			if err := model.WriteFile(*outModel, m); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote model snapshot to %s (%d itemsets, %d rules)\n",
+				*outModel, m.NumItemsets(), len(m.Rules))
 		}
 	}
 }

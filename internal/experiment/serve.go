@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/metrics"
+	"pgarm/internal/model"
+	"pgarm/internal/obs"
+	"pgarm/internal/rules"
+	"pgarm/internal/serve"
+)
+
+// ServeOptions parameterize the serving load bench.
+type ServeOptions struct {
+	// Dataset is the paper dataset to mine and serve (default R30F5).
+	Dataset string
+	// Clients is the number of concurrent load-generator goroutines.
+	Clients int
+	// Requests is the total request count per arm.
+	Requests int
+	// MinConfidence is the rule-derivation confidence threshold.
+	MinConfidence float64
+	// Seed fixes the basket mix so both arms (and repeated runs) replay the
+	// same workload.
+	Seed int64
+}
+
+// ServeDefaults returns the bench configuration used by
+// `pgarm-bench -experiment serve`.
+func ServeDefaults() ServeOptions {
+	return ServeOptions{Dataset: "R30F5", Clients: 8, Requests: 2000, MinConfidence: 0.3, Seed: 1}
+}
+
+// Serve runs the serving load bench: mine the dataset at the point support,
+// derive rules, build a pgarm-serve index, then replay a zipf-skewed basket
+// mix against it over real HTTP with N concurrent clients — once with the
+// recommendation cache off and once with it on, using the identical request
+// sequence. The zipf skew models a popularity distribution over baskets,
+// which is what gives a basket-keyed cache something to hit.
+func (e *Env) Serve(so ServeOptions) (*Table, []metrics.ServeReport, error) {
+	if so.Dataset == "" {
+		so.Dataset = "R30F5"
+	}
+	if so.Clients <= 0 || so.Requests <= 0 {
+		return nil, nil, fmt.Errorf("experiment: serve bench needs positive clients (%d) and requests (%d)", so.Clients, so.Requests)
+	}
+	d, err := e.Dataset(so.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := cumulate.Mine(d.ds.Taxonomy, d.ds.DB, cumulate.Config{MinSupport: e.opt.PointMinSup})
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := rules.Derive(d.ds.Taxonomy, res.All(), res.SupportIndex(),
+		rules.Config{MinConfidence: so.MinConfidence, NumTxns: d.ds.DB.Len()})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &model.Model{
+		Meta: model.Meta{
+			Dataset:       d.ds.Params.Name,
+			Algorithm:     "Cumulate",
+			Tool:          model.ToolVersion,
+			NumTxns:       int64(d.ds.DB.Len()),
+			MinSupport:    e.opt.PointMinSup,
+			MinConfidence: so.MinConfidence,
+		},
+		Taxonomy: d.ds.Taxonomy,
+		Large:    res.Large,
+		Rules:    rs,
+	}
+	bodies := serveBaskets(d, so)
+
+	var reports []metrics.ServeReport
+	for _, cached := range []bool{false, true} {
+		r, err := serveArm(m, so, bodies, cached)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, r)
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Serving load: %s, %d rules, %d clients × %d requests", d.ds.Params.Name, len(rs), so.Clients, so.Requests),
+		Header: []string{"cache", "QPS", "p50 ms", "p99 ms", "hits", "misses", "errors"},
+		Notes: []string{
+			fmt.Sprintf("minsup %.3g%%, minconf %.3g%%; zipf-skewed baskets drawn from the dataset's own transactions (seed %d)",
+				e.opt.PointMinSup*100, so.MinConfidence*100, so.Seed),
+			"latencies are client-observed wall clock over loopback HTTP, identical request sequence in both arms",
+		},
+	}
+	for _, r := range reports {
+		state := "off"
+		if r.Cache {
+			state = "on"
+		}
+		t.AddRow(state,
+			fmt.Sprintf("%.0f", r.QPS),
+			fmt.Sprintf("%.3f", r.P50Ms),
+			fmt.Sprintf("%.3f", r.P99Ms),
+			fmt.Sprintf("%d", r.CacheHits),
+			fmt.Sprintf("%d", r.CacheMisses),
+			fmt.Sprintf("%d", r.Errors))
+	}
+	return t, reports, nil
+}
+
+// serveBaskets pre-marshals the request bodies replayed by both arms: a
+// zipf-ranked draw over the dataset's transactions, so a small set of
+// popular baskets dominates while the tail stays long.
+func serveBaskets(d *dataset, so ServeOptions) [][]byte {
+	rng := rand.New(rand.NewSource(so.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(d.ds.DB.Len()-1))
+	// A fixed permutation decouples zipf rank from transaction order, so
+	// "popular" baskets are spread across the dataset rather than being its
+	// first few rows.
+	perm := rng.Perm(d.ds.DB.Len())
+	bodies := make([][]byte, so.Requests)
+	for i := range bodies {
+		txns := d.ds.DB.At(perm[zipf.Uint64()])
+		basket := txns.Items
+		if len(basket) > 12 {
+			basket = basket[:12]
+		}
+		b, err := json.Marshal(serve.RecommendRequest{Basket: basket, K: 5})
+		if err != nil {
+			panic(err) // static struct; cannot fail
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// serveArm stands up one HTTP server over the model and replays the request
+// mix with so.Clients concurrent workers, measuring per-request latency.
+func serveArm(m *model.Model, so ServeOptions, bodies [][]byte, cached bool) (metrics.ServeReport, error) {
+	ix, err := serve.NewIndex(m, "bench")
+	if err != nil {
+		return metrics.ServeReport{}, err
+	}
+	var cache *serve.Cache
+	if cached {
+		cache = serve.NewCache(4096)
+	}
+	srv := serve.NewServer(serve.NewHolder(ix), cache, serve.ServerOptions{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr := &http.Transport{MaxIdleConns: so.Clients, MaxIdleConnsPerHost: so.Clients}
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	defer tr.CloseIdleConnections()
+
+	var (
+		wg            sync.WaitGroup
+		hits, errors  atomic.Int64
+		latencyShards = make([][]float64, so.Clients)
+	)
+	url := ts.URL + "/v1/recommend"
+	start := time.Now()
+	for c := 0; c < so.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]float64, 0, so.Requests/so.Clients+1)
+			for i := c; i < len(bodies); i += so.Clients {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				var out serve.RecommendResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					errors.Add(1)
+					continue
+				}
+				lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+				if out.Cached {
+					hits.Add(1)
+				}
+			}
+			latencyShards[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []float64
+	for _, s := range latencyShards {
+		latencies = append(latencies, s...)
+	}
+	sort.Float64s(latencies)
+	ok := int64(len(latencies))
+	rep := metrics.ServeReport{
+		Dataset:  m.Meta.Dataset,
+		Rules:    len(m.Rules),
+		Clients:  so.Clients,
+		Requests: so.Requests,
+		Cache:    cached,
+		Errors:   errors.Load(),
+		QPS:      float64(ok) / elapsed.Seconds(),
+		P50Ms:    percentile(latencies, 0.50),
+		P99Ms:    percentile(latencies, 0.99),
+	}
+	if cached {
+		rep.CacheHits = hits.Load()
+		rep.CacheMisses = ok - hits.Load()
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of ascending-sorted values by
+// nearest-rank, 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

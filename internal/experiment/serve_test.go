@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeBenchSmall(t *testing.T) {
+	opt := Defaults()
+	opt.Scale = 0.0005 // clamps to the 1,000-transaction floor
+	opt.PointMinSup = 0.02
+	env, err := NewEnv(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := ServeDefaults()
+	so.Clients = 2
+	so.Requests = 60
+	tbl, reps, err := env.Serve(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Cache || !reps[1].Cache {
+		t.Fatalf("want [cache-off cache-on] arms, got %+v", reps)
+	}
+	for _, r := range reps {
+		if r.Errors != 0 {
+			t.Errorf("arm cache=%v saw %d errors", r.Cache, r.Errors)
+		}
+		if r.QPS <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("arm cache=%v has degenerate latency stats: %+v", r.Cache, r)
+		}
+		if r.Requests != so.Requests || r.Clients != so.Clients {
+			t.Errorf("arm cache=%v misreports workload: %+v", r.Cache, r)
+		}
+	}
+	if reps[0].CacheHits != 0 || reps[0].CacheMisses != 0 {
+		t.Errorf("cache-off arm reports cache traffic: %+v", reps[0])
+	}
+	if got := reps[1].CacheHits + reps[1].CacheMisses; got != int64(so.Requests) {
+		t.Errorf("cache-on arm hits+misses = %d, want %d", got, so.Requests)
+	}
+	// The zipf mix repeats baskets, so a working cache must hit at least once.
+	if reps[1].CacheHits == 0 {
+		t.Error("cache-on arm never hit the cache")
+	}
+	for _, want := range []string{"Serving load", "cache", "QPS", "p50 ms"} {
+		if !strings.Contains(tbl.Render(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g", got)
+	}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(vals, 0.5); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := percentile(vals, 0.99); got != 10 {
+		t.Errorf("p99 = %g, want 10", got)
+	}
+	if got := percentile(vals, 0.01); got != 1 {
+		t.Errorf("p1 = %g, want 1", got)
+	}
+}

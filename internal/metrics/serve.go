@@ -1,0 +1,34 @@
+package metrics
+
+// ServeReport summarizes one arm of the serving load bench
+// (`pgarm-bench -experiment serve`): a fixed request mix replayed against a
+// pgarm-serve index by concurrent clients, with the recommendation cache
+// either off or on. Latencies are measured per request at the client and
+// reported as percentiles; QPS counts successful requests over the arm's
+// wall-clock span. Unlike the mining reports, these numbers are real
+// wall-clock measurements, not cost-model time.
+type ServeReport struct {
+	// Dataset is the mined dataset name (with scale suffix).
+	Dataset string `json:"dataset"`
+	// Rules is the size of the served rule index.
+	Rules int `json:"rules"`
+	// Clients is the number of concurrent load-generator goroutines.
+	Clients int `json:"clients"`
+	// Requests is the number of recommendation requests issued.
+	Requests int `json:"requests"`
+	// Cache reports whether the recommendation cache was enabled.
+	Cache bool `json:"cache"`
+	// CacheHits and CacheMisses count requests answered from / past the
+	// cache (from the per-response cached flag; both zero when Cache is
+	// false).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Errors counts transport failures and non-200 responses.
+	Errors int64 `json:"errors"`
+	// QPS is successful requests divided by the arm's elapsed wall time.
+	QPS float64 `json:"qps"`
+	// P50Ms and P99Ms are client-observed latency percentiles in
+	// milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}

@@ -1,0 +1,344 @@
+// Package model persists a complete mined model — taxonomy, large itemsets
+// with exact support counts, derived rules and generation metadata — as a
+// versioned, self-describing binary snapshot (a ".pgarm" file). The snapshot
+// is the hand-off artifact between the mining side of the repo (pgarm-mine,
+// internal/core, internal/rules) and the serving side (internal/serve,
+// pgarm-serve): mine once, write a snapshot, serve it for as long as the
+// model stays fresh, then hot-swap in the next one.
+//
+// The encoding reuses the varint codecs of internal/wire, so itemset lists
+// and count vectors cost the same bytes on disk as they do on the fabric. A
+// fixed header carries a magic, the format version, the body length and a
+// CRC-64 of the body; readers refuse truncated or corrupted files before
+// decoding anything, so a served model is either complete or absent — never
+// partial.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/rules"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/wire"
+)
+
+// FormatVersion identifies the snapshot layout. Bump on any incompatible
+// change; readers reject versions they do not understand.
+const FormatVersion = 1
+
+// ToolVersion labels snapshots with the producing build. It is a variable so
+// release builds can stamp a git-describe string via
+// `-ldflags "-X pgarm/internal/model.ToolVersion=v1.2.3-4-gabc"`.
+var ToolVersion = "pgarm-dev"
+
+// Meta is the generation metadata stored alongside the model: enough to know
+// where a snapshot came from and how it was mined without re-running
+// anything.
+type Meta struct {
+	// Dataset names the dataset configuration the model was mined from
+	// (e.g. "R30F5@0.002").
+	Dataset string `json:"dataset"`
+	// Algorithm is the mining algorithm (e.g. "H-HPGM-FGD" or "Cumulate").
+	Algorithm string `json:"algorithm"`
+	// Tool is the producing build's version string (see ToolVersion).
+	Tool string `json:"tool"`
+	// NumTxns is the database size the support fractions refer to.
+	NumTxns int64 `json:"num_txns"`
+	// MinSupport and MinConfidence are the mining thresholds.
+	MinSupport    float64 `json:"min_support"`
+	MinConfidence float64 `json:"min_confidence"`
+	// CreatedUnix is the snapshot creation time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Model is one complete mined model: everything a serving process needs.
+type Model struct {
+	Meta Meta
+	// Taxonomy is the classification hierarchy the itemsets and rules are
+	// expressed over.
+	Taxonomy *taxonomy.Taxonomy
+	// Large[k-1] holds the large k-itemsets with exact support counts,
+	// lexicographically ordered — the shape core.Result and
+	// cumulate.Result produce.
+	Large [][]itemset.Counted
+	// Rules are the derived generalized association rules, sorted by
+	// descending confidence then support.
+	Rules []rules.Rule
+}
+
+// Validate checks internal consistency: every itemset and rule item must be
+// inside the taxonomy's universe and in canonical form. Writers call it so a
+// snapshot on disk is well-formed by construction.
+func (m *Model) Validate() error {
+	if m.Taxonomy == nil {
+		return fmt.Errorf("model: nil taxonomy")
+	}
+	n := item.Item(m.Taxonomy.NumItems())
+	checkItems := func(what string, items []item.Item) error {
+		if !item.IsSorted(items) {
+			return fmt.Errorf("model: %s %v not canonical", what, items)
+		}
+		for _, x := range items {
+			if x < 0 || x >= n {
+				return fmt.Errorf("model: %s item %d outside universe [0,%d)", what, x, n)
+			}
+		}
+		return nil
+	}
+	for k, level := range m.Large {
+		for _, c := range level {
+			if len(c.Items) != k+1 {
+				return fmt.Errorf("model: %d-itemset %v stored at level %d", len(c.Items), c.Items, k+1)
+			}
+			if err := checkItems("itemset", c.Items); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range m.Rules {
+		if len(r.Antecedent) == 0 || len(r.Consequent) == 0 {
+			return fmt.Errorf("model: rule with empty side: %v", r)
+		}
+		if err := checkItems("rule antecedent", r.Antecedent); err != nil {
+			return err
+		}
+		if err := checkItems("rule consequent", r.Consequent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumItemsets returns the total large itemset count across all levels.
+func (m *Model) NumItemsets() int {
+	n := 0
+	for _, level := range m.Large {
+		n += len(level)
+	}
+	return n
+}
+
+// section identifiers inside the snapshot body. Unknown sections are skipped
+// by readers, so additive extensions do not need a version bump.
+const (
+	secMeta     = 1
+	secTaxonomy = 2
+	secItemsets = 3
+	secRules    = 4
+)
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readString decodes a string appended by appendString.
+func readString(b []byte) (string, int, error) {
+	n, off, err := wire.Uvarint(b)
+	if err != nil {
+		return "", 0, err
+	}
+	if n > uint64(len(b)-off) {
+		return "", 0, fmt.Errorf("model: string length %d exceeds payload", n)
+	}
+	return string(b[off : off+int(n)]), off + int(n), nil
+}
+
+// appendFloat appends a float64 as its IEEE-754 bits, varint encoded.
+func appendFloat(dst []byte, f float64) []byte {
+	return wire.AppendUvarint(dst, math.Float64bits(f))
+}
+
+// readFloat decodes a float appended by appendFloat.
+func readFloat(b []byte) (float64, int, error) {
+	v, off, err := wire.Uvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Float64frombits(v), off, nil
+}
+
+// appendMeta encodes the meta section payload.
+func appendMeta(dst []byte, m Meta) []byte {
+	dst = appendString(dst, m.Dataset)
+	dst = appendString(dst, m.Algorithm)
+	dst = appendString(dst, m.Tool)
+	dst = wire.AppendUvarint(dst, uint64(m.NumTxns))
+	dst = appendFloat(dst, m.MinSupport)
+	dst = appendFloat(dst, m.MinConfidence)
+	dst = wire.AppendUvarint(dst, uint64(m.CreatedUnix))
+	return dst
+}
+
+// readMeta decodes a meta section payload.
+func readMeta(b []byte) (Meta, error) {
+	var m Meta
+	var off int
+	var err error
+	if m.Dataset, off, err = readString(b); err != nil {
+		return m, err
+	}
+	b = b[off:]
+	if m.Algorithm, off, err = readString(b); err != nil {
+		return m, err
+	}
+	b = b[off:]
+	if m.Tool, off, err = readString(b); err != nil {
+		return m, err
+	}
+	b = b[off:]
+	n, off, err := wire.Uvarint(b)
+	if err != nil {
+		return m, err
+	}
+	m.NumTxns = int64(n)
+	b = b[off:]
+	if m.MinSupport, off, err = readFloat(b); err != nil {
+		return m, err
+	}
+	b = b[off:]
+	if m.MinConfidence, off, err = readFloat(b); err != nil {
+		return m, err
+	}
+	b = b[off:]
+	created, _, err := wire.Uvarint(b)
+	if err != nil {
+		return m, err
+	}
+	m.CreatedUnix = int64(created)
+	return m, nil
+}
+
+// appendTaxonomy encodes the parent vector: item count, then parent+1 per
+// item (so the item.None sentinel encodes as 0).
+func appendTaxonomy(dst []byte, t *taxonomy.Taxonomy) []byte {
+	n := t.NumItems()
+	dst = wire.AppendUvarint(dst, uint64(n))
+	for i := 0; i < n; i++ {
+		dst = wire.AppendUvarint(dst, uint64(t.Parent(item.Item(i))+1))
+	}
+	return dst
+}
+
+// readTaxonomy decodes and rebuilds the taxonomy, re-validating the forest
+// structure (New rejects cycles and out-of-range parents).
+func readTaxonomy(b []byte) (*taxonomy.Taxonomy, error) {
+	n, off, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b)) { // each parent takes >= 1 byte
+		return nil, fmt.Errorf("model: taxonomy size %d exceeds payload", n)
+	}
+	parent := make([]item.Item, n)
+	for i := range parent {
+		v, u, err := wire.Uvarint(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += u
+		parent[i] = item.Item(v) - 1
+	}
+	return taxonomy.New(parent)
+}
+
+// appendItemsets encodes the per-level large itemsets: level count, then one
+// wire.AppendCounted block per level.
+func appendItemsets(dst []byte, large [][]itemset.Counted) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(large)))
+	var sets [][]item.Item
+	var counts []int64
+	for _, level := range large {
+		sets = sets[:0]
+		counts = counts[:0]
+		for _, c := range level {
+			sets = append(sets, c.Items)
+			counts = append(counts, c.Count)
+		}
+		dst = wire.AppendCounted(dst, sets, counts)
+	}
+	return dst
+}
+
+// readItemsets decodes the itemsets section.
+func readItemsets(b []byte) ([][]itemset.Counted, error) {
+	levels, off, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if levels > uint64(len(b)) {
+		return nil, fmt.Errorf("model: level count %d exceeds payload", levels)
+	}
+	large := make([][]itemset.Counted, 0, levels)
+	for k := uint64(0); k < levels; k++ {
+		sets, counts, used, err := wire.Counted(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		level := make([]itemset.Counted, len(sets))
+		for i := range sets {
+			level[i] = itemset.Counted{Items: sets[i], Count: counts[i]}
+		}
+		large = append(large, level)
+	}
+	return large, nil
+}
+
+// appendRules encodes the rules section: rule count, then per rule the
+// antecedent, consequent, absolute count, support and confidence.
+func appendRules(dst []byte, rs []rules.Rule) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(rs)))
+	for _, r := range rs {
+		dst = wire.AppendItems(dst, r.Antecedent)
+		dst = wire.AppendItems(dst, r.Consequent)
+		dst = wire.AppendUvarint(dst, uint64(r.Count))
+		dst = appendFloat(dst, r.Support)
+		dst = appendFloat(dst, r.Confidence)
+	}
+	return dst
+}
+
+// readRules decodes the rules section.
+func readRules(b []byte) ([]rules.Rule, error) {
+	n, off, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b)) { // each rule takes >= 5 bytes
+		return nil, fmt.Errorf("model: rule count %d exceeds payload", n)
+	}
+	out := make([]rules.Rule, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r rules.Rule
+		var used int
+		if r.Antecedent, used, err = wire.Items(b[off:], nil); err != nil {
+			return nil, err
+		}
+		off += used
+		if r.Consequent, used, err = wire.Items(b[off:], nil); err != nil {
+			return nil, err
+		}
+		off += used
+		c, u, err := wire.Uvarint(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += u
+		r.Count = int64(c)
+		if r.Support, u, err = readFloat(b[off:]); err != nil {
+			return nil, err
+		}
+		off += u
+		if r.Confidence, u, err = readFloat(b[off:]); err != nil {
+			return nil, err
+		}
+		off += u
+		out = append(out, r)
+	}
+	return out, nil
+}

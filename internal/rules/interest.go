@@ -18,7 +18,7 @@ import (
 // and their ancestors (the pass-1 vector). Rules whose ancestor statistics
 // are unavailable are kept.
 func Prune(tax *taxonomy.Taxonomy, rs []Rule, support map[string]int64, numTxns int, r float64) []Rule {
-	if r <= 0 {
+	if r <= 0 || len(rs) == 0 {
 		return rs
 	}
 	byKey := make(map[string]Rule, len(rs))
@@ -75,8 +75,15 @@ func interesting(tax *taxonomy.Taxonomy, rule Rule, byKey map[string]Rule, suppo
 		return false, true
 	}
 
-	// Generalize each antecedent and consequent item one level up.
+	// Generalize each antecedent and consequent item one level up. Items
+	// outside the taxonomy's universe have no ancestors to generalize to;
+	// skipping them (rather than indexing the parent vector out of range)
+	// keeps Prune total on malformed rules — the rule is simply kept.
+	universe := item.Item(tax.NumItems())
 	for i, x := range rule.Antecedent {
+		if x < 0 || x >= universe {
+			continue
+		}
 		p := tax.Parent(x)
 		if p == item.None {
 			continue
@@ -92,6 +99,9 @@ func interesting(tax *taxonomy.Taxonomy, rule Rule, byKey map[string]Rule, suppo
 		}
 	}
 	for i, y := range rule.Consequent {
+		if y < 0 || y >= universe {
+			continue
+		}
 		p := tax.Parent(y)
 		if p == item.None {
 			continue

@@ -63,9 +63,22 @@ func Derive(tax *taxonomy.Taxonomy, large []itemset.Counted, support map[string]
 		return nil, fmt.Errorf("rules: MinConfidence %g out of [0,1]", cfg.MinConfidence)
 	}
 	var out []Rule
+	universe := item.Item(tax.NumItems())
 	for _, l := range large {
+		// Empty and single-item itemsets admit no rule (a rule needs a
+		// non-empty antecedent and consequent); they are legal input —
+		// the mining result always includes L_1.
 		if len(l.Items) < 2 {
 			continue
+		}
+		// Defend against malformed input instead of panicking deep inside
+		// the hierarchy queries: every item must be inside the taxonomy's
+		// universe and the itemset canonical.
+		if !item.IsSorted(l.Items) {
+			return nil, fmt.Errorf("rules: itemset %v not canonical", l.Items)
+		}
+		if last := l.Items[len(l.Items)-1]; last >= universe || l.Items[0] < 0 {
+			return nil, fmt.Errorf("rules: itemset %v outside taxonomy universe [0,%d)", l.Items, universe)
 		}
 		k := len(l.Items)
 		// Enumerate non-empty proper subsets Y by antecedent size.

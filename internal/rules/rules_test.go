@@ -184,3 +184,75 @@ func TestDeriveSkipsSingletons(t *testing.T) {
 		t.Errorf("1-itemsets cannot form rules, got %d", len(rs))
 	}
 }
+
+func TestDeriveEmptyAndSingletonInputs(t *testing.T) {
+	tax := testTaxonomy()
+	// No large itemsets at all: no rules, no error.
+	rs, err := Derive(tax, nil, map[string]int64{}, Config{MinConfidence: 0.5, NumTxns: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("empty input produced %d rules", len(rs))
+	}
+	// Empty itemsets and singletons are legal input (L_1 is always present in
+	// mining output) and must be skipped silently, not panic or emit rules.
+	large := []itemset.Counted{
+		{Items: nil, Count: 5},
+		{Items: []item.Item{}, Count: 4},
+		{Items: []item.Item{5}, Count: 3},
+		{Items: []item.Item{8}, Count: 2},
+	}
+	rs, err = Derive(tax, large, map[string]int64{
+		itemset.Key([]item.Item{5}): 3,
+		itemset.Key([]item.Item{8}): 2,
+	}, Config{MinConfidence: 0, NumTxns: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 {
+		t.Errorf("degenerate itemsets produced rules: %v", rs)
+	}
+}
+
+func TestDeriveRejectsMalformedItemsets(t *testing.T) {
+	tax := testTaxonomy()
+	support := map[string]int64{}
+	cases := []struct {
+		name  string
+		items []item.Item
+	}{
+		{"out of universe", []item.Item{5, 99}},
+		{"negative item", []item.Item{-2, 5}},
+		{"unsorted", []item.Item{8, 5}},
+		{"duplicate", []item.Item{5, 5}},
+	}
+	for _, tc := range cases {
+		large := []itemset.Counted{{Items: tc.items, Count: 3}}
+		if _, err := Derive(tax, large, support, Config{MinConfidence: 0.5, NumTxns: 10}); err == nil {
+			t.Errorf("%s: Derive accepted itemset %v", tc.name, tc.items)
+		}
+	}
+}
+
+func TestPruneEmptyAndMalformedRules(t *testing.T) {
+	tax := testTaxonomy()
+	support := map[string]int64{}
+	// Empty rule set: identity, not a panic.
+	if got := Prune(tax, nil, support, 10, 1.1); len(got) != 0 {
+		t.Errorf("Prune(nil) = %v", got)
+	}
+	if got := Prune(tax, []Rule{}, support, 10, 1.1); len(got) != 0 {
+		t.Errorf("Prune(empty) = %v", got)
+	}
+	// Rules holding out-of-universe items have no ancestors to compare
+	// against; Prune must keep them rather than index the parent vector out
+	// of range.
+	rs := []Rule{
+		{Antecedent: []item.Item{99}, Consequent: []item.Item{5}, Support: 0.1, Confidence: 0.5},
+		{Antecedent: []item.Item{5}, Consequent: []item.Item{-7}, Support: 0.1, Confidence: 0.5},
+	}
+	if got := Prune(tax, rs, support, 10, 1.1); len(got) != len(rs) {
+		t.Errorf("Prune dropped rules lacking ancestor evidence: kept %d of %d", len(got), len(rs))
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// numShards spreads cache lock contention across independent LRUs; 16 keeps
+// the per-shard mutex cold at the concurrency a single serving process sees.
+const numShards = 16
+
+// Cache is a sharded LRU over normalized basket queries. Keys embed the
+// snapshot generation (see Server.cacheKey), so a hot swap implicitly
+// invalidates every cached result without a stop-the-world flush — stale
+// entries simply stop being looked up and age out of the LRU.
+//
+// A nil *Cache is valid and disables caching (every Get misses, Put is a
+// no-op), so callers need no branches for the cache-off configuration.
+type Cache struct {
+	shards [numShards]cacheShard
+	cap    int // per-shard capacity
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []Recommendation
+}
+
+// NewCache builds a cache holding roughly capacity entries in total.
+// capacity <= 0 returns nil (caching disabled).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	perShard := (capacity + numShards - 1) / numShards
+	c := &Cache{cap: perShard}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)%numShards]
+}
+
+// Get returns the cached recommendations for key and whether they were
+// present, promoting the entry to most-recently-used.
+func (c *Cache) Get(key string) ([]Recommendation, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the recommendations for key, evicting the least recently used
+// entry of the shard when full. The caller must not mutate val afterwards.
+func (c *Cache) Put(key string, val []Recommendation) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	if s.lru.Len() > c.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the total number of cached entries (0 on nil).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+package serve
+
+import "sync/atomic"
+
+// Holder publishes the live Index to concurrent readers and lets a reloader
+// swap in a replacement atomically. Readers pin the index once per request
+// (Get) and keep using that pointer for the whole request; because an Index
+// is immutable, in-flight requests against the old snapshot finish untouched
+// while new requests see the new one — the zero-downtime reload contract.
+type Holder struct {
+	p   atomic.Pointer[Index]
+	gen atomic.Int64
+}
+
+// NewHolder returns a holder serving ix (may be nil until the first Swap).
+func NewHolder(ix *Index) *Holder {
+	h := &Holder{}
+	if ix != nil {
+		h.Swap(ix)
+	}
+	return h
+}
+
+// Get returns the live index, or nil when nothing is loaded yet.
+func (h *Holder) Get() *Index { return h.p.Load() }
+
+// Swap atomically publishes ix and returns the previous index. Each swap
+// bumps the generation, which participates in cache keys so stale cached
+// results can never be served against a new snapshot.
+func (h *Holder) Swap(ix *Index) *Index {
+	old := h.p.Swap(ix)
+	h.gen.Add(1)
+	return old
+}
+
+// Generation returns the number of swaps so far (0 = nothing loaded).
+func (h *Holder) Generation() int64 { return h.gen.Load() }

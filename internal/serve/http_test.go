@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgarm/internal/item"
+	"pgarm/internal/model"
+	"pgarm/internal/obs"
+	"pgarm/internal/rules"
+)
+
+// writeSnapshot persists a one-rule model whose consequent identifies the
+// snapshot, returning the path and the index version (checksum hex).
+func writeSnapshot(t *testing.T, dir, name string, cons item.Item, conf float64) (path, version string) {
+	t.Helper()
+	m := &model.Model{
+		Meta:     model.Meta{Dataset: "test", Algorithm: "Cumulate", NumTxns: 100, CreatedUnix: 1},
+		Taxonomy: testTax(),
+		Rules: []rules.Rule{
+			rule([]item.Item{shirts}, []item.Item{cons}, conf, 0.1, 10),
+		},
+	}
+	path = filepath.Join(dir, name)
+	if err := model.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, ix.Version()
+}
+
+func postRecommend(t *testing.T, client *http.Client, url string, req RecommendRequest) (*RecommendResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(&req)
+	resp, err := client.Post(url+"/v1/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	defer resp.Body.Close()
+	var out RecommendResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("recommend decode: %v", err)
+		}
+	}
+	return &out, resp.StatusCode
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path, version := writeSnapshot(t, dir, "m.pgarm", shoes, 0.8)
+	ix, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := NewServer(NewHolder(ix), NewCache(64), ServerOptions{ModelPath: path, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// healthz reports the loaded snapshot.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(hb), version) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, hb)
+	}
+
+	// A basket query answers taxonomy-aware via HTTP.
+	out, code := postRecommend(t, ts.Client(), ts.URL, RecommendRequest{Basket: []item.Item{shirts}, K: 5})
+	if code != http.StatusOK || len(out.Recommendations) != 1 || !item.Equal(out.Recommendations[0].Items, []item.Item{shoes}) {
+		t.Fatalf("recommend: %d %+v", code, out)
+	}
+	if out.Model != version || out.Cached {
+		t.Fatalf("first query: model %q cached %v", out.Model, out.Cached)
+	}
+
+	// Same basket, different order/dups: must hit the cache (normalization
+	// is part of the key).
+	out2, _ := postRecommend(t, ts.Client(), ts.URL, RecommendRequest{Basket: []item.Item{shirts, shirts}, K: 5})
+	if !out2.Cached {
+		t.Fatal("equivalent basket missed the cache")
+	}
+
+	// Rules listing.
+	resp, err = http.Get(ts.URL + "/v1/rules?limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(rb), `"total":1`) {
+		t.Fatalf("rules: %d %s", resp.StatusCode, rb)
+	}
+	// Root-scoped listing: the antecedent lives in the clothes tree.
+	resp, err = http.Get(ts.URL + fmt.Sprintf("/v1/rules?root=%d", clothes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(rb), `"total":1`) {
+		t.Fatalf("root-scoped rules: %s", rb)
+	}
+
+	// Bad requests.
+	if _, code := postRecommend(t, ts.Client(), ts.URL, RecommendRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty basket: want 400, got %d", code)
+	}
+
+	// Metrics expose the request histogram and cache counters.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pgarm_serve_request_seconds_bucket",
+		"pgarm_serve_cache_hits_total 1",
+		"pgarm_serve_cache_misses_total 1",
+		"pgarm_serve_snapshot_generation 1",
+		"pgarm_serve_rules 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestHTTPServesNothingBeforeLoad(t *testing.T) {
+	srv := NewServer(NewHolder(nil), nil, ServerOptions{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, code := postRecommend(t, ts.Client(), ts.URL, RecommendRequest{Basket: []item.Item{1}})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 before load, got %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before load: want 503, got %d", resp.StatusCode)
+	}
+}
+
+func TestReloadFailureKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	path, version := writeSnapshot(t, dir, "m.pgarm", shoes, 0.8)
+	ix, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := NewServer(NewHolder(ix), nil, ServerOptions{ModelPath: path, Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Corrupt snapshot on disk: reload must fail loudly...
+	bad := filepath.Join(dir, "bad.pgarm")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/reload?model="+bad, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("reload of corrupt snapshot: want 500, got %d", resp.StatusCode)
+	}
+	// ...while the old snapshot keeps answering.
+	out, code := postRecommend(t, ts.Client(), ts.URL, RecommendRequest{Basket: []item.Item{shirts}})
+	if code != http.StatusOK || out.Model != version {
+		t.Fatalf("old snapshot gone after failed reload: %d %+v", code, out)
+	}
+}
+
+// TestHotSwapZeroFailures is the zero-downtime reload contract: concurrent
+// clients hammer /v1/recommend while the model file is swapped repeatedly;
+// every response must be a 200 whose recommendations are consistent with the
+// snapshot version it claims to come from. Run with -race to also prove the
+// readers never observe a torn index.
+func TestHotSwapZeroFailures(t *testing.T) {
+	dir := t.TempDir()
+	pathA, versionA := writeSnapshot(t, dir, "a.pgarm", shoes, 0.8)
+	pathB, versionB := writeSnapshot(t, dir, "b.pgarm", boots, 0.9)
+	if versionA == versionB {
+		t.Fatal("snapshots not distinct")
+	}
+	wantByVersion := map[string]item.Item{versionA: shoes, versionB: boots}
+
+	ix, err := LoadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewHolder(ix), NewCache(128), ServerOptions{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var (
+		stop     atomic.Bool
+		requests atomic.Int64
+		failures atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; !stop.Load(); i++ {
+				// Alternate cached and uncached paths under the swap.
+				req := RecommendRequest{Basket: []item.Item{shirts}, K: 3, NoCache: i%2 == 0}
+				body, _ := json.Marshal(&req)
+				resp, err := client.Post(ts.URL+"/v1/recommend", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				var out RecommendResponse
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					failures.Add(1)
+					continue
+				}
+				want, known := wantByVersion[out.Model]
+				if !known || len(out.Recommendations) != 1 || !item.Equal(out.Recommendations[0].Items, []item.Item{want}) {
+					t.Errorf("torn response: model %q -> %+v", out.Model, out.Recommendations)
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Swap back and forth while the clients run.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	paths := []string{pathB, pathA}
+	swaps := 0
+	for time.Now().Before(deadline) {
+		p := paths[swaps%2]
+		resp, err := http.Post(ts.URL+"/reload?model="+p, "", nil)
+		if err != nil {
+			t.Errorf("reload: %v", err)
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("reload returned %d", resp.StatusCode)
+		}
+		swaps++
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if swaps < 10 {
+		t.Fatalf("only %d swaps executed", swaps)
+	}
+	if requests.Load() == 0 {
+		t.Fatal("no requests executed")
+	}
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d in-flight requests failed across %d hot swaps", failures.Load(), requests.Load(), swaps)
+	}
+	t.Logf("%d requests over %d hot swaps, 0 failures", requests.Load(), swaps)
+}

@@ -1,0 +1,239 @@
+// Package serve is the rule-serving side of the repo: an immutable in-memory
+// index over a mined model snapshot (internal/model) that answers basket →
+// top-K recommendation queries with taxonomy awareness, an atomic hot-swap
+// holder so a running server can reload a fresh snapshot with zero downtime,
+// a sharded LRU cache over normalized baskets, and the HTTP surface
+// pgarm-serve exposes.
+//
+// Taxonomy awareness means two things at query time. First, a rule fires
+// when the basket satisfies its antecedent *at any level of the hierarchy*:
+// a basket holding leaf item "jacket" matches a rule whose antecedent is the
+// interior category "outerwear", because the basket is extended with the
+// ancestor closure of its items (the same transform Cumulate applies while
+// mining). Second, the ranked recommendations are ancestor-deduped: once
+// "jacket" is recommended, neither "outerwear" nor any other item on its
+// root path can be recommended below it — a generalized rule and its
+// specialization carry the same actionable signal once.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"pgarm/internal/item"
+	"pgarm/internal/model"
+	"pgarm/internal/rules"
+	"pgarm/internal/taxonomy"
+)
+
+// Recommendation is one ranked answer to a basket query.
+type Recommendation struct {
+	// Items is the recommended consequent (one or more items).
+	Items []item.Item `json:"items"`
+	// Confidence and Support are the source rule's measures.
+	Confidence float64 `json:"confidence"`
+	Support    float64 `json:"support"`
+	// Rule is the index of the source rule in the snapshot's rule list
+	// (stable across queries against the same snapshot).
+	Rule int `json:"rule"`
+}
+
+// Index is an immutable, query-ready view of one model snapshot. All methods
+// are safe for unbounded concurrent use; the hot-swap holder relies on that
+// immutability — an Index is never mutated after NewIndex returns.
+type Index struct {
+	tax   *taxonomy.Taxonomy
+	rules []rules.Rule
+	meta  model.Meta
+
+	// Version identifies the snapshot (hex of the body checksum when loaded
+	// from a file; free-form otherwise). It participates in cache keys.
+	version string
+
+	// byItem buckets rule ids by each antecedent item. Because baskets are
+	// ancestor-extended before lookup, bucketing by the *literal* antecedent
+	// items suffices to find every rule the extended basket can satisfy.
+	byItem map[item.Item][]int32
+	// byRoot buckets rule ids by the root of each antecedent item — the
+	// coarse grain used for taxonomy-scoped rule listing (GET /v1/rules
+	// ?root=) and for answering "which trees does this model speak about".
+	byRoot map[item.Item][]int32
+}
+
+// NewIndex builds the immutable index from a decoded model. The model must
+// validate (NewIndex re-checks, so a hand-built model cannot corrupt a
+// serving process), and rule order is preserved: rule ids reported in
+// recommendations index m.Rules.
+func NewIndex(m *model.Model, version string) (*Index, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		tax:     m.Taxonomy,
+		rules:   m.Rules,
+		meta:    m.Meta,
+		version: version,
+		byItem:  make(map[item.Item][]int32),
+		byRoot:  make(map[item.Item][]int32),
+	}
+	for id, r := range m.Rules {
+		roots := make([]item.Item, 0, len(r.Antecedent))
+		for _, x := range r.Antecedent {
+			ix.byItem[x] = append(ix.byItem[x], int32(id))
+			roots = append(roots, m.Taxonomy.Root(x))
+		}
+		for _, root := range item.Dedup(roots) {
+			ix.byRoot[root] = append(ix.byRoot[root], int32(id))
+		}
+	}
+	return ix, nil
+}
+
+// Version returns the snapshot identity string.
+func (ix *Index) Version() string { return ix.version }
+
+// Meta returns the snapshot's generation metadata.
+func (ix *Index) Meta() model.Meta { return ix.meta }
+
+// Rules returns the full rule list (shared slice; do not modify).
+func (ix *Index) Rules() []rules.Rule { return ix.rules }
+
+// Taxonomy returns the hierarchy the index answers over.
+func (ix *Index) Taxonomy() *taxonomy.Taxonomy { return ix.tax }
+
+// RulesByRoot returns the ids of rules whose antecedent touches the tree
+// rooted at root, in rule order. Shared slice; do not modify.
+func (ix *Index) RulesByRoot(root item.Item) []int32 { return ix.byRoot[root] }
+
+// Normalize canonicalizes a basket against this index's universe: sort,
+// dedup, drop out-of-range items. The returned slice is fresh. Order and
+// duplication of the input never affect query results — the cache keys on
+// the normalized form.
+func (ix *Index) Normalize(basket []item.Item) []item.Item {
+	out := make([]item.Item, 0, len(basket))
+	n := item.Item(ix.tax.NumItems())
+	for _, x := range basket {
+		if x >= 0 && x < n {
+			out = append(out, x)
+		}
+	}
+	return item.Dedup(out)
+}
+
+// Recommend answers a basket query: the top-k rules whose antecedents are
+// satisfied by the basket's items or their ancestors, ranked by confidence
+// then support, with consequents deduped against the basket and against each
+// other along ancestor paths. basket must be normalized (Normalize); k <= 0
+// returns nil.
+func (ix *Index) Recommend(basket []item.Item, k int) []Recommendation {
+	if k <= 0 || len(basket) == 0 || len(ix.rules) == 0 {
+		return nil
+	}
+	// Extend the basket with the ancestor closure of its items — the mining
+	// transform, applied at query time.
+	extended := ix.tax.ExtendTransaction(make([]item.Item, 0, 4*len(basket)), basket)
+
+	// Gather candidate rules from the per-item buckets of every extended
+	// item, deduped by rule id.
+	seen := make(map[int32]struct{})
+	var cands []int32
+	for _, x := range extended {
+		for _, id := range ix.byItem[x] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			cands = append(cands, id)
+		}
+	}
+	// Keep rules whose whole antecedent is inside the extended basket and
+	// whose consequent still adds something the (extended) basket lacks.
+	matched := cands[:0]
+	for _, id := range cands {
+		r := &ix.rules[id]
+		if !item.ContainsAll(extended, r.Antecedent) {
+			continue
+		}
+		novel := false
+		for _, y := range r.Consequent {
+			if !item.Contains(extended, y) {
+				novel = true
+				break
+			}
+		}
+		if novel {
+			matched = append(matched, id)
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	// Rank exactly like rules.Derive orders its output: confidence, then
+	// absolute support count, then rule id for determinism.
+	sort.Slice(matched, func(a, b int) bool {
+		ra, rb := &ix.rules[matched[a]], &ix.rules[matched[b]]
+		if ra.Confidence != rb.Confidence {
+			return ra.Confidence > rb.Confidence
+		}
+		if ra.Count != rb.Count {
+			return ra.Count > rb.Count
+		}
+		return matched[a] < matched[b]
+	})
+
+	// Greedy top-k selection with ancestor dedup: a rule is skipped when any
+	// item of its consequent lies on the root path of (or below) an already
+	// selected recommendation — never recommend both an item and its
+	// ancestor, and never recommend the same item twice.
+	out := make([]Recommendation, 0, k)
+	var chosen []item.Item
+	covered := func(y item.Item) bool {
+		for _, c := range chosen {
+			if y == c || ix.tax.IsAncestor(y, c) || ix.tax.IsAncestor(c, y) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range matched {
+		r := &ix.rules[id]
+		dup := false
+		for _, y := range r.Consequent {
+			if covered(y) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, Recommendation{
+			Items:      r.Consequent,
+			Confidence: r.Confidence,
+			Support:    r.Support,
+			Rule:       int(id),
+		})
+		chosen = append(chosen, r.Consequent...)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// LoadFile reads a snapshot file and builds its index, labelling it with the
+// snapshot checksum as the version id.
+func LoadFile(path string) (*Index, error) {
+	r, err := model.OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := r.Model()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return NewIndex(m, fmt.Sprintf("%016x", r.Checksum()))
+}

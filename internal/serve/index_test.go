@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/model"
+	"pgarm/internal/rules"
+	"pgarm/internal/taxonomy"
+)
+
+// The SA95 example hierarchy:
+//
+//	clothes(0)            footwear(1)
+//	├── outerwear(2)      ├── shoes(4)
+//	│   ├── jackets(5)    └── hiking boots(7)
+//	│   └── ski pants(6)
+//	└── shirts(3)
+const (
+	clothes   = item.Item(0)
+	footwear  = item.Item(1)
+	outerwear = item.Item(2)
+	shirts    = item.Item(3)
+	shoes     = item.Item(4)
+	jackets   = item.Item(5)
+	skiPants  = item.Item(6)
+	boots     = item.Item(7)
+)
+
+func testTax() *taxonomy.Taxonomy {
+	return taxonomy.MustNew([]item.Item{item.None, item.None, 0, 0, 1, 2, 2, 1})
+}
+
+// rule builds a canonical test rule.
+func rule(ante, cons []item.Item, conf, sup float64, count int64) rules.Rule {
+	item.Sort(ante)
+	item.Sort(cons)
+	return rules.Rule{Antecedent: ante, Consequent: cons, Confidence: conf, Support: sup, Count: count}
+}
+
+func testIndex(t *testing.T, rs ...rules.Rule) *Index {
+	t.Helper()
+	m := &model.Model{
+		Meta:     model.Meta{Dataset: "test", Algorithm: "Cumulate", NumTxns: 100},
+		Taxonomy: testTax(),
+		Rules:    rs,
+	}
+	ix, err := NewIndex(m, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestRecommendMatchesViaAncestors(t *testing.T) {
+	// Antecedent is the interior category outerwear; the basket holds only
+	// the leaf jackets. The ancestor closure must bridge them.
+	ix := testIndex(t,
+		rule([]item.Item{outerwear}, []item.Item{boots}, 0.8, 0.1, 10),
+		rule([]item.Item{shirts}, []item.Item{shoes}, 0.9, 0.1, 12),
+	)
+	recs := ix.Recommend(ix.Normalize([]item.Item{jackets}), 5)
+	if len(recs) != 1 {
+		t.Fatalf("want 1 recommendation, got %v", recs)
+	}
+	if !item.Equal(recs[0].Items, []item.Item{boots}) {
+		t.Fatalf("want boots, got %v", recs[0].Items)
+	}
+
+	// The closure is upward only: a basket holding the *category* outerwear
+	// must not match a leaf antecedent.
+	ix2 := testIndex(t, rule([]item.Item{jackets}, []item.Item{boots}, 0.8, 0.1, 10))
+	if recs := ix2.Recommend(ix2.Normalize([]item.Item{outerwear}), 5); len(recs) != 0 {
+		t.Fatalf("category basket matched leaf antecedent: %v", recs)
+	}
+}
+
+func TestRecommendMultiItemAntecedent(t *testing.T) {
+	// Antecedent {outerwear, shoes} needs both sides satisfied, across two
+	// trees, both via ancestors.
+	ix := testIndex(t,
+		rule([]item.Item{outerwear, shoes}, []item.Item{shirts}, 0.7, 0.05, 7),
+	)
+	if recs := ix.Recommend(ix.Normalize([]item.Item{skiPants, shoes}), 3); len(recs) != 1 {
+		t.Fatalf("want 1 recommendation, got %v", recs)
+	}
+	// Half-satisfied antecedent must not fire.
+	if recs := ix.Recommend(ix.Normalize([]item.Item{skiPants}), 3); len(recs) != 0 {
+		t.Fatalf("half-satisfied antecedent fired: %v", recs)
+	}
+}
+
+func TestRecommendAncestorDedup(t *testing.T) {
+	// Best rule recommends the leaf boots; the next two recommend footwear
+	// (its ancestor) and boots again — both must be suppressed, letting the
+	// unrelated shirts rule through.
+	ix := testIndex(t,
+		rule([]item.Item{jackets}, []item.Item{boots}, 0.9, 0.2, 20),
+		rule([]item.Item{outerwear}, []item.Item{footwear}, 0.8, 0.3, 30),
+		rule([]item.Item{clothes}, []item.Item{boots}, 0.7, 0.3, 30),
+		rule([]item.Item{clothes}, []item.Item{shirts}, 0.6, 0.4, 40),
+	)
+	recs := ix.Recommend(ix.Normalize([]item.Item{jackets}), 10)
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recommendations after ancestor dedup, got %v", recs)
+	}
+	if !item.Equal(recs[0].Items, []item.Item{boots}) || !item.Equal(recs[1].Items, []item.Item{shirts}) {
+		t.Fatalf("want [boots shirts], got %v", recs)
+	}
+}
+
+func TestRecommendSkipsConsequentsAlreadyInBasket(t *testing.T) {
+	// The consequent outerwear is an ancestor of the basket item: nothing
+	// new, must not be recommended.
+	ix := testIndex(t,
+		rule([]item.Item{shirts}, []item.Item{outerwear}, 0.9, 0.1, 10),
+	)
+	if recs := ix.Recommend(ix.Normalize([]item.Item{shirts, jackets}), 5); len(recs) != 0 {
+		t.Fatalf("recommended something the basket already implies: %v", recs)
+	}
+}
+
+func TestRecommendRankingAndTopK(t *testing.T) {
+	ix := testIndex(t,
+		rule([]item.Item{shirts}, []item.Item{shoes}, 0.5, 0.1, 10),
+		rule([]item.Item{shirts}, []item.Item{skiPants}, 0.9, 0.1, 10),
+		rule([]item.Item{shirts}, []item.Item{jackets}, 0.7, 0.1, 10),
+	)
+	recs := ix.Recommend(ix.Normalize([]item.Item{shirts}), 2)
+	if len(recs) != 2 {
+		t.Fatalf("want k=2 recommendations, got %v", recs)
+	}
+	if !item.Equal(recs[0].Items, []item.Item{skiPants}) || recs[0].Confidence != 0.9 {
+		t.Fatalf("rank 1 wrong: %+v", recs[0])
+	}
+	if !item.Equal(recs[1].Items, []item.Item{jackets}) || recs[1].Confidence != 0.7 {
+		t.Fatalf("rank 2 wrong: %+v", recs[1])
+	}
+}
+
+func TestNormalizeOrderDupAndRangeInsensitive(t *testing.T) {
+	ix := testIndex(t, rule([]item.Item{shirts}, []item.Item{shoes}, 0.5, 0.1, 10))
+	a := ix.Normalize([]item.Item{jackets, shirts, shirts, 99, -3})
+	b := ix.Normalize([]item.Item{shirts, jackets})
+	if !item.Equal(a, b) {
+		t.Fatalf("normalization not canonical: %v vs %v", a, b)
+	}
+	if len(ix.Normalize([]item.Item{1000, item.None})) != 0 {
+		t.Fatal("out-of-range items survived normalization")
+	}
+}
+
+func TestRulesByRootBuckets(t *testing.T) {
+	ix := testIndex(t,
+		rule([]item.Item{jackets}, []item.Item{boots}, 0.9, 0.2, 20),         // antecedent in clothes tree
+		rule([]item.Item{shoes}, []item.Item{shirts}, 0.8, 0.2, 20),          // antecedent in footwear tree
+		rule([]item.Item{jackets, shoes}, []item.Item{shirts}, 0.7, 0.2, 20), // both trees
+	)
+	if got := ix.RulesByRoot(clothes); len(got) != 2 {
+		t.Fatalf("clothes bucket: want 2 rules, got %v", got)
+	}
+	if got := ix.RulesByRoot(footwear); len(got) != 2 {
+		t.Fatalf("footwear bucket: want 2 rules, got %v", got)
+	}
+	if got := ix.RulesByRoot(shirts); got != nil {
+		t.Fatalf("non-root bucket should be empty, got %v", got)
+	}
+}
+
+func TestNewIndexRejectsInvalidModel(t *testing.T) {
+	m := &model.Model{
+		Taxonomy: testTax(),
+		Rules:    []rules.Rule{{Antecedent: []item.Item{55}, Consequent: []item.Item{1}}},
+	}
+	if _, err := NewIndex(m, "v"); err == nil {
+		t.Fatal("NewIndex accepted out-of-universe rule")
+	}
+	if _, err := NewIndex(nil, "v"); err == nil {
+		t.Fatal("NewIndex accepted nil model")
+	}
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	ix := testIndex(t, rule([]item.Item{shirts}, []item.Item{shoes}, 0.5, 0.1, 10))
+	if recs := ix.Recommend(nil, 5); recs != nil {
+		t.Fatalf("empty basket returned %v", recs)
+	}
+	if recs := ix.Recommend([]item.Item{shirts}, 0); recs != nil {
+		t.Fatalf("k=0 returned %v", recs)
+	}
+	empty := testIndex(t)
+	if recs := empty.Recommend([]item.Item{shirts}, 5); recs != nil {
+		t.Fatalf("rule-less index returned %v", recs)
+	}
+}
