@@ -228,8 +228,8 @@ func BenchmarkAblationIndex(b *testing.B) {
 		prev[i] = c.Items
 	}
 	cands := cumulate.GenerateCandidates(ds.Taxonomy, prev, 2)
-	view := taxonomy.NewView(ds.Taxonomy, large, cumulate.KeepSet(ds.Taxonomy, cands))
-	member := cumulate.MemberSet(ds.Taxonomy, cands)
+	member := cumulate.KeepSet(ds.Taxonomy, cands)
+	view := taxonomy.NewView(ds.Taxonomy, large, member)
 
 	b.Run("flat-map", func(b *testing.B) {
 		table := itemset.NewTable(len(cands))
@@ -336,6 +336,100 @@ func BenchmarkWorkers(b *testing.B) {
 				mustMine(b, ds, core.Config{
 					Algorithm: core.HHPGM, MinSupport: 0.01, MaxK: 2, Workers: workers,
 				}, 4)
+			}
+		})
+	}
+}
+
+// benchLevels mines the bench dataset sequentially and returns L_1 (as
+// 1-itemsets) and L_2 — the real generation inputs for passes 2 and 3.
+func benchLevels(b *testing.B) (l1, l2 [][]item.Item, tax *taxonomy.Taxonomy) {
+	b.Helper()
+	ds := benchDataset(b)
+	res, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: 0.01, MaxK: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range res.LargeK(1) {
+		l1 = append(l1, c.Items)
+	}
+	for _, c := range res.LargeK(2) {
+		l2 = append(l2, c.Items)
+	}
+	if len(l1) == 0 || len(l2) == 0 {
+		b.Fatal("bench dataset produced empty levels")
+	}
+	return l1, l2, ds.Taxonomy
+}
+
+// BenchmarkGenerate measures the candidate-generation pass boundary across
+// worker counts, against the retired serial path (Pairs + filter at k=2,
+// per-candidate-allocating Gen at k>2) as the reference. allocs/op is the
+// headline: the sharded generator builds candidates in per-shard flat arenas
+// and probes an open-addressed prune set, so allocations stop scaling with
+// the survivor count.
+func BenchmarkGenerate(b *testing.B) {
+	l1, l2, tax := benchLevels(b)
+	b.Run("k2/serial-reference", func(b *testing.B) {
+		flat := make([]item.Item, len(l1))
+		for i, s := range l1 {
+			flat[i] = s[0]
+		}
+		item.Sort(flat)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pairs := itemset.Pairs(flat)
+			w := 0
+			for _, p := range pairs {
+				if !tax.IsAncestor(p[0], p[1]) && !tax.IsAncestor(p[1], p[0]) {
+					pairs[w] = p
+					w++
+				}
+			}
+			_ = pairs[:w]
+		}
+	})
+	b.Run("k3/serial-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			itemset.Gen(l2)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k2/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cumulate.GenerateCandidatesN(tax, l1, 2, workers, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("k3/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cumulate.GenerateCandidatesN(tax, l2, 3, workers, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildIndex measures the open-addressed candidate index build
+// (table fill) across worker counts over pass-2 candidates.
+func BenchmarkBuildIndex(b *testing.B) {
+	l1, _, tax := benchLevels(b)
+	cands := cumulate.GenerateCandidates(tax, l1, 2)
+	if len(cands) == 0 {
+		b.Fatal("no candidates")
+	}
+	b.Run("serial-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			itemset.BuildIndex(cands)
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				itemset.BuildIndexParallel(cands, workers)
 			}
 		})
 	}

@@ -1,0 +1,23 @@
+package core
+
+import "math/bits"
+
+// bitset is a fixed-size bit vector over candidate ids. It replaces the
+// map[int32]bool duplication flag in the pass plan: one word per 64
+// candidates instead of one map entry per duplicated candidate, and get is a
+// shift-and-mask on the count-support hot path.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -69,14 +69,16 @@ type candCache struct {
 
 // passPlan is the H-HPGM family's shared partition plan for one pass.
 type passPlan struct {
-	// vecKeys[i] is the packed root vector of candidate i; owners[i] the
-	// node its hash assigns.
-	vecKeys []string
-	owners  []int
+	// vecHashes[i] is the FNV hash of candidate i's root vector; owners[i]
+	// the node that hash assigns. The packed vector strings the plan used to
+	// carry (one allocation per candidate) are gone: every consumer needs
+	// only the hash or the recomputable vector.
+	vecHashes []uint64
+	owners    []int
 	// dup flags duplicated candidate ids; dupSets lists them in ascending
 	// id order (the order of the per-node count vectors), and dupIndex
 	// indexes dupSets.
-	dup      map[int32]bool
+	dup      bitset
 	dupSets  [][]item.Item
 	dupIndex *itemset.Index
 }
@@ -86,10 +88,13 @@ func newCandCache(tax *taxonomy.Taxonomy) *candCache {
 }
 
 // generate returns C_k for pass k. prev must be the identical large
-// (k-1)-itemsets every caller holds after the pass barrier.
-func (c *candCache) generate(k int, prev [][]item.Item) [][]item.Item {
+// (k-1)-itemsets every caller holds after the pass barrier. The first caller
+// per pass runs the sharded generator across workers (its node goroutine is
+// the only one not blocked on this value, so the blocked peers' cores are
+// free); its hook observes the worker shards.
+func (c *candCache) generate(k int, prev [][]item.Item, workers int, hook itemset.Hook) [][]item.Item {
 	return c.gen.get(k, func() [][]item.Item {
-		return cumulate.GenerateCandidates(c.tax, prev, k)
+		return cumulate.GenerateCandidatesN(c.tax, prev, k, workers, hook)
 	})
 }
 
@@ -99,7 +104,9 @@ func (c *candCache) hierPlan(k int, compute func() *passPlan) *passPlan {
 }
 
 // fullIndex returns a shared index over all of C_k (used by NPGM, whose
-// candidate set is replicated on every node).
-func (c *candCache) fullIndex(k int, cands [][]item.Item) *itemset.Index {
-	return c.index.get(k, func() *itemset.Index { return itemset.BuildIndex(cands) })
+// candidate set is replicated on every node), built across workers.
+func (c *candCache) fullIndex(k int, cands [][]item.Item, workers int) *itemset.Index {
+	return c.index.get(k, func() *itemset.Index {
+		return itemset.BuildIndexParallel(cands, workers)
+	})
 }

@@ -18,12 +18,12 @@ const (
 	dupFine                // H-HPGM-FGD: frequent any-level itemsets + ancestors
 )
 
-// selectDuplicates picks the candidates to copy onto every node, keyed by
+// selectDuplicates picks the candidates to copy onto every node, flagged by
 // index into cands. The decision is a pure function of globally replicated
 // state (L1 counts, candidates, owners), so every node computes the same
 // set without communication — the paper's step 1 of Figures 7/9/11.
-func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands [][]item.Item, vecKeys []string, owners []int) map[int32]bool {
-	dup := make(map[int32]bool)
+func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands [][]item.Item, vecHashes []uint64, owners []int, workers int) bitset {
+	dup := newBitset(len(cands))
 	if kind == dupNone || len(cands) == 0 {
 		return dup
 	}
@@ -32,7 +32,7 @@ func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands []
 	// duplicated — every variant degenerates to fully local counting.
 	if m.cfg.MemoryBudget <= 0 {
 		for i := range cands {
-			dup[int32(i)] = true
+			dup.set(int32(i))
 		}
 		return dup
 	}
@@ -59,15 +59,15 @@ func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands []
 
 	switch kind {
 	case dupTree:
-		selectTreeGrain(m, cands, vecKeys, capLeft, dup)
+		selectTreeGrain(m, cands, vecHashes, capLeft, dup)
 	case dupPath:
 		lowest := make([]bool, m.tax.NumItems())
 		for _, x := range lowestLargeItems(m.tax, m.largeFlags) {
 			lowest[x] = true
 		}
-		selectItemGrain(m, cands, capLeft, dup, func(x item.Item) bool { return lowest[x] })
+		selectItemGrain(m, cands, capLeft, dup, workers, func(x item.Item) bool { return lowest[x] })
 	case dupFine:
-		selectItemGrain(m, cands, capLeft, dup, func(item.Item) bool { return true })
+		selectItemGrain(m, cands, capLeft, dup, workers, func(item.Item) bool { return true })
 	}
 	return dup
 }
@@ -76,36 +76,42 @@ func selectDuplicates(m *itemsetMiner, nNodes int, kind dupKind, k int, cands []
 // decreasing order of root frequency until the next group no longer fits —
 // the coarse grain that wastes free space at small minimum support
 // (Figure 14's TGD-equals-H-HPGM regime).
-func selectTreeGrain(m *itemsetMiner, cands [][]item.Item, vecKeys []string, capLeft int, dup map[int32]bool) {
-	groups := make(map[string][]int32)
+func selectTreeGrain(m *itemsetMiner, cands [][]item.Item, vecHashes []uint64, capLeft int, dup bitset) {
+	groups := make(map[uint64][]int32)
 	for i := range cands {
-		groups[vecKeys[i]] = append(groups[vecKeys[i]], int32(i))
+		groups[vecHashes[i]] = append(groups[vecHashes[i]], int32(i))
 	}
 	type scored struct {
-		key   string
+		hash  uint64
+		vec   []item.Item
 		score int64
 	}
 	order := make([]scored, 0, len(groups))
-	for key := range groups {
+	for h, members := range groups {
+		// One vector materialization per group (recomputed from any member)
+		// instead of one packed string per candidate. A hash collision merges
+		// two trees into one take-both group; the choice stays deterministic
+		// on every node, which is all correctness needs.
+		vec := rootVector(m.tax, nil, cands[members[0]])
 		var s int64
-		for _, r := range itemset.ParseKey(key) {
+		for _, r := range vec {
 			s += m.itemCounts[r]
 		}
-		order = append(order, scored{key: key, score: s})
+		order = append(order, scored{hash: h, vec: vec, score: s})
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].score != order[j].score {
 			return order[i].score > order[j].score
 		}
-		return order[i].key < order[j].key
+		return item.Compare(order[i].vec, order[j].vec) < 0
 	})
 	for _, g := range order {
-		members := groups[g.key]
+		members := groups[g.hash]
 		if len(members) > capLeft {
 			break // tree grain: the whole hierarchy group or nothing
 		}
 		for _, idx := range members {
-			dup[idx] = true
+			dup.set(idx)
 		}
 		capLeft -= len(members)
 	}
@@ -117,15 +123,16 @@ func selectTreeGrain(m *itemsetMiner, cands [][]item.Item, vecKeys []string, cap
 // items' summed frequency — the order the paper obtains by generating
 // k-itemsets from the frequency-sorted item list — and duplicate each one
 // together with all its ancestor candidates, while the free space lasts.
-func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup map[int32]bool, eligible func(item.Item) bool) {
+func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup bitset, workers int, eligible func(item.Item) bool) {
 	type scored struct {
 		idx   int32
 		score int64
 	}
-	candIdx := make(map[string]int32, len(cands))
+	// Ancestor-candidate lookups go through the open-addressed index (built
+	// across workers) instead of a map of one packed string per candidate.
+	candIdx := itemset.BuildIndexParallel(cands, workers)
 	order := make([]scored, 0, len(cands))
 	for i, c := range cands {
-		candIdx[itemset.Key(c)] = int32(i)
 		ok := true
 		var s int64
 		for _, x := range c {
@@ -148,7 +155,7 @@ func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup map[
 
 	group := make([]int32, 0, 16)
 	for _, sc := range order {
-		if dup[sc.idx] {
+		if dup.get(sc.idx) {
 			continue
 		}
 		// The chosen itemset plus all its ancestor candidates form one
@@ -156,7 +163,7 @@ func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup map[
 		group = group[:0]
 		group = append(group, sc.idx)
 		forEachAncestorCombo(m.tax, cands[sc.idx], func(anc []item.Item) {
-			if aidx, ok := candIdx[itemset.Key(anc)]; ok && !dup[aidx] {
+			if aidx := candIdx.Lookup(anc); aidx >= 0 && !dup.get(aidx) {
 				group = append(group, aidx)
 			}
 		})
@@ -164,7 +171,7 @@ func selectItemGrain(m *itemsetMiner, cands [][]item.Item, capLeft int, dup map[
 			break // ordered by frequency: later groups are colder
 		}
 		for _, g := range group {
-			dup[g] = true
+			dup.set(g)
 		}
 		capLeft -= len(group)
 		if capLeft <= 0 {

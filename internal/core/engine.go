@@ -88,8 +88,10 @@ type npgmEngine struct {
 func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
 	m := e.m
 	frags := fragmentCount(len(cands), k, m.cfg.MemoryBudget)
-	view := taxonomy.NewView(m.tax, m.largeFlags, cumulate.KeepSet(m.tax, cands))
-	member := cumulate.MemberSet(m.tax, cands)
+	// One KeepSet serves both roles: the View's ancestor keep set and the
+	// pre-enumeration membership filter.
+	member := cumulate.KeepSet(m.tax, cands)
+	view := taxonomy.NewView(m.tax, m.largeFlags, member)
 
 	// The candidate set is replicated: one shared index plus a per-node
 	// count vector stands in for N identical hash tables (see candCache).
@@ -100,8 +102,8 @@ func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	// pure sharding: every worker probes the shared read-only index
 	// (Index.Lookup is pure and allocation-free) into its own count vector,
 	// merged once after the last fragment.
-	index := m.cands.fullIndex(k, cands)
 	W := n.Workers()
+	index := m.cands.fullIndex(k, cands, W)
 	wcounts := driver.WorkerVectors(W, len(cands))
 	wstats := make([]metrics.NodeStats, W)
 	wext := driver.WorkerScratch(W, 64)

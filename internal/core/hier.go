@@ -25,7 +25,6 @@ type hierWorker struct {
 	group       []item.Item
 	multiset    []item.Item
 	sub         []item.Item
-	keyBuf      []byte
 	rootRuns    []rootRun
 	rootsByDest [][]item.Item
 	touched     []int
@@ -54,52 +53,40 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	self := n.ID()
 
 	// Root vectors, owners and the duplication choice are deterministic on
-	// every node; computed once and shared (see candCache).
+	// every node; computed once and shared (see candCache). The first node
+	// goroutine to arrive builds the plan across its scan workers — every
+	// other node goroutine is blocked on the same value.
 	psp := n.Span("partition")
+	W := n.Workers()
 	plan := m.cands.hierPlan(k, func() *passPlan {
-		vecKeys := make([]string, len(cands))
-		owners := make([]int, len(cands))
-		vecScratch := make([]item.Item, 0, k)
-		for i, c := range cands {
-			vecScratch = rootVector(m.tax, vecScratch[:0], c)
-			vecKeys[i] = itemset.Key(vecScratch)
-			owners[i] = int(itemset.Hash(vecScratch) % uint64(nNodes))
-		}
-		dup := selectDuplicates(m, nNodes, e.dup, k, cands, vecKeys, owners)
-		// Duplicated candidates in ascending id order: the layout of every
-		// node's count vector and of the coordinator reduce.
-		dupSets := make([][]item.Item, 0, len(dup))
-		for i, c := range cands {
-			if dup[int32(i)] {
-				dupSets = append(dupSets, c)
-			}
-		}
-		return &passPlan{
-			vecKeys:  vecKeys,
-			owners:   owners,
-			dup:      dup,
-			dupSets:  dupSets,
-			dupIndex: itemset.BuildIndex(dupSets),
-		}
+		return computeHierPlan(m, nNodes, e.dup, k, cands, W,
+			n.BoundaryObs("partition shard").Hook())
 	})
-	vecKeys, owners, dupIdx := plan.vecKeys, plan.owners, plan.dup
+	owners, dupFlag := plan.owners, plan.dup
 
 	// vecInfo drives routing: owner of each root vector and how many
 	// candidates of that vector remain partitioned (not duplicated). A
 	// vector whose candidates were all duplicated needs no communication —
 	// that is where TGD/PGD/FGD save bytes on top of balancing load.
+	//
+	// The map is keyed by the 64-bit vector hash, not the packed vector. A
+	// collision merges two vectors into one entry; that is harmless: the
+	// owner is hash-derived so it is identical for both, and a merged
+	// remaining count can only route an item group to a node that needs it
+	// for the other vector — receivers count through exact table lookups, so
+	// support counts cannot change.
 	type vecEntry struct {
 		owner     int
 		remaining int
 	}
-	vecInfo := make(map[string]*vecEntry)
+	vecInfo := make(map[uint64]*vecEntry)
 	for i := range cands {
-		ve := vecInfo[vecKeys[i]]
+		ve := vecInfo[plan.vecHashes[i]]
 		if ve == nil {
 			ve = &vecEntry{owner: owners[i]}
-			vecInfo[vecKeys[i]] = ve
+			vecInfo[plan.vecHashes[i]] = ve
 		}
-		if !dupIdx[int32(i)] {
+		if !dupFlag.get(int32(i)) {
 			ve.remaining++
 		}
 	}
@@ -110,21 +97,19 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	// the scan barrier.
 	var ownedCands [][]item.Item
 	for i, c := range cands {
-		if owners[i] == self && !dupIdx[int32(i)] {
+		if owners[i] == self && !dupFlag.get(int32(i)) {
 			ownedCands = append(ownedCands, c)
 		}
 	}
-	ownedTable := itemset.NewTable(len(ownedCands))
-	for _, c := range ownedCands {
-		ownedTable.Add(c)
-	}
-	ownedMember := cumulate.MemberSet(m.tax, ownedCands)
+	ownedTable := itemset.NewTableFrom(ownedCands, W)
+	ownedMember := cumulate.KeepSet(m.tax, ownedCands)
 	ownedView := taxonomy.NewView(m.tax, m.largeFlags, ownedMember)
-	dupMember := cumulate.MemberSet(m.tax, plan.dupSets)
+	dupMember := cumulate.KeepSet(m.tax, plan.dupSets)
 	dupView := taxonomy.NewView(m.tax, m.largeFlags, dupMember)
 	replaceView := taxonomy.NewView(m.tax, m.largeFlags, nil)
 
 	psp.Arg("duplicated", int64(len(plan.dupSets)))
+	psp.Arg("workers", int64(W))
 	psp.End()
 
 	// Receiver: one unit is the item group t'' a peer selected for us;
@@ -149,7 +134,6 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 
 	// Per-worker scan state: each worker owns a batcher, a duplicated-table
 	// count vector and every per-transaction scratch buffer.
-	W := n.Workers()
 	wdup := driver.WorkerVectors(W, len(plan.dupSets))
 	workers := make([]hierWorker, W)
 	for w := range workers {
@@ -197,8 +181,7 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 		wk.touched = wk.touched[:0]
 		wk.multiset = wk.multiset[:0]
 		enumerateMultisets(wk.rootRuns, k, wk.multiset, func(mv []item.Item) {
-			wk.keyBuf = itemset.AppendKey(wk.keyBuf[:0], mv)
-			ve := vecInfo[string(wk.keyBuf)]
+			ve := vecInfo[itemset.Hash(mv)]
 			if ve == nil || ve.remaining == 0 {
 				return
 			}
@@ -258,6 +241,41 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 		duplicated:  len(plan.dupSets),
 		fragments:   1,
 	}, nil
+}
+
+// computeHierPlan derives the H-HPGM family's partition plan for one pass:
+// root-vector hashes and owners sharded across workers, the duplication
+// choice, and the duplicated-candidate list with its index. Every input is
+// globally replicated state, so the result is identical on whichever node
+// computes it first.
+func computeHierPlan(m *itemsetMiner, nNodes int, kind dupKind, k int, cands [][]item.Item, workers int, hook itemset.Hook) *passPlan {
+	vecHashes := make([]uint64, len(cands))
+	owners := make([]int, len(cands))
+	itemset.ForShards(len(cands), workers, hook, func(w, lo, hi int) {
+		vecScratch := make([]item.Item, 0, k)
+		for i := lo; i < hi; i++ {
+			vecScratch = rootVector(m.tax, vecScratch[:0], cands[i])
+			h := itemset.Hash(vecScratch)
+			vecHashes[i] = h
+			owners[i] = int(h % uint64(nNodes))
+		}
+	})
+	dup := selectDuplicates(m, nNodes, kind, k, cands, vecHashes, owners, workers)
+	// Duplicated candidates in ascending id order: the layout of every
+	// node's count vector and of the coordinator reduce.
+	dupSets := make([][]item.Item, 0, dup.count())
+	for i, c := range cands {
+		if dup.get(int32(i)) {
+			dupSets = append(dupSets, c)
+		}
+	}
+	return &passPlan{
+		vecHashes: vecHashes,
+		owners:    owners,
+		dup:       dup,
+		dupSets:   dupSets,
+		dupIndex:  itemset.BuildIndexParallel(dupSets, workers),
+	}
 }
 
 // rootVector computes the sorted multiset of roots of an itemset's members,

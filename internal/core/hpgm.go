@@ -29,17 +29,30 @@ func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	nNodes := n.NumNodes()
 	self := n.ID()
 
-	// Partition: node i keeps the candidates hashing to i.
+	// Partition: node i keeps the candidates hashing to i. The hashing is
+	// sharded across the scan workers into disjoint ranges of ownedFlag; the
+	// owned list is then collected in id order and packed into a flat-arena
+	// table in one build.
 	psp := n.Span("partition")
-	table := itemset.NewTable(len(cands)/nNodes + 1)
-	for _, c := range cands {
-		if int(itemset.Hash(c)%uint64(nNodes)) == self {
-			table.Add(c)
+	W := n.Workers()
+	ownedFlag := make([]bool, len(cands))
+	itemset.ForShards(len(cands), W, n.BoundaryObs("partition shard").Hook(), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ownedFlag[i] = int(itemset.Hash(cands[i])%uint64(nNodes)) == self
+		}
+	})
+	var owned [][]item.Item
+	for i, c := range cands {
+		if ownedFlag[i] {
+			owned = append(owned, c)
 		}
 	}
+	table := itemset.NewTableFrom(owned, W)
 
-	view := taxonomy.NewView(m.tax, m.largeFlags, cumulate.KeepSet(m.tax, cands))
-	member := cumulate.MemberSet(m.tax, cands)
+	member := cumulate.KeepSet(m.tax, cands)
+	view := taxonomy.NewView(m.tax, m.largeFlags, member)
+	psp.Arg("owned", int64(len(owned)))
+	psp.Arg("workers", int64(W))
 	psp.End()
 
 	// The receiver goroutine keeps exclusive ownership of the partitioned
@@ -52,7 +65,6 @@ func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 			st.Increments++
 		}
 	}))
-	W := n.Workers()
 	bats := make([]*driver.Batcher, W)
 	for w := range bats {
 		bats[w] = cp.NewBatcher()

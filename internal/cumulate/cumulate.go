@@ -9,6 +9,7 @@ package cumulate
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
@@ -152,8 +153,8 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 		for _, c := range cands {
 			table.Add(c)
 		}
-		view := taxonomy.NewView(tax, large, KeepSet(tax, cands))
-		member := MemberSet(tax, cands)
+		member := KeepSet(tax, cands)
+		view := taxonomy.NewView(tax, large, member)
 
 		if cap(subScratch) < k {
 			subScratch = make([]item.Item, 0, 2*k)
@@ -190,27 +191,127 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 // apriori join + prune, and for k = 2 the deletion of candidates containing
 // an item and one of its ancestors.
 func GenerateCandidates(tax *taxonomy.Taxonomy, prev [][]item.Item, k int) [][]item.Item {
-	var cands [][]item.Item
+	return GenerateCandidatesN(tax, prev, k, 1, nil)
+}
+
+// GenerateCandidatesN is GenerateCandidates with the pass boundary spread
+// across workers: the k = 2 pair filter shards rows of the L_1 × L_1 triangle
+// and k > 2 uses the sharded join+prune of itemset.GenParallel. Output is
+// bit-identical (order included) to the sequential path at every worker
+// count; hook, if non-nil, brackets each worker for tracing.
+func GenerateCandidatesN(tax *taxonomy.Taxonomy, prev [][]item.Item, k, workers int, hook itemset.Hook) [][]item.Item {
 	if k == 2 {
 		flat := make([]item.Item, len(prev))
 		for i, s := range prev {
 			flat[i] = s[0]
 		}
 		item.Sort(flat)
-		for _, pair := range itemset.Pairs(flat) {
-			if tax.IsAncestor(pair[0], pair[1]) || tax.IsAncestor(pair[1], pair[0]) {
-				continue
-			}
-			cands = append(cands, pair)
-		}
-		return cands
+		return pairsFiltered(tax, flat, workers, hook)
 	}
-	return itemset.Gen(prev)
+	return itemset.GenParallel(prev, workers, hook)
 }
 
-// KeepSet flags every interior item that appears in some candidate — the
+// pairsFiltered builds C_2 = L_1 × L_1 minus item/ancestor pairs. Survivors
+// are counted first and then written into an exactly-sized flat backing, so
+// rejected pairs pin no memory for the rest of the pass (each candidate is a
+// full cap-2 slice of the backing, unlike the old filter over Pairs output,
+// which kept the whole triangle's backing array alive). Rows are sharded on
+// cumulative pair count — row i contributes n-1-i pairs — so workers filter
+// comparable shares; each shard writes at its exact offset, reproducing the
+// sequential order bit-identically.
+func pairsFiltered(tax *taxonomy.Taxonomy, large []item.Item, workers int, hook itemset.Hook) [][]item.Item {
+	n := len(large)
+	if n < 2 {
+		return nil
+	}
+	rows := n - 1 // row i pairs large[i] with every later item
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	totalPairs := n * (n - 1) / 2
+	bounds := make([]int, 1, workers+1)
+	for cum, i, next := 0, 0, 1; i < rows && next < workers; i++ {
+		cum += rows - i
+		if cum >= totalPairs*next/workers {
+			bounds = append(bounds, i+1)
+			next++
+		}
+	}
+	bounds = append(bounds, rows)
+	nShards := len(bounds) - 1
+
+	keepPair := func(a, b item.Item) bool {
+		return !tax.IsAncestor(a, b) && !tax.IsAncestor(b, a)
+	}
+
+	// Phase 1: count survivors per shard.
+	counts := make([]int, nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			done := hook.Begin(s)
+			defer done()
+			c := 0
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				for j := i + 1; j < n; j++ {
+					if keepPair(large[i], large[j]) {
+						c++
+					}
+				}
+			}
+			counts[s] = c
+		}(s)
+	}
+	wg.Wait()
+
+	total := 0
+	offs := make([]int, nShards+1)
+	for s, c := range counts {
+		total += c
+		offs[s+1] = total
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Phase 2: each shard fills its own range of the backing.
+	backing := make([]item.Item, 2*total)
+	out := make([][]item.Item, total)
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			done := hook.Begin(s)
+			defer done()
+			pos := offs[s]
+			for i := bounds[s]; i < bounds[s+1]; i++ {
+				for j := i + 1; j < n; j++ {
+					if !keepPair(large[i], large[j]) {
+						continue
+					}
+					p := backing[2*pos : 2*pos+2 : 2*pos+2]
+					p[0], p[1] = large[i], large[j]
+					out[pos] = p
+					pos++
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// KeepSet flags every item that appears in some candidate. It serves two
+// roles per pass, from one computation: for interior items these are the
 // ancestors that survive "delete any ancestors in T that are not present in
-// any of the candidates in C_k".
+// any of the candidates in C_k" (the View's keep set), and for all items it
+// is the membership filter applied before subset enumeration — transaction
+// items outside the set cannot contribute to any candidate.
 func KeepSet(tax *taxonomy.Taxonomy, cands [][]item.Item) []bool {
 	keep := make([]bool, tax.NumItems())
 	for _, c := range cands {
@@ -219,13 +320,6 @@ func KeepSet(tax *taxonomy.Taxonomy, cands [][]item.Item) []bool {
 		}
 	}
 	return keep
-}
-
-// MemberSet flags every item that appears in some candidate. Transaction
-// items outside this set cannot contribute to any candidate and are filtered
-// before subset enumeration.
-func MemberSet(tax *taxonomy.Taxonomy, cands [][]item.Item) []bool {
-	return KeepSet(tax, cands)
 }
 
 // ExtendFiltered computes the extended, candidate-filtered transaction used

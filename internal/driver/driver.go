@@ -195,6 +195,7 @@ type passMeta struct {
 	fragments  int
 	large      int
 	elapsed    time.Duration
+	generate   time.Duration // candidate-generation share of elapsed
 }
 
 // PassProgress is the per-pass progress callback payload (Config.OnPass),

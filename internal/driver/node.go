@@ -44,6 +44,10 @@ type Node struct {
 	ins      nodeInstruments
 	base     cluster.Stats
 	baseKind []cluster.KindStat
+
+	// lastGenerate is the wall time of the most recent candidate generation,
+	// recorded into the following pass's metadata.
+	lastGenerate time.Duration
 }
 
 // NewNode wires one node of the protocol to an endpoint. Run executes it.
@@ -144,11 +148,14 @@ func (n *Node) Run() (err error) {
 	for k := 2; n.cfg.MaxK == 0 || k <= n.cfg.MaxK; k++ {
 		// Deterministic on every node (same F_(k-1), same generator).
 		gsp := n.tr.Begin(n.id, 0, "generate")
+		genStart := time.Now()
 		nc, err := n.miner.Generate(n, k)
 		if err != nil {
 			return err
 		}
+		n.lastGenerate = time.Since(genStart)
 		gsp.Arg("candidates", int64(nc))
+		gsp.Arg("workers", int64(n.Workers()))
 		gsp.End()
 		if nc == 0 {
 			return nil
@@ -336,6 +343,7 @@ func (n *Node) runPass(k, nCands int) (int, error) {
 			fragments:  out.Fragments,
 			large:      nf,
 			elapsed:    time.Since(started),
+			generate:   n.lastGenerate,
 		})
 	}
 	n.emitProgress(k, nCands, nf, time.Since(started))

@@ -67,6 +67,7 @@ func AssembleStats(algorithm string, minSup float64, nodes []*Node, elapsed time
 			Fragments:  meta.fragments,
 			Large:      meta.large,
 			Elapsed:    meta.elapsed,
+			Generate:   meta.generate,
 		}
 		for _, nd := range nodes {
 			if pi < len(nd.perPass) {

@@ -9,6 +9,7 @@ package item
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -33,7 +34,7 @@ func (it Item) Valid() bool { return it >= 0 }
 
 // Sort sorts a slice of items in ascending order in place.
 func Sort(items []Item) {
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	slices.Sort(items) // allocation-free, unlike sort.Slice
 }
 
 // IsSorted reports whether the slice is in strictly ascending order, i.e.

@@ -74,6 +74,7 @@ type PassStats struct {
 	Fragments  int           // NPGM candidate fragments (scan repetitions)
 	Large      int           // |L_k|
 	Elapsed    time.Duration // wall time of the whole pass
+	Generate   time.Duration // candidate-generation share of Elapsed
 	Nodes      []NodeStats
 }
 
@@ -209,9 +210,10 @@ func (r *RunStats) String() string {
 	fmt.Fprintf(&b, "%s on %s, %d nodes, minsup %.3g%%: %v total\n",
 		r.Algorithm, r.Dataset, r.Nodes, r.MinSup*100, r.Elapsed.Round(time.Millisecond))
 	for _, p := range r.Passes {
-		fmt.Fprintf(&b, "  pass %d: |C|=%d dup=%d frag=%d |L|=%d %v recv/node=%.1fKB probeskew{%s}\n",
+		fmt.Fprintf(&b, "  pass %d: |C|=%d dup=%d frag=%d |L|=%d %v (gen %v) recv/node=%.1fKB probeskew{%s}\n",
 			p.Pass, p.Candidates, p.Duplicated, p.Fragments, p.Large,
-			p.Elapsed.Round(time.Millisecond), p.AvgBytesReceived()/1024, p.ProbeSkew())
+			p.Elapsed.Round(time.Millisecond), p.Generate.Round(time.Millisecond),
+			p.AvgBytesReceived()/1024, p.ProbeSkew())
 	}
 	return b.String()
 }

@@ -34,6 +34,7 @@ type PassReport struct {
 	Fragments  int     `json:"fragments,omitempty"`
 	Large      int     `json:"large"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
+	GenerateMS float64 `json:"generate_ms,omitempty"`
 	// AvgDataBytesReceived is Table 6's quantity: mean count-support payload
 	// bytes received per node.
 	AvgDataBytesReceived float64      `json:"avg_data_bytes_received"`
@@ -84,6 +85,7 @@ func BuildReport(rs *RunStats, tracer *obs.Tracer) Report {
 			Fragments:            p.Fragments,
 			Large:                p.Large,
 			ElapsedMS:            ms(p.Elapsed),
+			GenerateMS:           ms(p.Generate),
 			AvgDataBytesReceived: p.AvgBytesReceived(),
 			ProbeSkew:            p.ProbeSkew(),
 			BarrierWaitSkew:      p.BarrierWaitSkew(),

@@ -5,6 +5,7 @@ import (
 
 	"pgarm/internal/cumulate"
 	"pgarm/internal/item"
+	"pgarm/internal/itemset"
 	"pgarm/internal/taxonomy"
 )
 
@@ -143,61 +144,106 @@ func CountSupport(tax *taxonomy.Taxonomy, db *DB, cands [][][]item.Item, large [
 // GSP join (drop the first item of p, the last of q; equal remainders join)
 // followed by the apriori prune over (k-1)-subsequences.
 func GenerateCandidates(tax *taxonomy.Taxonomy, prev []Pattern, k int) [][][]item.Item {
-	var out [][][]item.Item
+	return GenerateCandidatesN(tax, prev, k, 1, nil)
+}
+
+// GenerateCandidatesN is GenerateCandidates with the join sharded across
+// workers: k = 2 shards the outer item loop, k > 2 shards the outer pattern
+// of the GSP join, each shard pruning against a shared open-addressed
+// pattern set. Shard outputs concatenate in shard order and the final dedup
+// keeps first occurrences, so the result is bit-identical (order included)
+// to the sequential path at every worker count. hook, if non-nil, brackets
+// each worker for tracing.
+func GenerateCandidatesN(tax *taxonomy.Taxonomy, prev []Pattern, k, workers int, hook itemset.Hook) [][][]item.Item {
 	if k == 2 {
 		items := make([]item.Item, 0, len(prev))
 		for _, p := range prev {
 			items = append(items, p.Elements[0][0])
 		}
 		item.Sort(items)
-		for i, x := range items {
-			for j, y := range items {
-				if i < j && !tax.IsAncestor(x, y) && !tax.IsAncestor(y, x) {
-					out = append(out, [][]item.Item{{x, y}})
+		outs := make([][][][]item.Item, shardCount(len(items), workers))
+		itemset.ForShards(len(items), workers, hook, func(w, lo, hi int) {
+			var out [][][]item.Item
+			for i := lo; i < hi; i++ {
+				x := items[i]
+				for j, y := range items {
+					if i < j && !tax.IsAncestor(x, y) && !tax.IsAncestor(y, x) {
+						out = append(out, [][]item.Item{{x, y}})
+					}
+					out = append(out, [][]item.Item{{x}, {y}})
 				}
-				out = append(out, [][]item.Item{{x}, {y}})
 			}
-		}
-		return out
+			outs[w] = out
+		})
+		return concatPatterns(outs)
 	}
 
-	inPrev := make(map[string]bool, len(prev))
-	for _, p := range prev {
-		inPrev[Key(p.Elements)] = true
+	ps := newPatSet(prev)
+	// The q-side drop is the same for every p; hoist it out of the O(|F|^2)
+	// join loop (the old path recomputed it per pair).
+	q1s := make([][][]item.Item, len(prev))
+	lastAlones := make([]bool, len(prev))
+	for i, q := range prev {
+		q1s[i], lastAlones[i] = dropLast(q.Elements)
 	}
-	for _, p := range prev {
-		p1, firstAlone := dropFirst(p.Elements)
-		_ = firstAlone
-		for _, q := range prev {
-			q1, lastAlone := dropLast(q.Elements)
-			if !Equal(p1, q1) {
-				continue
+	outs := make([][][][]item.Item, shardCount(len(prev), workers))
+	itemset.ForShards(len(prev), workers, hook, func(w, lo, hi int) {
+		var out [][][]item.Item
+		for pi := lo; pi < hi; pi++ {
+			p := prev[pi]
+			p1, firstAlone := dropFirst(p.Elements)
+			_ = firstAlone
+			for qi := range prev {
+				if !Equal(p1, q1s[qi]) {
+					continue
+				}
+				joined := join(p.Elements, prev[qi].Elements, lastAlones[qi])
+				if joined == nil {
+					continue
+				}
+				if hasElementAncestorPair(tax, joined) {
+					continue
+				}
+				if !ps.pruneOK(joined) {
+					continue
+				}
+				out = append(out, joined)
 			}
-			joined := join(p.Elements, q.Elements, lastAlone)
-			if joined == nil {
-				continue
-			}
-			if hasElementAncestorPair(tax, joined) {
-				continue
-			}
-			if !pruneOK(joined, inPrev) {
-				continue
-			}
-			out = append(out, joined)
 		}
+		outs[w] = out
+	})
+	// The join can produce duplicates, and a duplicate pair can straddle
+	// shards — dedup runs serially over the concatenation, keeping first
+	// occurrences like the sequential path.
+	return dedupPatterns(concatPatterns(outs))
+}
+
+// shardCount mirrors ForShards' clamping so callers can size per-shard
+// output slices.
+func shardCount(n, workers int) int {
+	if workers > n {
+		workers = n
 	}
-	// The join can produce duplicates; dedupe canonically.
-	seen := make(map[string]bool, len(out))
-	w := 0
-	for _, c := range out {
-		key := Key(c)
-		if !seen[key] {
-			seen[key] = true
-			out[w] = c
-			w++
-		}
+	if workers < 1 {
+		workers = 1
 	}
-	return out[:w]
+	return workers
+}
+
+// concatPatterns joins per-shard outputs in shard order.
+func concatPatterns(outs [][][][]item.Item) [][][]item.Item {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([][][]item.Item, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
 }
 
 // dropFirst removes the first item of the first element, dropping the
@@ -261,21 +307,10 @@ func hasElementAncestorPair(tax *taxonomy.Taxonomy, elements [][]item.Item) bool
 	return false
 }
 
-// pruneOK checks that every (k-1)-subsequence obtained by dropping one item
-// is frequent.
-func pruneOK(elements [][]item.Item, inPrev map[string]bool) bool {
-	for ei := range elements {
-		for ii := range elements[ei] {
-			sub := dropItem(elements, ei, ii)
-			if !inPrev[Key(sub)] {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 // dropItem removes item ii of element ei, dropping the element if emptied.
+// The prune path no longer materializes subsequences (see patSet.pruneOK);
+// dropItem remains as the reference form the hash/equality tests check
+// against.
 func dropItem(elements [][]item.Item, ei, ii int) [][]item.Item {
 	out := make([][]item.Item, 0, len(elements))
 	for i, e := range elements {

@@ -87,10 +87,11 @@ func (m *seqMiner) FinishPass1(n *driver.Node, global []int64) (int, error) {
 	return len(f1), nil
 }
 
-// Generate materializes C_k from F_{k-1} via the GSP join + prune;
-// deterministic on every node (same F_{k-1}, same generator).
-func (m *seqMiner) Generate(_ *driver.Node, k int) (int, error) {
-	m.cands = GenerateCandidates(m.tax, m.prev, k)
+// Generate materializes C_k from F_{k-1} via the GSP join + prune, sharded
+// across the node's workers; deterministic on every node (same F_{k-1},
+// same generator, shard-order concatenation).
+func (m *seqMiner) Generate(n *driver.Node, k int) (int, error) {
+	m.cands = GenerateCandidatesN(m.tax, m.prev, k, n.Workers(), n.BoundaryObs("generate shard").Hook())
 	return len(m.cands), nil
 }
 
@@ -173,10 +174,22 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 	// candidates of one tree combination live on one node, so a destination's
 	// item filter covers whole subtrees.
 	psp := n.Span("partition")
+	W := n.Workers()
 	owners := make([]int, len(m.cands))
+	itemset.ForShards(len(m.cands), W, n.BoundaryObs("partition shard").Hook(), func(w, lo, hi int) {
+		var roots []item.Item // per-shard root-vector scratch (HPSPM)
+		for i := lo; i < hi; i++ {
+			if m.cfg.Algorithm == HPSPM {
+				var h uint64
+				h, roots = patternRootHashScratch(m.tax, m.cands[i], roots)
+				owners[i] = int(h % uint64(nNodes))
+			} else {
+				owners[i] = int(patternHash(m.cands[i]) % uint64(nNodes))
+			}
+		}
+	})
 	var ownedIdx []int
-	for i, c := range m.cands {
-		owners[i] = candidateOwner(m.tax, m.cfg.Algorithm, c, nNodes)
+	for i := range owners {
 		if owners[i] == self {
 			ownedIdx = append(ownedIdx, i)
 		}
@@ -199,6 +212,7 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 		}
 	}
 	psp.Arg("owned", int64(len(ownedIdx)))
+	psp.Arg("workers", int64(W))
 	psp.End()
 
 	// Receiver: one unit is one (possibly filtered) closed customer
@@ -226,7 +240,6 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 		return items, nil
 	})
 
-	W := n.Workers()
 	wstats := make([]metrics.NodeStats, W)
 	bats := make([]*driver.Batcher, W)
 	wunit := make([][]byte, W)
@@ -381,30 +394,32 @@ func candidateOwner(tax *taxonomy.Taxonomy, alg Algorithm, elements [][]item.Ite
 	return int(patternHash(elements) % uint64(nNodes))
 }
 
-// patternHash hashes a pattern's canonical key (FNV-1a).
+// patternHash hashes a pattern's canonical key (FNV-1a over Key's byte
+// stream, computed without building the string).
 func patternHash(elements [][]item.Item) uint64 {
-	key := Key(elements)
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return h
+	return hashElements(elements)
 }
 
 // patternRootHash hashes the pattern's root vector — the sorted multiset of
 // the hierarchy roots of every item across its elements. Candidates of one
 // tree combination share a hash, so they share an owner (the H-HPGM rule).
 func patternRootHash(tax *taxonomy.Taxonomy, elements [][]item.Item) uint64 {
-	var roots []item.Item
+	h, _ := patternRootHashScratch(tax, elements, nil)
+	return h
+}
+
+// patternRootHashScratch is patternRootHash with a caller-owned scratch
+// buffer, so sharded partition planning hashes without per-candidate
+// allocations; it returns the (possibly grown) scratch for reuse.
+func patternRootHashScratch(tax *taxonomy.Taxonomy, elements [][]item.Item, scratch []item.Item) (uint64, []item.Item) {
+	scratch = scratch[:0]
 	for _, e := range elements {
 		for _, x := range e {
-			roots = append(roots, tax.Root(x))
+			scratch = append(scratch, tax.Root(x))
 		}
 	}
-	item.Sort(roots)
-	return itemset.Hash(roots)
+	item.Sort(scratch)
+	return itemset.Hash(scratch), scratch
 }
 
 // encodePatternList serializes patterns with their counts for the barrier.

@@ -1,0 +1,222 @@
+package seq
+
+import "pgarm/internal/item"
+
+// This file is the allocation-free half of the GSP join+prune: an
+// open-addressed membership set over F_{k-1} probed with hashes of the
+// canonical Key byte stream computed in place, so the prune test for a
+// dropped-item subsequence touches no map, builds no key string and
+// materializes no subsequence pattern.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvItem folds one item exactly as itemset.AppendKey encodes it: 4 bytes,
+// big-endian.
+func fnvItem(h uint64, x item.Item) uint64 {
+	v := uint32(x)
+	h = fnvByte(h, byte(v>>24))
+	h = fnvByte(h, byte(v>>16))
+	h = fnvByte(h, byte(v>>8))
+	h = fnvByte(h, byte(v))
+	return h
+}
+
+// hashElements is FNV-1a over the byte stream Key(elements) produces —
+// shape byte, element lengths, then every item big-endian — without
+// building the string. hashElements(e) == patternHash-of-Key(e) always.
+func hashElements(elements [][]item.Item) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvByte(h, byte(len(elements)))
+	for _, e := range elements {
+		h = fnvByte(h, byte(len(e)))
+	}
+	for _, e := range elements {
+		for _, x := range e {
+			h = fnvItem(h, x)
+		}
+	}
+	return h
+}
+
+// hashDropped hashes the pattern obtained by dropItem(elements, ei, ii)
+// without materializing it: the emptied element (when elements[ei] has one
+// item) vanishes from the shape prefix and the dropped item from the item
+// stream, reproducing Key's bytes for the subsequence exactly.
+func hashDropped(elements [][]item.Item, ei, ii int) uint64 {
+	dropElem := len(elements[ei]) == 1
+	ne := len(elements)
+	if dropElem {
+		ne--
+	}
+	h := uint64(fnvOffset64)
+	h = fnvByte(h, byte(ne))
+	for i, e := range elements {
+		if i == ei {
+			if dropElem {
+				continue
+			}
+			h = fnvByte(h, byte(len(e)-1))
+			continue
+		}
+		h = fnvByte(h, byte(len(e)))
+	}
+	for i, e := range elements {
+		if i == ei && dropElem {
+			continue
+		}
+		for j, x := range e {
+			if i == ei && j == ii {
+				continue
+			}
+			h = fnvItem(h, x)
+		}
+	}
+	return h
+}
+
+// equalDropped reports whether stored equals dropItem(elements, ei, ii),
+// again without materializing the subsequence.
+func equalDropped(stored, elements [][]item.Item, ei, ii int) bool {
+	dropElem := len(elements[ei]) == 1
+	ns := len(elements)
+	if dropElem {
+		ns--
+	}
+	if len(stored) != ns {
+		return false
+	}
+	si := 0
+	for i, e := range elements {
+		if i == ei {
+			if dropElem {
+				continue
+			}
+			se := stored[si]
+			si++
+			if len(se) != len(e)-1 {
+				return false
+			}
+			w := 0
+			for j, x := range e {
+				if j == ii {
+					continue
+				}
+				if se[w] != x {
+					return false
+				}
+				w++
+			}
+			continue
+		}
+		if !item.Equal(stored[si], e) {
+			return false
+		}
+		si++
+	}
+	return true
+}
+
+// patSet is the open-addressed set over F_{k-1}. Slots hold pattern index+1
+// (0 = empty); the table is sized to at least twice the pattern count so
+// probe chains stay short. It is built once per pass and only read from the
+// generation shards, so no synchronization is needed.
+type patSet struct {
+	slots []int32
+	mask  uint64
+	pats  []Pattern
+}
+
+func newPatSet(prev []Pattern) *patSet {
+	size := 16
+	for size < 2*len(prev) {
+		size *= 2
+	}
+	ps := &patSet{slots: make([]int32, size), mask: uint64(size - 1), pats: prev}
+	for i := range prev {
+		s := hashElements(prev[i].Elements) & ps.mask
+		for {
+			v := ps.slots[s]
+			if v == 0 {
+				ps.slots[s] = int32(i) + 1
+				break
+			}
+			if Equal(ps.pats[v-1].Elements, prev[i].Elements) {
+				break // duplicate pattern: first occurrence keeps the slot
+			}
+			s = (s + 1) & ps.mask
+		}
+	}
+	return ps
+}
+
+// hasDropped reports whether dropItem(elements, ei, ii) is in the set.
+func (ps *patSet) hasDropped(elements [][]item.Item, ei, ii int) bool {
+	s := hashDropped(elements, ei, ii) & ps.mask
+	for {
+		v := ps.slots[s]
+		if v == 0 {
+			return false
+		}
+		if equalDropped(ps.pats[v-1].Elements, elements, ei, ii) {
+			return true
+		}
+		s = (s + 1) & ps.mask
+	}
+}
+
+// pruneOK checks that every (k-1)-subsequence obtained by dropping one item
+// is frequent — the apriori prune, with zero allocations per test.
+func (ps *patSet) pruneOK(elements [][]item.Item) bool {
+	for ei := range elements {
+		for ii := range elements[ei] {
+			if !ps.hasDropped(elements, ei, ii) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dedupPatterns compacts out to its first occurrence of every distinct
+// pattern, in place, preserving order — the serial global dedup after the
+// sharded join (duplicate joins can land in different shards, so this step
+// cannot shard). The open-addressed probe replaces the old map[string]bool
+// keyed by materialized Key strings.
+func dedupPatterns(out [][][]item.Item) [][][]item.Item {
+	if len(out) == 0 {
+		return out
+	}
+	size := 16
+	for size < 2*len(out) {
+		size *= 2
+	}
+	slots := make([]int32, size)
+	mask := uint64(size - 1)
+	w := 0
+	for _, c := range out {
+		s := hashElements(c) & mask
+		dup := false
+		for {
+			v := slots[s]
+			if v == 0 {
+				slots[s] = int32(w) + 1
+				break
+			}
+			if Equal(out[v-1], c) {
+				dup = true
+				break
+			}
+			s = (s + 1) & mask
+		}
+		if !dup {
+			out[w] = c
+			w++
+		}
+	}
+	return out[:w]
+}
