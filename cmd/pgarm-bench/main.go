@@ -49,6 +49,9 @@ type benchReport struct {
 	// Serve holds the serving load-bench arms (cache off / cache on) when
 	// `-experiment serve` ran.
 	Serve []metrics.ServeReport `json:"serve,omitempty"`
+	// Scan holds the storage-format bench arms (row vs columnar decode,
+	// block-skip mining) when `-experiment scan` ran.
+	Scan []metrics.ScanReport `json:"scan,omitempty"`
 }
 
 func main() {
@@ -57,7 +60,7 @@ func main() {
 
 	def := experiment.Defaults()
 	var (
-		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve or all")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan or all")
 		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
 		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
@@ -73,6 +76,11 @@ func main() {
 		clients  = flag.Int("clients", sdef.Clients, "serve bench: concurrent load-generator clients")
 		requests = flag.Int("requests", sdef.Requests, "serve bench: total requests per arm")
 		minconf  = flag.Float64("minconf", sdef.MinConfidence, "serve bench: rule-derivation confidence threshold")
+
+		scdef      = experiment.ScanDefaults()
+		scanWork   = flag.Int("scan-workers", scdef.Workers, "scan bench: scan workers per measurement")
+		scanBlock  = flag.Int("scan-block", scdef.TxnsPerBlock, "scan bench: transactions per columnar block (mining arm)")
+		scanMinSup = flag.Float64("scan-minsup", scdef.MinSup, "scan bench: mining-arm support threshold")
 	)
 	flag.Parse()
 
@@ -198,6 +206,25 @@ func main() {
 		fmt.Println(t.Render())
 		serveReports = reps
 	}
+	var scanReports []metrics.ScanReport
+	// The scan bench also measures real wall-clock decode throughput, so it
+	// too is opt-in rather than part of "all".
+	if *exp == "scan" {
+		ran = true
+		step("storage-format scan bench")
+		so := scdef
+		so.Workers = *scanWork
+		so.TxnsPerBlock = *scanBlock
+		so.MinSup = *scanMinSup
+		ts, reps, err := env.Scan(so)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts {
+			fmt.Println(t.Render())
+		}
+		scanReports = reps
+	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
@@ -222,6 +249,7 @@ func main() {
 			rep.Spans = tracer.Rollups()
 		}
 		rep.Serve = serveReports
+		rep.Scan = scanReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			log.Fatal(err)

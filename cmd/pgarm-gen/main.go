@@ -6,7 +6,13 @@
 //
 //	pgarm-gen -dataset R30F5 -scale 0.01 -out /tmp/r30f5.ptx
 //	pgarm-gen -dataset R30F3 -scale 0.01 -nodes 16 -out /tmp/r30f3    # writes r30f3.n00.ptx ... n15.ptx
+//	pgarm-gen -dataset R30F5 -scale 0.01 -format columnar -out /tmp/r30f5.ptc
 //	pgarm-gen -describe
+//
+// -format selects the on-disk layout: "row" is the original stream of
+// delta-coded transactions, "columnar" the block-compressed columnar format
+// with per-block skip filters (see internal/txn). The miners auto-detect the
+// format by magic, so either feeds -in unchanged.
 package main
 
 import (
@@ -29,6 +35,8 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "generator seed")
 		nodes    = flag.Int("nodes", 0, "partition into this many per-node files (0 = single file)")
 		out      = flag.String("out", "", "output path (single file) or path prefix (with -nodes)")
+		format   = flag.String("format", "row", "on-disk layout: row or columnar")
+		block    = flag.Int("block", txn.DefaultTxnsPerBlock, "columnar format: transactions per block")
 		describe = flag.Bool("describe", false, "print the Table 5 parameter sheet and exit")
 	)
 	flag.Parse()
@@ -55,8 +63,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	write := func(path string, db *txn.DB) error {
+		switch *format {
+		case "row":
+			return txn.WriteFile(path, db)
+		case "columnar":
+			return txn.WriteColumnar(path, db, ds.Taxonomy, *block)
+		default:
+			return fmt.Errorf("unknown -format %q (row or columnar)", *format)
+		}
+	}
 	if *nodes <= 0 {
-		if err := txn.WriteFile(*out, ds.DB); err != nil {
+		if err := write(*out, ds.DB); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions, avg size %.1f)\n", *out, ds.DB.Len(), ds.DB.AvgSize())
@@ -65,7 +83,7 @@ func main() {
 	parts := txn.Partition(ds.DB, *nodes)
 	for i, part := range parts {
 		path := fmt.Sprintf("%s.n%02d.ptx", *out, i)
-		if err := txn.WriteFile(path, part); err != nil {
+		if err := write(path, part); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions)\n", path, part.Len())

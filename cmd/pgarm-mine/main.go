@@ -126,7 +126,10 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, path := range strings.Split(*inFiles, ",") {
-			f, err := txn.OpenFile(strings.TrimSpace(path))
+			// txn.Open sniffs the magic, so row and columnar partitions (and
+			// mixtures) all work; columnar ones additionally scan block-sharded
+			// with per-pass skip filters.
+			f, err := txn.Open(strings.TrimSpace(path))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -83,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	local, err := txn.OpenFile(*inFile)
+	local, err := txn.Open(*inFile)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -116,7 +116,11 @@ func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 		if hi > int32(len(cands)) {
 			hi = int32(len(cands))
 		}
-		err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, t txn.Transaction) error {
+		// Each fragment only counts candidates in [lo, hi), so the block
+		// predicate is built from exactly that slice: a block with no chance
+		// of supporting any in-fragment candidate is skipped before decode.
+		pred := txn.NewPredicate(m.tax, cands[int(lo):int(hi)])
+		err := driver.ScanTxnShards(m.db, pred, W, n.ShardObs("scan"), wstats, func(w int, t txn.Transaction) error {
 			ws := &wstats[w]
 			ws.TxnsScanned++
 			ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)

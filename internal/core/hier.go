@@ -147,8 +147,15 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 		}
 	}
 
+	// Block skip predicate over all of C_k: a block none of whose closures
+	// can contain any candidate produces no dup-count increment, no owned
+	// increment anywhere, and only item groups that miss every owner's table
+	// — skipping it is exact. Block counters land in a parallel stats slice
+	// (hierWorker keeps its own NodeStats for the scan body).
+	pred := txn.NewPredicate(m.tax, cands)
+	wblocks := make([]metrics.NodeStats, W)
 	started := time.Now()
-	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, t txn.Transaction) error {
+	err := driver.ScanTxnShards(m.db, pred, W, n.ShardObs("count"), wblocks, func(w int, t txn.Transaction) error {
 		wk := &workers[w]
 		wk.stats.TxnsScanned++
 
@@ -229,6 +236,7 @@ func (e *hierEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	for w := range workers {
 		st.AddScanCounters(&workers[w].stats)
 	}
+	driver.MergeWorkerStats(st, wblocks)
 	st.ScanTime = time.Since(started)
 	st.Probes += ownedTable.Probes()
 

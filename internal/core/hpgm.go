@@ -73,8 +73,12 @@ func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	wext := driver.WorkerScratch(W, 64)
 	wsub := driver.WorkerScratch(W, 2*k)
 
+	// A block that cannot contain any candidate of C_k yields only subsets
+	// that miss every node's table, so skipping it changes no count anywhere
+	// (it does avoid shipping those dead subsets — pure savings).
+	pred := txn.NewPredicate(m.tax, cands)
 	started := time.Now()
-	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, t txn.Transaction) error {
+	err := driver.ScanTxnShards(m.db, pred, W, n.ShardObs("count"), wstats, func(w int, t txn.Transaction) error {
 		ws := &wstats[w]
 		ws.TxnsScanned++
 		ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)

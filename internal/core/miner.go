@@ -60,7 +60,9 @@ func (m *itemsetMiner) CountPass1(n *driver.Node, st *metrics.NodeStats) ([]int6
 	wcounts := driver.WorkerVectors(W, m.tax.NumItems())
 	wstats := make([]metrics.NodeStats, W)
 	wext := driver.WorkerScratch(W, 64)
-	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, t txn.Transaction) error {
+	// Pass 1 counts every item, so no block can be skipped (nil predicate) —
+	// but a block source still parallelizes the decode itself across workers.
+	err := driver.ScanTxnShards(m.db, nil, W, n.ShardObs("scan"), wstats, func(w int, t txn.Transaction) error {
 		wstats[w].TxnsScanned++
 		ext := m.tax.ExtendTransaction(wext[w][:0], t.Items)
 		wext[w] = ext

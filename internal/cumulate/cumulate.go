@@ -44,6 +44,12 @@ type Result struct {
 	NumTxns int
 	// Probes counts candidate-table lookups across all passes.
 	Probes int64
+	// BlocksScanned/BlocksSkipped profile the block-granular scan path when
+	// the database is a columnar partition: blocks decoded vs. blocks the
+	// per-pass candidate predicate ruled out before any decode, summed over
+	// all passes (pass 1 always decodes everything). Zero for other sources.
+	BlocksScanned int64
+	BlocksSkipped int64
 }
 
 // LargeK returns the large k-itemsets, or nil when the run ended before k.
@@ -115,7 +121,8 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 	counts := make([]int64, tax.NumItems())
 	scratch := make([]item.Item, 0, 64)
 	subScratch := make([]item.Item, 0, 16)
-	err := db.Scan(func(t txn.Transaction) error {
+	var scanStats txn.ScanStats
+	err := txn.ScanFiltered(db, nil, &scanStats, func(t txn.Transaction) error {
 		scratch = tax.ExtendTransaction(scratch[:0], t.Items)
 		for _, x := range scratch {
 			counts[x]++
@@ -137,6 +144,8 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 	}
 	res.Large = append(res.Large, l1)
 	if len(largeItems) < 2 || cfg.MaxK == 1 {
+		res.BlocksScanned = scanStats.BlocksScanned
+		res.BlocksSkipped = scanStats.BlocksSkipped
 		return res, nil
 	}
 
@@ -159,7 +168,10 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 		if cap(subScratch) < k {
 			subScratch = make([]item.Item, 0, 2*k)
 		}
-		err := db.Scan(func(t txn.Transaction) error {
+		// On a columnar partition the per-pass candidate predicate skips
+		// blocks that cannot contain any candidate; other sources scan plain.
+		pred := txn.NewPredicate(tax, cands)
+		err := txn.ScanFiltered(db, pred, &scanStats, func(t txn.Transaction) error {
 			ext := ExtendFiltered(view, member, scratch[:0], t.Items)
 			scratch = ext
 			itemset.ForEachSubsetScratch(ext, k, subScratch, func(sub []item.Item) bool {
@@ -184,6 +196,8 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 			prev = append(prev, c.Items)
 		}
 	}
+	res.BlocksScanned = scanStats.BlocksScanned
+	res.BlocksSkipped = scanStats.BlocksSkipped
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"pgarm/internal/cluster"
 	"pgarm/internal/metrics"
 	"pgarm/internal/obs"
+	"pgarm/internal/txn"
 )
 
 // kindNames maps the mining protocol's message kinds to stable display names
@@ -82,14 +83,17 @@ func EndpointTotals(id int, ep cluster.Endpoint) metrics.EndpointTotals {
 // nodeInstruments are one node's live registry series. The zero value (no
 // registry configured) is fully inert.
 type nodeInstruments struct {
-	pass       *obs.Gauge
-	candidates *obs.Gauge
-	txns       *obs.Counter
-	probes     *obs.Counter
-	increments *obs.Counter
-	itemsSent  *obs.Counter
-	scanSec    *obs.Histogram
-	barrierSec *obs.Histogram
+	pass          *obs.Gauge
+	candidates    *obs.Gauge
+	txns          *obs.Counter
+	probes        *obs.Counter
+	increments    *obs.Counter
+	itemsSent     *obs.Counter
+	blocksScanned *obs.Counter
+	blocksSkipped *obs.Counter
+	bytesDecoded  *obs.Counter
+	scanSec       *obs.Histogram
+	barrierSec    *obs.Histogram
 }
 
 func newNodeInstruments(r *obs.Registry, node int) nodeInstruments {
@@ -98,14 +102,17 @@ func newNodeInstruments(r *obs.Registry, node int) nodeInstruments {
 	}
 	l := obs.L("node", strconv.Itoa(node))
 	return nodeInstruments{
-		pass:       r.Gauge("pgarm_pass", "Pass currently executing.", l),
-		candidates: r.Gauge("pgarm_pass_candidates", "Candidate itemsets |C_k| of the current pass.", l),
-		txns:       r.Counter("pgarm_txns_scanned_total", "Transactions scanned across all passes.", l),
-		probes:     r.Counter("pgarm_probes_total", "Candidate-table probes.", l),
-		increments: r.Counter("pgarm_increments_total", "Support-count increments applied.", l),
-		itemsSent:  r.Counter("pgarm_items_sent_total", "Items shipped to other nodes.", l),
-		scanSec:    r.Histogram("pgarm_scan_shard_seconds", "Per-shard local scan wall time.", nil, l),
-		barrierSec: r.Histogram("pgarm_barrier_wait_seconds", "Per-pass L_k barrier wait.", nil, l),
+		pass:          r.Gauge("pgarm_pass", "Pass currently executing.", l),
+		candidates:    r.Gauge("pgarm_pass_candidates", "Candidate itemsets |C_k| of the current pass.", l),
+		txns:          r.Counter("pgarm_txns_scanned_total", "Transactions scanned across all passes.", l),
+		probes:        r.Counter("pgarm_probes_total", "Candidate-table probes.", l),
+		increments:    r.Counter("pgarm_increments_total", "Support-count increments applied.", l),
+		itemsSent:     r.Counter("pgarm_items_sent_total", "Items shipped to other nodes.", l),
+		blocksScanned: r.Counter("pgarm_blocks_scanned_total", "Columnar partition blocks decoded during local scans.", l),
+		blocksSkipped: r.Counter("pgarm_blocks_skipped_total", "Blocks (or sequences) the pass predicate ruled out before decode.", l),
+		bytesDecoded:  r.Counter("pgarm_bytes_decoded_total", "Encoded bytes of decoded columnar blocks.", l),
+		scanSec:       r.Histogram("pgarm_scan_shard_seconds", "Per-shard local scan wall time.", nil, l),
+		barrierSec:    r.Histogram("pgarm_barrier_wait_seconds", "Per-pass L_k barrier wait.", nil, l),
 	}
 }
 
@@ -119,6 +126,9 @@ func (ins *nodeInstruments) endPass(cur *metrics.NodeStats) {
 	ins.probes.Add(cur.Probes)
 	ins.increments.Add(cur.Increments)
 	ins.itemsSent.Add(cur.ItemsSent)
+	ins.blocksScanned.Add(cur.BlocksScanned)
+	ins.blocksSkipped.Add(cur.BlocksSkipped)
+	ins.bytesDecoded.Add(cur.BytesDecoded)
 	ins.barrierSec.Observe(cur.BarrierWait.Seconds())
 }
 
@@ -184,6 +194,22 @@ func (so ShardObs) begin(lane, shard int) func() {
 		if so.hist != nil {
 			so.hist.Observe(time.Since(start).Seconds())
 		}
+		sp.End()
+	}
+}
+
+// beginBlocks opens the block-scan sub-span nested inside a shard's span on
+// the same lane; on close it annotates the span with the shard's block
+// counters, so traces show per-worker decode vs. skip behaviour.
+func (so ShardObs) beginBlocks(lane int, st *txn.ScanStats) func() {
+	if !so.tr.Enabled() {
+		return func() {}
+	}
+	sp := so.tr.Begin(so.node, lane, "blocks")
+	return func() {
+		sp.Arg("blocks_scanned", st.BlocksScanned)
+		sp.Arg("blocks_skipped", st.BlocksSkipped)
+		sp.Arg("bytes_decoded", st.BytesDecoded)
 		sp.End()
 	}
 }

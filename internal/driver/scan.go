@@ -6,6 +6,7 @@ import (
 
 	"pgarm/internal/item"
 	"pgarm/internal/metrics"
+	"pgarm/internal/txn"
 )
 
 // ScanShards drives one pass over a node's local partition with `workers`
@@ -68,6 +69,98 @@ func ScanShards[T any](scan func(func(T) error) error, workers int, so ShardObs,
 		}
 	}
 	return nil
+}
+
+// ScanTxnShards drives one pass over a transaction partition with `workers`
+// scan goroutines, sharding by storage block when the source supports it.
+//
+// For a txn.BlockScanner source (columnar partition), worker w owns exactly
+// the blocks whose ordinal o satisfies o % workers == w: each worker preads
+// and decodes only its own blocks, so decode itself parallelizes instead of
+// every worker re-decoding the whole partition, and pred — the per-pass
+// candidate predicate — is consulted before a block is read, so filtered
+// blocks are never decompressed. Each worker Matches on a private Clone of
+// pred and folds its block counters into wstats[w]; MergeWorkerStats carries
+// them into the node's pass totals in worker order.
+//
+// Any other source falls back to transaction-granular ScanShards, where
+// every worker runs its own full scan and skips foreign ordinals.
+//
+// Both paths preserve bit-identity at every worker count: shard assignment
+// is a pure function of storage order, count merges are exact integer sums
+// in fixed worker order, and a skipped block contributes nothing to any
+// count anywhere (see txn.Predicate for the proof).
+func ScanTxnShards(src txn.Scanner, pred *txn.Predicate, workers int, so ShardObs, wstats []metrics.NodeStats, fn func(w int, t txn.Transaction) error) error {
+	bs, ok := src.(txn.BlockScanner)
+	if !ok {
+		return ScanShards(src.Scan, workers, so, fn)
+	}
+	if workers <= 1 {
+		workers = 1
+	}
+	scanShard := func(w, nShards, lane int) (txn.ScanStats, error) {
+		var st txn.ScanStats
+		done := so.beginBlocks(lane, &st)
+		defer done()
+		err := bs.ScanBlocks(txn.BlockScanOptions{
+			Shard:     w,
+			NumShards: nShards,
+			Pred:      pred.Clone(),
+			Stats:     &st,
+		}, func(b txn.Block) error {
+			for _, t := range b.Txns {
+				if err := fn(w, t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		return st, err
+	}
+	if workers == 1 {
+		done := so.begin(0, 0)
+		defer done()
+		st, err := scanShard(0, 1, 0)
+		addBlockStats(wstats, 0, st)
+		return err
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			done := so.begin(1+w, w)
+			defer done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("scan worker %d panicked: %v", w, r)
+				}
+			}()
+			st, err := scanShard(w, workers, 1+w)
+			addBlockStats(wstats, w, st)
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addBlockStats folds one shard's block counters into its worker stats slot;
+// callers without per-worker stats (nil or short wstats) simply lose the
+// counters, never crash.
+func addBlockStats(wstats []metrics.NodeStats, w int, st txn.ScanStats) {
+	if w >= len(wstats) {
+		return
+	}
+	wstats[w].BlocksScanned += st.BlocksScanned
+	wstats[w].BlocksSkipped += st.BlocksSkipped
+	wstats[w].BytesDecoded += st.BytesDecoded
 }
 
 // WorkerVectors returns `workers` count vectors of length n whose index-0

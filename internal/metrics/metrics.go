@@ -32,9 +32,17 @@ type NodeStats struct {
 	// received side counted at delivery.
 	DataBytesSent     int64
 	DataBytesReceived int64
-	MsgsSent          int64         // fabric messages sent
-	MsgsReceived      int64         // fabric messages received
-	ScanTime          time.Duration // local scan + counting wall time
+	MsgsSent          int64 // fabric messages sent
+	MsgsReceived      int64 // fabric messages received
+	// BlocksScanned/BlocksSkipped/BytesDecoded profile the block-granular
+	// scan path of columnar partitions: blocks decoded, blocks the pass
+	// predicate ruled out before any I/O, and encoded bytes actually
+	// decoded. Sources without blocks leave them zero; the sequence miners
+	// reuse BlocksSkipped with the customer sequence as the skip unit.
+	BlocksScanned int64
+	BlocksSkipped int64
+	BytesDecoded  int64
+	ScanTime      time.Duration // local scan + counting wall time
 	// BarrierWait is how long this node blocked in the pass-end L_k
 	// gather/broadcast barrier — the direct measure of load skew: an idle
 	// node waits for the cluster's straggler.
@@ -64,6 +72,9 @@ func (s *NodeStats) AddScanCounters(w *NodeStats) {
 	s.Probes += w.Probes
 	s.Increments += w.Increments
 	s.ItemsSent += w.ItemsSent
+	s.BlocksScanned += w.BlocksScanned
+	s.BlocksSkipped += w.BlocksSkipped
+	s.BytesDecoded += w.BytesDecoded
 }
 
 // PassStats aggregates one pass across the cluster.

@@ -57,6 +57,9 @@ type NodeReport struct {
 	DataBytesReceived int64    `json:"data_bytes_received"`
 	MsgsSent          int64    `json:"msgs_sent"`
 	MsgsReceived      int64    `json:"msgs_received"`
+	BlocksScanned     int64    `json:"blocks_scanned,omitempty"`
+	BlocksSkipped     int64    `json:"blocks_skipped,omitempty"`
+	BytesDecoded      int64    `json:"bytes_decoded,omitempty"`
 	ScanMS            float64  `json:"scan_ms"`
 	BarrierWaitMS     float64  `json:"barrier_wait_ms"`
 	ByKind            []KindIO `json:"by_kind,omitempty"`
@@ -104,6 +107,9 @@ func BuildReport(rs *RunStats, tracer *obs.Tracer) Report {
 				DataBytesReceived: n.DataBytesReceived,
 				MsgsSent:          n.MsgsSent,
 				MsgsReceived:      n.MsgsReceived,
+				BlocksScanned:     n.BlocksScanned,
+				BlocksSkipped:     n.BlocksSkipped,
+				BytesDecoded:      n.BytesDecoded,
 				ScanMS:            ms(n.ScanTime),
 				BarrierWaitMS:     ms(n.BarrierWait),
 				ByKind:            n.ByKind,

@@ -1,0 +1,36 @@
+package metrics
+
+// ScanReport is one arm of the storage-format scan experiment
+// (`pgarm-bench -experiment scan`): either a raw decode-throughput
+// measurement of one format at one scale ("decode"), or a full mining run
+// over columnar partitions reporting how much the per-pass block predicate
+// skipped ("mine"). Unlike the modeled mining experiments this measures real
+// wall-clock on the machine running the bench.
+type ScanReport struct {
+	Kind    string  `json:"kind"` // "decode" or "mine"
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Format  string  `json:"format"` // "row", "columnar" or "memory"
+	Txns    int     `json:"txns"`
+
+	// Decode arm: wall-clock of a full parallel scan of the partition.
+	FileBytes int64   `json:"file_bytes,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	ScanMS    float64 `json:"scan_ms,omitempty"`
+	// Speedup is this arm's scan time relative to the row format at the
+	// same scale and worker count (row rows report 1).
+	Speedup float64 `json:"speedup,omitempty"`
+
+	// Mine arm: block-predicate effectiveness over a full-depth run.
+	MinSup        float64 `json:"min_sup,omitempty"`
+	TxnsPerBlock  int     `json:"txns_per_block,omitempty"`
+	Passes        int     `json:"passes,omitempty"`
+	BlocksScanned int64   `json:"blocks_scanned,omitempty"`
+	BlocksSkipped int64   `json:"blocks_skipped,omitempty"`
+	BytesDecoded  int64   `json:"bytes_decoded,omitempty"`
+	SkipRatio     float64 `json:"skip_ratio,omitempty"`
+
+	// Identical reports bit-identity of this arm's frequent itemsets
+	// against the in-memory reference at every checked worker count.
+	Identical bool `json:"identical"`
+}

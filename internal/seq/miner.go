@@ -2,6 +2,8 @@ package seq
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 	"time"
 
 	"pgarm/internal/driver"
@@ -128,10 +130,19 @@ func (m *seqMiner) countReplicated(n *driver.Node, st *metrics.NodeStats) ([]int
 	W := n.Workers()
 	wcounts := driver.WorkerVectors(W, len(m.cands))
 	wstats := make([]metrics.NodeStats, W)
+	masks := candRootMasks(m.tax, m.cands)
 	started := time.Now()
 	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("scan"), func(w int, s Sequence) error {
 		ws := &wstats[w]
 		ws.TxnsScanned++
+		if maskSkips(masks, seqRootMask(m.tax, s.Elements)) {
+			// No candidate's root multiset is realizable from this customer's
+			// items, so no candidate can be contained: skip the closure build
+			// and the whole probe loop (the sequence-mining analogue of a
+			// columnar block skip, counted on the same counter).
+			ws.BlocksSkipped++
+			return nil
+		}
 		closures := Closures(m.tax, s, m.large)
 		counts := wcounts[w]
 		for i, c := range m.cands {
@@ -247,10 +258,18 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 	for w := range bats {
 		bats[w] = cp.NewBatcher()
 	}
+	masks := candRootMasks(m.tax, m.cands)
 	started := time.Now()
 	err := driver.ScanShards(m.db.Scan, W, n.ShardObs("count"), func(w int, s Sequence) error {
 		ws := &wstats[w]
 		ws.TxnsScanned++
+		if maskSkips(masks, seqRootMask(m.tax, s.Elements)) {
+			// No node's candidates can be contained in this customer, so
+			// nothing needs to travel anywhere — the sequence is dropped
+			// before the closure build and the broadcast/filter fan-out.
+			ws.BlocksSkipped++
+			return nil
+		}
 		closures := Closures(m.tax, s, m.large)
 		if m.cfg.Algorithm == SPSPM {
 			unit := wire.AppendItemsList(wunit[w][:0], closures)
@@ -431,6 +450,61 @@ func encodePatternList(ps []Pattern) []byte {
 		counts[i] = p.Count
 	}
 	return wire.AppendPatternList(nil, elems, counts)
+}
+
+// seqRootMask folds the hierarchy roots of a sequence's literal items into a
+// 64-bit mask (bit = root mod 64). Every item of a closed element is an
+// ancestor-or-self of some literal item and shares its root, so the closure's
+// roots are always a subset of this mask — large-item filtering only shrinks
+// them further. Folding roots mod 64 can only set extra bits shared between
+// distinct roots, so the mask over-approximates and skips stay conservative.
+func seqRootMask(tax *taxonomy.Taxonomy, elements [][]item.Item) uint64 {
+	var m uint64
+	for _, e := range elements {
+		for _, x := range e {
+			m |= 1 << (uint(tax.Root(x)) & 63)
+		}
+	}
+	return m
+}
+
+// candRootMasks returns the deduplicated root masks of the pass's candidate
+// sequences, ascending by popcount (then value, for determinism): the masks
+// with the fewest required roots are the likeliest to be realizable, so the
+// skip check's "cannot skip" exit triggers on the first compare for most
+// customers.
+func candRootMasks(tax *taxonomy.Taxonomy, cands [][][]item.Item) []uint64 {
+	seen := make(map[uint64]struct{}, len(cands))
+	masks := make([]uint64, 0, len(cands))
+	for _, c := range cands {
+		m := seqRootMask(tax, c)
+		if _, ok := seen[m]; !ok {
+			seen[m] = struct{}{}
+			masks = append(masks, m)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return masks[i] < masks[j]
+	})
+	return masks
+}
+
+// maskSkips reports whether a customer with root mask seqMask can be skipped
+// outright: true when every candidate mask requires at least one root bit the
+// customer does not have. Containment of candidate c in a customer implies
+// every root of c appears among the customer's roots, so mask(c) ⊆ seqMask is
+// necessary for a match — a definite miss on all candidates is exact.
+func maskSkips(masks []uint64, seqMask uint64) bool {
+	for _, m := range masks {
+		if m&^seqMask == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // closureItems counts the items of a closed sequence.

@@ -185,6 +185,28 @@ func (t *Taxonomy) ExtendTransaction(dst []item.Item, txn []item.Item) []item.It
 	return item.Dedup(dst)
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the parent vector — a stable
+// identity for the hierarchy. Columnar partition files record the fingerprint
+// of the taxonomy whose ancestor closure their block skip filters summarize;
+// a scan predicate built over a different hierarchy detects the mismatch and
+// never skips (txn.Predicate.Match).
+func (t *Taxonomy) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range t.parent {
+		v := uint64(uint32(p))
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
 // String summarizes the hierarchy shape.
 func (t *Taxonomy) String() string {
 	return fmt.Sprintf("taxonomy{items:%d roots:%d leaves:%d maxLevel:%d}",

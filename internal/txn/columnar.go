@@ -1,0 +1,723 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/wire"
+)
+
+// Block-compressed columnar transaction format, the second on-disk partition
+// layout ("PGTC"). Where the row format ("PGTX") interleaves one transaction
+// after another, the columnar format groups a fixed number of transactions
+// into independently decodable blocks and stores each block column-separated:
+//
+//	header:   magic uint32 "PGTC" | version byte | taxonomy fingerprint uint64
+//	blocks:   block 0 | block 1 | ... (each at the offset its directory
+//	          entry records; nothing else between blocks)
+//	directory: numBlocks uvarint, then per block:
+//	            offset   uvarint  (file offset of the block body)
+//	            length   uvarint  (block body bytes)
+//	            count    uvarint  (transactions in the block)
+//	            firstTID uvarint  (absolute TID of the block's first txn)
+//	            minItem  uvarint  ┐ bounds over the block's ancestor
+//	            maxItem  uvarint  ┘ closure; min > max encodes "empty"
+//	            bloomBytes uvarint, then that many raw filter bytes
+//	trailer:  dirOffset uint64 | dirLen uint64 | crc32(directory) uint32 |
+//	          end magic uint32 "PGTC"   (24 bytes, fixed, at EOF)
+//
+// One block body is three delta+varint columns on the internal/wire codecs:
+//
+//	sizes column: count × uvarint  (basket sizes)
+//	TID column:   count-1 × uvarint (TID deltas; txn 0's TID is the
+//	              directory's firstTID)
+//	item column:  per transaction, first item absolute then ascending
+//	              deltas — the same canonical coding as the row format,
+//	              but with all varint streams of a kind adjacent
+//
+// Each directory entry carries a skip filter over the block's item closure:
+// the set of items that appear in some transaction of the block PLUS all
+// their taxonomy ancestors up to the root. A pass predicate built from the
+// live candidate set (see Predicate) consults min/max and the bloom filter to
+// prove "no transaction in this block can support any current candidate"
+// before the block is ever read or decoded — the disk analogue of the
+// in-memory engines' membership pre-filter. Because the filter summarizes the
+// closure, not just the literal items, the proof holds under the paper's
+// extended-transaction semantics. The taxonomy fingerprint in the header ties
+// the filters to the hierarchy they were built over.
+const (
+	columnarMagic   = 0x50475443 // "PGTC"
+	columnarVersion = 1
+
+	columnarHeaderSize  = 4 + 1 + 8
+	columnarTrailerSize = 8 + 8 + 4 + 4
+
+	// DefaultTxnsPerBlock is the default block granularity: small enough
+	// that late passes — few candidates over low-support items — can prove
+	// whole blocks irrelevant, large enough that per-block directory
+	// overhead stays under a percent of the data.
+	DefaultTxnsPerBlock = 256
+	maxTxnsPerBlock     = 1 << 20
+
+	// Bloom sizing: ~8 bits and 3 probes per distinct closure item gives a
+	// ~3% false-positive rate; power-of-two bit counts keep probing to a
+	// mask. False positives only cost a wasted decode, never correctness.
+	bloomBitsPerItem = 8
+	bloomProbes      = 3
+	minBloomBits     = 256
+	maxBloomBits     = 1 << 16
+)
+
+// splitmix64 is the bloom filter's base hash; two independent 32-bit halves
+// drive double hashing (Kirsch–Mitzenmacher).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func bloomSet(bloom []byte, mask uint32, x item.Item) {
+	h := splitmix64(uint64(uint32(x)))
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	for p := uint32(0); p < bloomProbes; p++ {
+		bit := (h1 + p*h2) & mask
+		bloom[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+func bloomTest(bloom []byte, mask uint32, x item.Item) bool {
+	h := splitmix64(uint64(uint32(x)))
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	for p := uint32(0); p < bloomProbes; p++ {
+		bit := (h1 + p*h2) & mask
+		if bloom[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomBitsFor picks the filter size for n distinct closure items: the
+// smallest power of two covering bloomBitsPerItem bits each, clamped to
+// [minBloomBits, maxBloomBits].
+func bloomBitsFor(n int) uint32 {
+	bits := uint32(minBloomBits)
+	for int(bits) < n*bloomBitsPerItem && bits < maxBloomBits {
+		bits <<= 1
+	}
+	return bits
+}
+
+// BlockMeta is one block's directory entry: location, shape and skip filter.
+// Values are immutable after open; MayContain is safe for concurrent use.
+type BlockMeta struct {
+	Ordinal  int
+	Offset   int64
+	Length   int64
+	Count    int
+	FirstTID int64
+	// MinItem/MaxItem bound the block's item closure (items plus all
+	// ancestors); MinItem > MaxItem means every transaction is empty.
+	MinItem item.Item
+	MaxItem item.Item
+
+	fingerprint uint64 // copied from the file header for Predicate.Match
+	bloomMask   uint32 // bloom bit count - 1
+	bloom       []byte
+}
+
+// MayContain reports whether item x may be in the block's closure. False is
+// definitive: no transaction in the block contains x or any descendant of x
+// (under the taxonomy the file was written with). True may be a bloom false
+// positive.
+func (m *BlockMeta) MayContain(x item.Item) bool {
+	if x < m.MinItem || x > m.MaxItem {
+		return false
+	}
+	if len(m.bloom) == 0 {
+		return true
+	}
+	return bloomTest(m.bloom, m.bloomMask, x)
+}
+
+// Block is one decoded block as delivered by ScanBlocks. Txns alias scratch
+// buffers owned by the scan: valid only until the callback returns.
+type Block struct {
+	Ordinal int
+	Meta    *BlockMeta
+	Txns    []Transaction
+}
+
+// ScanStats count what a block-granular scan did and, more importantly, did
+// not do.
+type ScanStats struct {
+	BlocksScanned int64 // blocks read and decoded
+	BlocksSkipped int64 // blocks the predicate ruled out before any I/O
+	BytesDecoded  int64 // encoded bytes of the decoded blocks
+}
+
+// Add folds another stats value in.
+func (s *ScanStats) Add(o ScanStats) {
+	s.BlocksScanned += o.BlocksScanned
+	s.BlocksSkipped += o.BlocksSkipped
+	s.BytesDecoded += o.BytesDecoded
+}
+
+// BlockScanOptions parameterize one ScanBlocks pass.
+type BlockScanOptions struct {
+	// Shard/NumShards restrict the scan to blocks whose ordinal o satisfies
+	// o % NumShards == Shard, the block-granular analogue of
+	// driver.ScanShards' ordinal sharding. NumShards <= 1 scans every block.
+	Shard     int
+	NumShards int
+	// Pred, when non-nil, is consulted per block before any read: blocks it
+	// rules out are neither read nor decoded. Pred is used from this scan's
+	// goroutine only (Predicate.Match memoizes; clone per concurrent scan).
+	Pred *Predicate
+	// Stats, when non-nil, receives the scan's counters.
+	Stats *ScanStats
+}
+
+// BlockScanner is the block-granular scan contract columnar partitions add on
+// top of Scanner. driver.ScanTxnShards shards by block — parallelizing decode
+// itself — whenever the source implements it.
+type BlockScanner interface {
+	Scanner
+	// NumBlocks returns the number of storage blocks.
+	NumBlocks() int
+	// ScanBlocks streams decoded blocks to fn in storage order (within the
+	// selected shard). A non-nil error from fn aborts the scan and is
+	// returned. Block contents alias per-scan scratch: no-retain.
+	ScanBlocks(opts BlockScanOptions, fn func(Block) error) error
+}
+
+// WriteColumnar writes the database to path in the columnar format,
+// txnsPerBlock transactions per block (<= 0 selects DefaultTxnsPerBlock).
+// tax supplies the ancestor closure for the skip filters and its fingerprint
+// for the header; a nil tax writes filters over the literal items with a zero
+// fingerprint, which any taxonomy-carrying predicate refuses to skip on.
+func WriteColumnar(path string, db *DB, tax *taxonomy.Taxonomy, txnsPerBlock int) (err error) {
+	if txnsPerBlock <= 0 {
+		txnsPerBlock = DefaultTxnsPerBlock
+	}
+	if txnsPerBlock > maxTxnsPerBlock {
+		return fmt.Errorf("txn: txnsPerBlock %d exceeds %d", txnsPerBlock, maxTxnsPerBlock)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("txn: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("txn: close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeColumnar(w, db, tax, txnsPerBlock); err != nil {
+		return fmt.Errorf("txn: write %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("txn: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeColumnar(w *bufio.Writer, db *DB, tax *taxonomy.Taxonomy, txnsPerBlock int) error {
+	var hdr [columnarHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], columnarMagic)
+	hdr[4] = columnarVersion
+	var fp uint64
+	if tax != nil {
+		fp = tax.Fingerprint()
+	}
+	binary.BigEndian.PutUint64(hdr[5:13], fp)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	offset := int64(columnarHeaderSize)
+
+	// seen marks closure members of the block under construction; closure
+	// collects them for min/max + bloom build and drives the reset.
+	var seen []bool
+	if tax != nil {
+		seen = make([]bool, tax.NumItems())
+	}
+	var closure []item.Item
+	var body []byte
+	dir := wire.AppendUvarint(nil, uint64((db.Len()+txnsPerBlock-1)/txnsPerBlock))
+
+	prevTID, firstTxn := int64(0), true
+	for start := 0; start < db.Len(); start += txnsPerBlock {
+		end := start + txnsPerBlock
+		if end > db.Len() {
+			end = db.Len()
+		}
+		blk := db.txns[start:end]
+
+		// Validate exactly as the row writer does, then collect the closure.
+		closure = closure[:0]
+		for _, t := range blk {
+			if t.TID < 0 || (!firstTxn && t.TID <= prevTID) {
+				return fmt.Errorf("TIDs not strictly ascending: %d after %d", t.TID, prevTID)
+			}
+			prevTID, firstTxn = t.TID, false
+			if !item.IsSorted(t.Items) {
+				return fmt.Errorf("transaction %d items not canonical", t.TID)
+			}
+			for _, x := range t.Items {
+				if tax != nil {
+					for cur := x; cur != item.None; cur = tax.Parent(cur) {
+						if !seen[cur] {
+							seen[cur] = true
+							closure = append(closure, cur)
+						}
+					}
+				} else {
+					if int(x) >= len(seen) {
+						grown := make([]bool, int(x)+1)
+						copy(grown, seen)
+						seen = grown
+					}
+					if !seen[x] {
+						seen[x] = true
+						closure = append(closure, x)
+					}
+				}
+			}
+		}
+		for _, x := range closure {
+			seen[x] = false
+		}
+		minIt, maxIt := item.Item(1), item.Item(0) // min > max: empty closure
+		for i, x := range closure {
+			if i == 0 || x < minIt {
+				minIt = x
+			}
+			if i == 0 || x > maxIt {
+				maxIt = x
+			}
+		}
+		var bloom []byte
+		var mask uint32
+		if len(closure) > 0 {
+			bits := bloomBitsFor(len(closure))
+			mask = bits - 1
+			bloom = make([]byte, bits/8)
+			for _, x := range closure {
+				bloomSet(bloom, mask, x)
+			}
+		}
+
+		// Encode the three columns.
+		body = body[:0]
+		for _, t := range blk {
+			body = wire.AppendUvarint(body, uint64(len(t.Items)))
+		}
+		prev := blk[0].TID
+		for _, t := range blk[1:] {
+			body = wire.AppendUvarint(body, uint64(t.TID-prev))
+			prev = t.TID
+		}
+		for _, t := range blk {
+			pi := item.Item(0)
+			for i, x := range t.Items {
+				d := uint64(x - pi)
+				if i == 0 {
+					d = uint64(x)
+				}
+				body = wire.AppendUvarint(body, d)
+				pi = x
+			}
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+
+		dir = wire.AppendUvarint(dir, uint64(offset))
+		dir = wire.AppendUvarint(dir, uint64(len(body)))
+		dir = wire.AppendUvarint(dir, uint64(len(blk)))
+		dir = wire.AppendUvarint(dir, uint64(blk[0].TID))
+		dir = wire.AppendUvarint(dir, uint64(minIt))
+		dir = wire.AppendUvarint(dir, uint64(maxIt))
+		dir = wire.AppendUvarint(dir, uint64(len(bloom)))
+		dir = append(dir, bloom...)
+		offset += int64(len(body))
+	}
+
+	if _, err := w.Write(dir); err != nil {
+		return err
+	}
+	var tr [columnarTrailerSize]byte
+	binary.BigEndian.PutUint64(tr[0:8], uint64(offset))
+	binary.BigEndian.PutUint64(tr[8:16], uint64(len(dir)))
+	binary.BigEndian.PutUint32(tr[16:20], crc32.ChecksumIEEE(dir))
+	binary.BigEndian.PutUint32(tr[20:24], columnarMagic)
+	_, err := w.Write(tr[:])
+	return err
+}
+
+// ColumnarFile is a disk-backed columnar transaction partition. Open parses
+// and validates the directory once; every scan opens a private file handle
+// and preads only the blocks it needs, so concurrent independent scans (one
+// per worker shard) are safe and skipped blocks cost zero I/O.
+type ColumnarFile struct {
+	path        string
+	count       int
+	fingerprint uint64
+	metas       []BlockMeta
+}
+
+// OpenColumnar validates a columnar transaction file — header, trailer,
+// directory checksum, and the internal consistency of every directory entry —
+// and returns a BlockScanner over it.
+func OpenColumnar(path string) (*ColumnarFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	cf, err := parseColumnar(f)
+	if err != nil {
+		return nil, fmt.Errorf("txn: %s: %w", path, err)
+	}
+	cf.path = path
+	return cf, nil
+}
+
+func parseColumnar(f *os.File) (*ColumnarFile, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < columnarHeaderSize+columnarTrailerSize {
+		return nil, fmt.Errorf("file too short (%d bytes)", size)
+	}
+	var hdr [columnarHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != columnarMagic {
+		return nil, fmt.Errorf("not a columnar transaction file (bad magic)")
+	}
+	if hdr[4] != columnarVersion {
+		return nil, fmt.Errorf("unsupported columnar version %d", hdr[4])
+	}
+	cf := &ColumnarFile{fingerprint: binary.BigEndian.Uint64(hdr[5:13])}
+
+	var tr [columnarTrailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-columnarTrailerSize); err != nil {
+		return nil, fmt.Errorf("read trailer: %w", err)
+	}
+	if binary.BigEndian.Uint32(tr[20:24]) != columnarMagic {
+		return nil, fmt.Errorf("truncated file (bad end magic)")
+	}
+	dirOff := binary.BigEndian.Uint64(tr[0:8])
+	dirLen := binary.BigEndian.Uint64(tr[8:16])
+	if dirOff < columnarHeaderSize || dirLen > uint64(size) ||
+		dirOff+dirLen != uint64(size-columnarTrailerSize) {
+		return nil, fmt.Errorf("directory bounds [%d,+%d) inconsistent with file size %d", dirOff, dirLen, size)
+	}
+	dir := make([]byte, dirLen)
+	if _, err := f.ReadAt(dir, int64(dirOff)); err != nil {
+		return nil, fmt.Errorf("read directory: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(dir), binary.BigEndian.Uint32(tr[16:20]); got != want {
+		return nil, fmt.Errorf("directory checksum mismatch (%08x != %08x)", got, want)
+	}
+
+	numBlocks, off, err := wire.Uvarint(dir)
+	if err != nil {
+		return nil, fmt.Errorf("directory: %w", err)
+	}
+	if numBlocks > uint64(len(dir)) { // each entry takes >= 7 bytes
+		return nil, fmt.Errorf("directory block count %d exceeds payload", numBlocks)
+	}
+	cf.metas = make([]BlockMeta, 0, numBlocks)
+	nextOff := uint64(columnarHeaderSize)
+	prevTID := int64(0)
+	u := func() (uint64, error) {
+		v, n, err := wire.Uvarint(dir[off:])
+		off += n
+		return v, err
+	}
+	for b := uint64(0); b < numBlocks; b++ {
+		blockOff, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		length, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		count, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		firstTID, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		minIt, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		maxIt, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		bloomBytes, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("directory entry %d: %w", b, err)
+		}
+		// Blocks must tile [header, directory) exactly, in order: that makes
+		// every block independently locatable and rules out overlapping or
+		// dangling extents in corrupt directories.
+		if blockOff != nextOff || length == 0 || blockOff+length > dirOff {
+			return nil, fmt.Errorf("directory entry %d: block extent [%d,+%d) out of place", b, blockOff, length)
+		}
+		nextOff = blockOff + length
+		// The sizes column alone needs one byte per transaction, so a count
+		// beyond the block's byte length is corruption; rejecting it here also
+		// bounds the decoder's count-sized scratch by the block size.
+		if count == 0 || count > maxTxnsPerBlock || count > length {
+			return nil, fmt.Errorf("directory entry %d: implausible block count %d", b, count)
+		}
+		// TIDs are strictly ascending file-wide and in-block deltas are
+		// >= 1, so block b's first TID must clear the previous block's
+		// minimum possible last TID (its first TID + count - 1).
+		if firstTID > math.MaxInt64-count || (b > 0 && int64(firstTID) < prevTID) {
+			return nil, fmt.Errorf("directory entry %d: first TID %d not ascending", b, firstTID)
+		}
+		prevTID = int64(firstTID) + int64(count)
+		if minIt > math.MaxInt32 || maxIt > math.MaxInt32 {
+			return nil, fmt.Errorf("directory entry %d: item bound out of range", b)
+		}
+		if bloomBytes > maxBloomBits/8 || uint64(off)+bloomBytes > uint64(len(dir)) {
+			return nil, fmt.Errorf("directory entry %d: bloom length %d exceeds payload", b, bloomBytes)
+		}
+		if bloomBytes != 0 && (bloomBytes*8&(bloomBytes*8-1)) != 0 {
+			return nil, fmt.Errorf("directory entry %d: bloom bit count %d not a power of two", b, bloomBytes*8)
+		}
+		m := BlockMeta{
+			Ordinal:     int(b),
+			Offset:      int64(blockOff),
+			Length:      int64(length),
+			Count:       int(count),
+			FirstTID:    int64(firstTID),
+			MinItem:     item.Item(minIt),
+			MaxItem:     item.Item(maxIt),
+			fingerprint: cf.fingerprint,
+		}
+		if bloomBytes > 0 {
+			m.bloom = dir[off : off+int(bloomBytes) : off+int(bloomBytes)]
+			m.bloomMask = uint32(bloomBytes*8) - 1
+			off += int(bloomBytes)
+		}
+		cf.metas = append(cf.metas, m)
+		cf.count += int(count)
+	}
+	if nextOff != dirOff {
+		return nil, fmt.Errorf("blocks end at %d but directory starts at %d", nextOff, dirOff)
+	}
+	if off != len(dir) {
+		return nil, fmt.Errorf("%d trailing bytes after directory entries", len(dir)-off)
+	}
+	return cf, nil
+}
+
+// Path returns the backing file path.
+func (f *ColumnarFile) Path() string { return f.path }
+
+// Len returns the total number of transactions (sum of block counts).
+func (f *ColumnarFile) Len() int { return f.count }
+
+// NumBlocks returns the number of storage blocks.
+func (f *ColumnarFile) NumBlocks() int { return len(f.metas) }
+
+// BlockMeta returns block i's directory entry. Shared and immutable.
+func (f *ColumnarFile) BlockMeta(i int) *BlockMeta { return &f.metas[i] }
+
+// Fingerprint returns the taxonomy fingerprint recorded at write time.
+func (f *ColumnarFile) Fingerprint() uint64 { return f.fingerprint }
+
+// Scan streams all transactions in storage order, satisfying Scanner. Like
+// File.Scan, the Transaction's Items alias per-scan scratch: no-retain.
+func (f *ColumnarFile) Scan(fn func(Transaction) error) error {
+	// The decoder guarantees strictly ascending TIDs inside each block and the
+	// directory bounds each block's first TID, but only a sequential pass can
+	// see a block's true last TID overlap its successor — check it here.
+	last, seen := int64(0), false
+	return f.ScanBlocks(BlockScanOptions{}, func(b Block) error {
+		for _, t := range b.Txns {
+			if seen && t.TID <= last {
+				return fmt.Errorf("txn: %s block %d: TID %d not ascending across blocks (corrupt file?)", f.path, b.Ordinal, t.TID)
+			}
+			last, seen = t.TID, true
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ScanBlocks implements BlockScanner: it preads and decodes exactly the
+// blocks in this shard that the predicate cannot rule out, reusing one set of
+// scratch buffers across blocks.
+func (f *ColumnarFile) ScanBlocks(opts BlockScanOptions, fn func(Block) error) error {
+	file, err := os.Open(f.path)
+	if err != nil {
+		return fmt.Errorf("txn: open %s: %w", f.path, err)
+	}
+	defer file.Close()
+	shard, nShards := opts.Shard, opts.NumShards
+	if nShards <= 1 {
+		shard, nShards = 0, 1
+	}
+	var dec blockDecoder
+	var buf []byte
+	for i := range f.metas {
+		if i%nShards != shard {
+			continue
+		}
+		m := &f.metas[i]
+		if opts.Pred != nil && !opts.Pred.Match(m) {
+			if opts.Stats != nil {
+				opts.Stats.BlocksSkipped++
+			}
+			continue
+		}
+		if int64(cap(buf)) < m.Length {
+			buf = make([]byte, m.Length)
+		}
+		buf = buf[:m.Length]
+		if _, err := file.ReadAt(buf, m.Offset); err != nil {
+			return fmt.Errorf("txn: %s block %d: read: %w", f.path, i, err)
+		}
+		txns, err := dec.decode(m, buf)
+		if err != nil {
+			return fmt.Errorf("txn: %s block %d: %w", f.path, i, err)
+		}
+		if opts.Stats != nil {
+			opts.Stats.BlocksScanned++
+			opts.Stats.BytesDecoded += m.Length
+		}
+		if err := fn(Block{Ordinal: i, Meta: m, Txns: txns}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blockDecoder holds the reusable scratch one scan decodes every block into:
+// a transaction slice, the sizes column, and a single item arena the
+// transactions' itemsets point into. Steady-state decode allocates nothing.
+type blockDecoder struct {
+	txns  []Transaction
+	sizes []int
+	arena []item.Item
+}
+
+// decode parses one block body against its directory entry. Beyond the
+// format itself it enforces every invariant the writer guarantees — exact
+// column lengths, ascending TIDs, canonical in-range itemsets, items inside
+// the closure bounds, no trailing bytes — so a corrupt block is an error,
+// never a silently short or wrong scan.
+func (d *blockDecoder) decode(m *BlockMeta, buf []byte) ([]Transaction, error) {
+	n := m.Count
+	if cap(d.txns) < n {
+		d.txns = make([]Transaction, n)
+		d.sizes = make([]int, n)
+	}
+	txns := d.txns[:n]
+	sizes := d.sizes[:n]
+	off := 0
+	u := func() (uint64, bool) {
+		v, used, err := wire.Uvarint(buf[off:])
+		if err != nil {
+			return 0, false
+		}
+		off += used
+		return v, true
+	}
+
+	// Sizes column; the total sizes the item arena.
+	total := 0
+	for i := 0; i < n; i++ {
+		sz, ok := u()
+		if !ok {
+			return nil, fmt.Errorf("truncated sizes column at txn %d", i)
+		}
+		if sz > maxBasketSize {
+			return nil, fmt.Errorf("implausible basket size %d", sz)
+		}
+		sizes[i] = int(sz)
+		total += int(sz)
+	}
+	// Every item takes at least one encoded byte, so the item column cannot
+	// hold more items than the block has bytes left; rejecting impossible
+	// totals here keeps the arena allocation bounded by the block size.
+	if total > len(buf)-off {
+		return nil, fmt.Errorf("item total %d exceeds block capacity", total)
+	}
+
+	// TID column: n-1 deltas from the directory's firstTID.
+	tid := m.FirstTID
+	txns[0].TID = tid
+	for i := 1; i < n; i++ {
+		dt, ok := u()
+		if !ok {
+			return nil, fmt.Errorf("truncated TID column at txn %d", i)
+		}
+		if dt == 0 || dt > uint64(math.MaxInt64-tid) {
+			return nil, fmt.Errorf("non-canonical TID delta at txn %d", i)
+		}
+		tid += int64(dt)
+		txns[i].TID = tid
+	}
+
+	// Item column into the arena; itemsets are sub-slices of it.
+	if cap(d.arena) < total {
+		d.arena = make([]item.Item, total)
+	}
+	arena := d.arena[:0]
+	for i := 0; i < n; i++ {
+		start := len(arena)
+		prev := item.Item(0)
+		for j := 0; j < sizes[i]; j++ {
+			dv, ok := u()
+			if !ok {
+				return nil, fmt.Errorf("truncated item column at txn %d", i)
+			}
+			if j == 0 {
+				if dv > math.MaxInt32 {
+					return nil, fmt.Errorf("item out of range at txn %d", i)
+				}
+				prev = item.Item(dv)
+			} else {
+				if dv == 0 || dv > uint64(math.MaxInt32-int64(prev)) {
+					return nil, fmt.Errorf("non-canonical item delta at txn %d", i)
+				}
+				prev += item.Item(dv)
+			}
+			if prev < m.MinItem || prev > m.MaxItem {
+				return nil, fmt.Errorf("item %d outside block closure bounds at txn %d", prev, i)
+			}
+			arena = append(arena, prev)
+		}
+		txns[i].Items = arena[start:len(arena):len(arena)]
+	}
+	d.arena = arena[:0]
+	if off != len(buf) {
+		return nil, fmt.Errorf("%d trailing bytes in block body", len(buf)-off)
+	}
+	return txns, nil
+}

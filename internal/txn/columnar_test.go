@@ -1,0 +1,425 @@
+package txn
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// testTaxonomy returns a small balanced hierarchy covering sampleDB's items.
+func testTaxonomy(t *testing.T) *taxonomy.Taxonomy {
+	t.Helper()
+	tax, err := taxonomy.Balanced(1200, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tax
+}
+
+func writeColumnarOrDie(t *testing.T, db *DB, tax *taxonomy.Taxonomy, block int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.ptc")
+	if err := WriteColumnar(path, db, tax, block); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func scanAll(t *testing.T, s Scanner) []Transaction {
+	t.Helper()
+	var out []Transaction
+	if err := s.Scan(func(tr Transaction) error {
+		out = append(out, Transaction{TID: tr.TID, Items: item.Clone(tr.Items)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	db := sampleDB()
+	for _, tax := range []*taxonomy.Taxonomy{nil, testTaxonomy(t)} {
+		for _, block := range []int{1, 2, 256} {
+			path := writeColumnarOrDie(t, db, tax, block)
+			f, err := OpenColumnar(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Len() != db.Len() {
+				t.Fatalf("Len = %d, want %d", f.Len(), db.Len())
+			}
+			wantBlocks := (db.Len() + block - 1) / block
+			if f.NumBlocks() != wantBlocks {
+				t.Fatalf("block=%d NumBlocks = %d, want %d", block, f.NumBlocks(), wantBlocks)
+			}
+			got := scanAll(t, f)
+			for i := 0; i < db.Len(); i++ {
+				w := db.At(i)
+				if got[i].TID != w.TID || !item.Equal(got[i].Items, w.Items) {
+					t.Errorf("block=%d txn %d: %v != %v", block, i, got[i], w)
+				}
+			}
+		}
+	}
+}
+
+func TestColumnarScanTwice(t *testing.T) {
+	path := writeColumnarOrDie(t, sampleDB(), nil, 2)
+	f, err := OpenColumnar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		n := 0
+		if err := f.Scan(func(Transaction) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 4 {
+			t.Fatalf("round %d scanned %d", round, n)
+		}
+	}
+	if f.Path() != path {
+		t.Errorf("Path = %q", f.Path())
+	}
+}
+
+func TestOpenAutodetectsFormat(t *testing.T) {
+	db := sampleDB()
+	dir := t.TempDir()
+	rowPath := filepath.Join(dir, "row.ptx")
+	if err := WriteFile(rowPath, db); err != nil {
+		t.Fatal(err)
+	}
+	colPath := filepath.Join(dir, "col.ptc")
+	if err := WriteColumnar(colPath, db, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	row, err := Open(rowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := row.(*File); !ok {
+		t.Fatalf("Open(row) = %T", row)
+	}
+	col, err := Open(colPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := col.(*ColumnarFile); !ok {
+		t.Fatalf("Open(columnar) = %T", col)
+	}
+	for _, s := range []Scanner{row, col} {
+		got := scanAll(t, s)
+		if len(got) != db.Len() {
+			t.Fatalf("%T scanned %d", s, len(got))
+		}
+	}
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("garbage here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk); err == nil {
+		t.Error("unknown magic must fail")
+	}
+}
+
+func TestColumnarBlockShardsPartition(t *testing.T) {
+	db := &DB{}
+	for i := 0; i < 37; i++ {
+		db.Append(Transaction{TID: int64(i + 1), Items: []item.Item{item.Item(i), item.Item(i + 100)}})
+	}
+	f, err := OpenColumnar(writeColumnarOrDie(t, db, nil, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	seen := make(map[int]int)
+	total := 0
+	for s := 0; s < shards; s++ {
+		err := f.ScanBlocks(BlockScanOptions{Shard: s, NumShards: shards}, func(b Block) error {
+			seen[b.Ordinal]++
+			if b.Ordinal%shards != s {
+				t.Errorf("block %d delivered to shard %d", b.Ordinal, s)
+			}
+			total += len(b.Txns)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != f.NumBlocks() {
+		t.Errorf("shards covered %d of %d blocks", len(seen), f.NumBlocks())
+	}
+	for ord, n := range seen {
+		if n != 1 {
+			t.Errorf("block %d delivered %d times", ord, n)
+		}
+	}
+	if total != db.Len() {
+		t.Errorf("shards delivered %d transactions, want %d", total, db.Len())
+	}
+}
+
+// Property: a predicate-filtered scan yields exactly the transactions whose
+// block it could not rule out, every skipped block truly contains no
+// transaction supporting any candidate, and candidate support counts match a
+// full scan bit-for-bit.
+func TestPredicateSkipExact(t *testing.T) {
+	tax := testTaxonomy(t)
+	rng := rand.New(rand.NewSource(42))
+	db := &DB{}
+	for i := 0; i < 400; i++ {
+		n := rng.Intn(5)
+		items := make([]item.Item, n)
+		for j := range items {
+			items[j] = item.Item(rng.Intn(tax.NumItems()))
+		}
+		db.Append(Transaction{TID: int64(i + 1), Items: item.Dedup(items)})
+	}
+	f, err := OpenColumnar(writeColumnarOrDie(t, db, tax, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closure := func(items []item.Item) map[item.Item]bool {
+		m := make(map[item.Item]bool)
+		for _, x := range items {
+			for cur := x; cur != item.None; cur = tax.Parent(cur) {
+				m[cur] = true
+			}
+		}
+		return m
+	}
+	supports := func(cand []item.Item, items []item.Item) bool {
+		cl := closure(items)
+		for _, x := range cand {
+			if !cl[x] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		var cands [][]item.Item
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			k := 1 + rng.Intn(3)
+			cand := make([]item.Item, k)
+			for j := range cand {
+				cand[j] = item.Item(rng.Intn(tax.NumItems()))
+			}
+			cand = item.Dedup(cand)
+			if len(cand) > 0 {
+				cands = append(cands, cand)
+			}
+		}
+		want := make([]int64, len(cands))
+		db.Scan(func(tr Transaction) error {
+			for i, c := range cands {
+				if supports(c, tr.Items) {
+					want[i]++
+				}
+			}
+			return nil
+		})
+
+		var st ScanStats
+		got := make([]int64, len(cands))
+		pred := NewPredicate(tax, cands)
+		err := ScanFiltered(f, pred, &st, func(tr Transaction) error {
+			for i, c := range cands {
+				if supports(c, tr.Items) {
+					got[i]++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cands {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d cand %v: filtered count %d != full count %d (skipped %d blocks)",
+					trial, cands[i], got[i], want[i], st.BlocksSkipped)
+			}
+		}
+		if st.BlocksScanned+st.BlocksSkipped != int64(f.NumBlocks()) {
+			t.Fatalf("trial %d: scanned %d + skipped %d != %d blocks",
+				trial, st.BlocksScanned, st.BlocksSkipped, f.NumBlocks())
+		}
+	}
+}
+
+func TestPredicateSkipsAndFingerprint(t *testing.T) {
+	tax := testTaxonomy(t)
+	db := &DB{}
+	// Two populations: blocks of small items, then blocks of large items.
+	for i := 0; i < 32; i++ {
+		x := item.Item(5)
+		if i >= 16 {
+			x = item.Item(1100)
+		}
+		db.Append(Transaction{TID: int64(i + 1), Items: []item.Item{x}})
+	}
+	f, err := OpenColumnar(writeColumnarOrDie(t, db, tax, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A candidate on item 1100 can only live in the second half's blocks.
+	pred := NewPredicate(tax, [][]item.Item{{1100}})
+	var st ScanStats
+	n := 0
+	if err := ScanFiltered(f, pred, &st, func(Transaction) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksSkipped != 2 || st.BlocksScanned != 2 {
+		t.Errorf("skipped %d scanned %d, want 2/2", st.BlocksSkipped, st.BlocksScanned)
+	}
+	if n != 16 {
+		t.Errorf("delivered %d transactions, want 16", n)
+	}
+
+	// An empty candidate set proves every block irrelevant.
+	st = ScanStats{}
+	if err := ScanFiltered(f, NewPredicate(tax, nil), &st, func(Transaction) error {
+		t.Error("transaction delivered with no candidates")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksSkipped != 4 {
+		t.Errorf("empty candidates skipped %d of 4 blocks", st.BlocksSkipped)
+	}
+
+	// A predicate built over a different hierarchy must never skip.
+	other, err := taxonomy.Balanced(1200, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = ScanStats{}
+	if err := ScanFiltered(f, NewPredicate(other, [][]item.Item{{1100}}), &st, func(Transaction) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksSkipped != 0 || st.BlocksScanned != 4 {
+		t.Errorf("fingerprint mismatch skipped %d blocks", st.BlocksSkipped)
+	}
+
+	// A nil predicate Clone stays nil and matches everything.
+	var nilPred *Predicate
+	if nilPred.Clone() != nil {
+		t.Error("Clone of nil predicate")
+	}
+	if !nilPred.Match(f.BlockMeta(0)) {
+		t.Error("nil predicate must match")
+	}
+}
+
+func TestColumnarRejectsCorruption(t *testing.T) {
+	db := sampleDB()
+	path := writeColumnarOrDie(t, db, testTaxonomy(t), 2)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(b []byte) string {
+		p := filepath.Join(dir, "c.ptc")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Truncations anywhere must fail to open (or to scan), never panic.
+	for cut := 0; cut < len(orig); cut += 3 {
+		f, err := OpenColumnar(write(orig[:cut]))
+		if err != nil {
+			continue
+		}
+		n := 0
+		if err := f.Scan(func(Transaction) error { n++; return nil }); err == nil && n != db.Len() {
+			t.Fatalf("truncation at %d silently dropped transactions (%d of %d)", cut, n, db.Len())
+		}
+	}
+
+	// Directory bit flip breaks the checksum.
+	flip := append([]byte(nil), orig...)
+	flip[len(flip)-30] ^= 0x40 // inside the directory, ahead of the trailer
+	if _, err := OpenColumnar(write(flip)); err == nil {
+		t.Error("directory corruption must fail")
+	}
+
+	// Bad version byte.
+	flip = append([]byte(nil), orig...)
+	flip[4] = 99
+	if _, err := OpenColumnar(write(flip)); err == nil {
+		t.Error("unknown version must fail")
+	}
+
+	// Row-format file through the columnar opener.
+	rowPath := filepath.Join(dir, "row.ptx")
+	if err := WriteFile(rowPath, db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenColumnar(rowPath); err == nil {
+		t.Error("row magic must fail")
+	}
+}
+
+func TestWriteColumnarRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := NewDB([]Transaction{{TID: 5}, {TID: 1}})
+	if err := WriteColumnar(filepath.Join(dir, "a.ptc"), bad, nil, 4); err == nil {
+		t.Error("descending TIDs must fail")
+	}
+	bad2 := NewDB([]Transaction{{TID: 1, Items: []item.Item{5, 2}}})
+	if err := WriteColumnar(filepath.Join(dir, "b.ptc"), bad2, nil, 4); err == nil {
+		t.Error("non-canonical items must fail")
+	}
+	if err := WriteColumnar(filepath.Join(dir, "c.ptc"), sampleDB(), nil, maxTxnsPerBlock+1); err == nil {
+		t.Error("oversized block must fail")
+	}
+}
+
+// Scanning a row file must not allocate per transaction: the scratch basket
+// buffer is reused across the scan (the no-retain contract), so allocations
+// stay constant no matter how many transactions stream by.
+func TestScanAllocsConstant(t *testing.T) {
+	dir := t.TempDir()
+	build := func(n int) *File {
+		db := &DB{}
+		for i := 0; i < n; i++ {
+			db.Append(Transaction{TID: int64(i + 1), Items: []item.Item{item.Item(i % 7), item.Item(100 + i%13)}})
+		}
+		path := filepath.Join(dir, "a.ptx")
+		if err := WriteFile(path, db); err != nil {
+			t.Fatal(err)
+		}
+		f, err := OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	allocs := func(f *File) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := f.Scan(func(Transaction) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := allocs(build(50))
+	large := allocs(build(5000))
+	// Per-scan setup (open, bufio) allocates a fixed amount; 100× more
+	// transactions must not add to it.
+	if large > small+4 {
+		t.Errorf("scan of 5000 txns allocates %.0f vs %.0f for 50: per-transaction allocation crept back in", large, small)
+	}
+}

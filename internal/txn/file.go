@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"pgarm/internal/item"
@@ -61,11 +62,12 @@ func writeAll(w *bufio.Writer, db *DB) error {
 	if err := putUvarint(uint64(db.Len())); err != nil {
 		return err
 	}
-	prevTID := int64(0)
+	prevTID, first := int64(0), true
 	for _, t := range db.txns {
-		if t.TID < prevTID {
-			return fmt.Errorf("TIDs not ascending: %d after %d", t.TID, prevTID)
+		if t.TID < 0 || (!first && t.TID <= prevTID) {
+			return fmt.Errorf("TIDs not strictly ascending: %d after %d", t.TID, prevTID)
 		}
+		first = false
 		if !item.IsSorted(t.Items) {
 			return fmt.Errorf("transaction %d items not canonical", t.TID)
 		}
@@ -119,6 +121,16 @@ func OpenFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("txn: read count of %s: %w", path, err)
 	}
+	// Every transaction occupies at least 2 bytes (TID delta + item count), so
+	// a count the file cannot physically hold is corruption. Checking here
+	// keeps ReadFile's count-sized preallocation bounded by the file size.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("txn: stat %s: %w", path, err)
+	}
+	if count > uint64(fi.Size())/2 {
+		return nil, fmt.Errorf("txn: %s: transaction count %d exceeds file capacity", path, count)
+	}
 	return &File{path: path, count: int(count)}, nil
 }
 
@@ -129,6 +141,13 @@ func (f *File) Path() string { return f.path }
 func (f *File) Len() int { return f.count }
 
 // Scan streams all transactions from disk to fn.
+//
+// The Transaction passed to fn aliases a scratch buffer owned by this scan:
+// its Items slice is overwritten by the next transaction and MUST NOT be
+// retained past fn's return (the no-retain contract every Scanner caller in
+// this repo already honors — counting paths copy into their own extension
+// scratch, and table builds copy at insert time). Use ReadFile to obtain
+// stable transactions.
 func (f *File) Scan(fn func(Transaction) error) error {
 	file, err := os.Open(f.path)
 	if err != nil {
@@ -145,11 +164,13 @@ func (f *File) Scan(fn func(Transaction) error) error {
 		return fmt.Errorf("txn: reread count of %s: %w", f.path, err)
 	}
 	tid := int64(0)
+	items := make([]item.Item, 0, 64)
 	for i := uint64(0); i < count; i++ {
-		t, err := readTxn(r, &tid)
+		t, err := readTxn(r, i == 0, &tid, items[:0])
 		if err != nil {
 			return fmt.Errorf("txn: %s transaction %d: %w", f.path, i, err)
 		}
+		items = t.Items[:0]
 		if err := fn(t); err != nil {
 			return err
 		}
@@ -157,37 +178,59 @@ func (f *File) Scan(fn func(Transaction) error) error {
 	return nil
 }
 
-func readTxn(r *bufio.Reader, tid *int64) (Transaction, error) {
+// readTxn decodes one transaction into the caller's scratch buffer. The
+// decoder rejects anything the writer cannot produce: TID overflow,
+// implausible basket sizes, item values outside int32, and non-canonical
+// (zero or overflowing) item deltas — so a decoded transaction is always
+// canonical and corruption surfaces as an error, never as silently wrong
+// itemsets.
+func readTxn(r *bufio.Reader, first bool, tid *int64, items []item.Item) (Transaction, error) {
 	d, err := binary.ReadUvarint(r)
 	if err != nil {
 		return Transaction{}, err
+	}
+	// TIDs are strictly ascending, so only the first transaction (whose
+	// "delta" is its absolute TID, possibly 0) may encode a zero here.
+	if (d == 0 && !first) || d > uint64(math.MaxInt64-*tid) {
+		return Transaction{}, errors.New("non-canonical TID delta (corrupt file?)")
 	}
 	*tid += int64(d)
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return Transaction{}, err
 	}
-	if n > 1<<20 {
+	if n > maxBasketSize {
 		return Transaction{}, errors.New("implausible basket size (corrupt file?)")
 	}
-	items := make([]item.Item, n)
 	prev := item.Item(0)
-	for i := range items {
+	for i := uint64(0); i < n; i++ {
 		d, err := binary.ReadUvarint(r)
 		if err != nil {
 			return Transaction{}, err
 		}
 		if i == 0 {
+			if d > math.MaxInt32 {
+				return Transaction{}, errors.New("item out of range (corrupt file?)")
+			}
 			prev = item.Item(d)
 		} else {
+			if d == 0 || d > uint64(math.MaxInt32-int64(prev)) {
+				return Transaction{}, errors.New("non-canonical item delta (corrupt file?)")
+			}
 			prev += item.Item(d)
 		}
-		items[i] = prev
+		items = append(items, prev)
 	}
 	return Transaction{TID: *tid, Items: items}, nil
 }
 
-// ReadFile loads a whole transaction file into memory.
+// maxBasketSize bounds per-transaction item counts during decode; the
+// generator's baskets are orders of magnitude smaller, so anything beyond it
+// is corruption, not data.
+const maxBasketSize = 1 << 20
+
+// ReadFile loads a whole transaction file into memory. Itemsets are cloned
+// out of the scan's scratch buffer, so the returned DB owns its memory.
 func ReadFile(path string) (*DB, error) {
 	f, err := OpenFile(path)
 	if err != nil {
@@ -195,10 +238,34 @@ func ReadFile(path string) (*DB, error) {
 	}
 	db := &DB{txns: make([]Transaction, 0, f.Len())}
 	if err := f.Scan(func(t Transaction) error {
+		t.Items = item.Clone(t.Items)
 		db.Append(t)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	return db, nil
+}
+
+// Open opens a transaction partition in either on-disk format, dispatching on
+// the 4-byte magic: row-oriented ("PGTX") or block-compressed columnar
+// ("PGTC"). The returned Scanner is a *File or a *ColumnarFile.
+func Open(path string) (Scanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open %s: %w", path, err)
+	}
+	var hdr [4]byte
+	_, rerr := io.ReadFull(f, hdr[:])
+	f.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("txn: read magic of %s: %w", path, rerr)
+	}
+	switch binary.BigEndian.Uint32(hdr[:]) {
+	case fileMagic:
+		return OpenFile(path)
+	case columnarMagic:
+		return OpenColumnar(path)
+	}
+	return nil, fmt.Errorf("txn: %s is not a transaction file (unknown magic)", path)
 }

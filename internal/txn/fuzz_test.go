@@ -1,0 +1,126 @@
+package txn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// checkScan enforces the decoder's safety contract on a successfully opened
+// file of either format: scanning must never panic, and when it succeeds it
+// must deliver exactly the declared number of transactions, with strictly
+// ascending TIDs and canonical (sorted, deduplicated, non-negative) baskets.
+// Corrupt input is allowed to error — it is never allowed to lie.
+func checkScan(t *testing.T, f interface {
+	Scanner
+	Len() int
+}) {
+	n := 0
+	lastTID := int64(-1 << 62)
+	err := f.Scan(func(tr Transaction) error {
+		n++
+		if tr.TID <= lastTID {
+			t.Fatalf("TIDs not ascending: %d after %d", tr.TID, lastTID)
+		}
+		lastTID = tr.TID
+		for i, x := range tr.Items {
+			if x < 0 {
+				t.Fatalf("negative item %d", x)
+			}
+			if i > 0 && tr.Items[i-1] >= x {
+				t.Fatalf("non-canonical basket %v", tr.Items)
+			}
+		}
+		return nil
+	})
+	if err == nil && n != f.Len() {
+		t.Fatalf("scan silently delivered %d of %d declared transactions", n, f.Len())
+	}
+}
+
+func fuzzDB() *DB {
+	db := &DB{}
+	for i := 0; i < 20; i++ {
+		db.Append(Transaction{
+			TID:   int64(i*3 + 1),
+			Items: []item.Item{item.Item(i % 5), item.Item(10 + i), item.Item(500)},
+		})
+	}
+	return db
+}
+
+func FuzzReadFile(f *testing.F) {
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.ptx")
+	if err := WriteFile(seedPath, fuzzDB()); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:8])
+	f.Add([]byte{})
+	// Regression: a zero mid-file TID delta once decoded as a duplicate TID
+	// instead of an error.
+	f.Add([]byte("PGTX00\x040000\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "in.ptx")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		fl, err := OpenFile(path)
+		if err != nil {
+			return
+		}
+		checkScan(t, fl)
+		// ReadFile shares the decoder; it must agree or fail cleanly.
+		if db, err := ReadFile(path); err == nil && db.Len() != fl.Len() {
+			t.Fatalf("ReadFile loaded %d, header declares %d", db.Len(), fl.Len())
+		}
+	})
+}
+
+func FuzzColumnarOpen(f *testing.F) {
+	dir := f.TempDir()
+	tax := taxonomy.MustBalanced(600, 3, 4)
+	for i, block := range []int{1, 4, 256} {
+		path := filepath.Join(dir, "seed.ptc")
+		var hier *taxonomy.Taxonomy
+		if i%2 == 0 {
+			hier = tax
+		}
+		if err := WriteColumnar(path, fuzzDB(), hier, block); err != nil {
+			f.Fatal(err)
+		}
+		seed, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+		f.Add(seed[:len(seed)*2/3])
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "in.ptc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		cf, err := OpenColumnar(path)
+		if err != nil {
+			return
+		}
+		checkScan(t, cf)
+		// The generic opener must accept exactly what OpenColumnar accepts.
+		if _, err := Open(path); err != nil {
+			t.Fatalf("Open rejected a file OpenColumnar accepted: %v", err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+// Predicate is a per-pass block skip test built from the live candidate set
+// C_k. Match(m) answers "could any transaction in block m support any current
+// candidate?" using only the block's directory entry — no I/O.
+//
+// Skip-correctness argument. A candidate c is supported by transaction t iff
+// c ⊆ closure(t), the ancestor extension of t (the paper's t'). The block's
+// filter summarizes S = ∪_{t ∈ block} closure(t): every member of S was
+// inserted into the bloom filter and lies within [MinItem, MaxItem] at write
+// time. MayContain(x) == false therefore proves x ∉ S, hence x ∉ closure(t)
+// for every t in the block (a definite negative; bloom false positives only
+// ever flip the answer toward true). If every candidate c ∈ C_k has at least
+// one item x with x ∉ S, then no c is a subset of any closure(t) in the
+// block, so the block contributes nothing to any support count — no local
+// increment, no duplicated-candidate count, and no count-support unit shipped
+// to a peer, since all of those are derived from candidate-filtered
+// extensions of the block's transactions. Skipping the block is then exact,
+// not approximate: every algorithm's counts are bit-identical with and
+// without the skip, at any worker count, because the predicate is built from
+// the full candidate set the pass counts (or, for NPGM, from exactly the
+// fragment the re-scan counts).
+//
+// The predicate records the mining taxonomy's fingerprint; Match refuses to
+// skip blocks whose file was written under a different hierarchy (different
+// closures ⇒ the filter proves nothing), so a stale file degrades to a full
+// scan instead of wrong results.
+//
+// Match memoizes per-item verdicts for the block under test, so it is NOT
+// safe for concurrent use; give each concurrent scan its own Clone (the
+// candidate itemsets themselves are shared read-only).
+type Predicate struct {
+	fingerprint uint64
+	cands       [][]item.Item
+	memo        []uint8 // per-item verdict for the current Match call
+	touched     []item.Item
+}
+
+const (
+	predUnknown = uint8(0)
+	predMaybe   = uint8(1)
+	predAbsent  = uint8(2)
+)
+
+// NewPredicate builds the pass predicate for candidate set cands under tax.
+// cands is retained and must stay immutable for the predicate's lifetime.
+func NewPredicate(tax *taxonomy.Taxonomy, cands [][]item.Item) *Predicate {
+	n := 0
+	var fp uint64
+	if tax != nil {
+		n = tax.NumItems()
+		fp = tax.Fingerprint()
+	}
+	for _, c := range cands {
+		for _, x := range c {
+			if int(x) >= n {
+				n = int(x) + 1
+			}
+		}
+	}
+	return &Predicate{
+		fingerprint: fp,
+		cands:       cands,
+		memo:        make([]uint8, n),
+		touched:     make([]item.Item, 0, 64),
+	}
+}
+
+// Clone returns a predicate sharing the candidate set but owning a private
+// memo, so each scan worker can Match concurrently. Clone of nil is nil.
+func (p *Predicate) Clone() *Predicate {
+	if p == nil {
+		return nil
+	}
+	return &Predicate{
+		fingerprint: p.fingerprint,
+		cands:       p.cands,
+		memo:        make([]uint8, len(p.memo)),
+		touched:     make([]item.Item, 0, 64),
+	}
+}
+
+// NumCandidates returns the size of the candidate set behind the predicate.
+func (p *Predicate) NumCandidates() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.cands)
+}
+
+// Match reports whether block m must be scanned: true unless the filter
+// proves that no candidate can be supported by any transaction in the block.
+// A nil predicate matches everything.
+func (p *Predicate) Match(m *BlockMeta) bool {
+	if p == nil {
+		return true
+	}
+	if m.fingerprint != p.fingerprint {
+		return true // filter built over a different hierarchy: never skip
+	}
+	if len(p.cands) == 0 {
+		return false // nothing to count: every block is irrelevant
+	}
+	for _, x := range p.touched {
+		p.memo[x] = predUnknown
+	}
+	p.touched = p.touched[:0]
+	for _, c := range p.cands {
+		supported := true
+		for _, x := range c {
+			v := p.memo[x]
+			if v == predUnknown {
+				if m.MayContain(x) {
+					v = predMaybe
+				} else {
+					v = predAbsent
+				}
+				p.memo[x] = v
+				p.touched = append(p.touched, x)
+			}
+			if v == predAbsent {
+				supported = false
+				break
+			}
+		}
+		if supported {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanFiltered scans src with the per-pass predicate applied at block
+// granularity when src supports it, accumulating skip counters into st; a
+// source without blocks (in-memory DB, row file) degrades to a plain full
+// scan. This is the single-threaded entry point for the sequential miners;
+// the parallel runtime shards blocks across workers via driver.ScanTxnShards
+// instead.
+func ScanFiltered(src Scanner, pred *Predicate, st *ScanStats, fn func(Transaction) error) error {
+	bs, ok := src.(BlockScanner)
+	if !ok {
+		return src.Scan(fn)
+	}
+	return bs.ScanBlocks(BlockScanOptions{Pred: pred, Stats: st}, func(b Block) error {
+		for _, t := range b.Txns {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
