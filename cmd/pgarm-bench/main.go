@@ -25,17 +25,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"pgarm/internal/core"
 	"pgarm/internal/experiment"
+	"pgarm/internal/logx"
 	"pgarm/internal/metrics"
 	"pgarm/internal/obs"
 	"pgarm/internal/profiling"
 )
+
+// logger is the process logger; set in main before any experiment runs.
+var logger *slog.Logger
 
 // benchReport is the top-level -json document: one report per mining run the
 // selected experiments executed, plus span rollups when tracing was on.
@@ -55,9 +59,6 @@ type benchReport struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pgarm-bench: ")
-
 	def := experiment.Defaults()
 	var (
 		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan or all")
@@ -81,12 +82,14 @@ func main() {
 		scanWork   = flag.Int("scan-workers", scdef.Workers, "scan bench: scan workers per measurement")
 		scanBlock  = flag.Int("scan-block", scdef.TxnsPerBlock, "scan bench: transactions per columnar block (mining arm)")
 		scanMinSup = flag.Float64("scan-minsup", scdef.MinSup, "scan bench: mining-arm support threshold")
+		logOpts    = logx.Flags()
 	)
 	flag.Parse()
+	logger = logOpts.Init("pgarm-bench")
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "profiling", "err", err)
 	}
 	defer stopProf()
 
@@ -108,14 +111,14 @@ func main() {
 		for _, s := range strings.Split(*minsups, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
-				log.Fatalf("bad -minsups entry %q: %v", s, err)
+				logx.Fatal(logger, "bad -minsups entry", "entry", s, "err", err)
 			}
 			opt.MinSups = append(opt.MinSups, v)
 		}
 	}
 	env, err := experiment.NewEnv(opt)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "experiment env", "err", err)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -130,7 +133,7 @@ func main() {
 		step("Table 6")
 		t, err := env.Table6()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		fmt.Println(t.Render())
 	}
@@ -139,7 +142,7 @@ func main() {
 		step("Figure 13")
 		ts, err := env.Fig13()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		for _, t := range ts {
 			fmt.Println(t.Render())
@@ -150,7 +153,7 @@ func main() {
 		step("Figure 14")
 		ts, err := env.Fig14()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		for _, t := range ts {
 			fmt.Println(t.Render())
@@ -161,7 +164,7 @@ func main() {
 		step("Figure 15")
 		t, charts, err := env.Fig15()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		fmt.Println(t.Render())
 		for _, alg := range []string{"H-HPGM", "H-HPGM-TGD", "H-HPGM-PGD", "H-HPGM-FGD"} {
@@ -173,7 +176,7 @@ func main() {
 		step("Figure 16")
 		ts, err := env.Fig16()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		for _, t := range ts {
 			fmt.Println(t.Render())
@@ -184,7 +187,7 @@ func main() {
 		step("sequence sweep")
 		t, err := env.SeqSweep()
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		fmt.Println(t.Render())
 	}
@@ -201,7 +204,7 @@ func main() {
 		so.MinConfidence = *minconf
 		t, reps, err := env.Serve(so)
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		fmt.Println(t.Render())
 		serveReports = reps
@@ -218,7 +221,7 @@ func main() {
 		so.MinSup = *scanMinSup
 		ts, reps, err := env.Scan(so)
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "experiment failed", "err", err)
 		}
 		for _, t := range ts {
 			fmt.Println(t.Render())
@@ -226,14 +229,17 @@ func main() {
 		scanReports = reps
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q", *exp)
+		logx.Fatal(logger, "unknown experiment", "experiment", *exp)
 	}
 
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, tracer); err != nil {
-			log.Fatal(err)
+		if d := tracer.Dropped(); d > 0 {
+			logger.Warn("tracer dropped spans; trace file is truncated", "dropped", d)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), *traceOut)
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			logx.Fatal(logger, "trace write failed", "err", err)
+		}
+		logger.Info("wrote trace", "spans", tracer.Spans(), "path", *traceOut)
 	}
 	if *jsonOut != "" {
 		rep := benchReport{
@@ -252,12 +258,12 @@ func main() {
 		rep.Scan = scanReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "report marshal failed", "err", err)
 		}
 		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "report write failed", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d run reports to %s\n", len(rep.Reports), *jsonOut)
+		logger.Info("wrote run reports", "reports", len(rep.Reports), "path", *jsonOut)
 	}
 }
 
@@ -274,5 +280,5 @@ func writeTrace(path string, tr *obs.Tracer) error {
 }
 
 func step(name string) {
-	fmt.Fprintf(os.Stderr, "running %s...\n", name)
+	logger.Info("running experiment", "name", name)
 }

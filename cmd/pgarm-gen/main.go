@@ -18,17 +18,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"os"
 
 	"pgarm/internal/gen"
+	"pgarm/internal/logx"
 	"pgarm/internal/txn"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pgarm-gen: ")
-
 	var (
 		dataset  = flag.String("dataset", "R30F5", "dataset configuration: R30F5, R30F3 or R30F10")
 		scale    = flag.Float64("scale", 0.01, "fraction of the paper's 3.2M transactions to generate")
@@ -38,8 +34,10 @@ func main() {
 		format   = flag.String("format", "row", "on-disk layout: row or columnar")
 		block    = flag.Int("block", txn.DefaultTxnsPerBlock, "columnar format: transactions per block")
 		describe = flag.Bool("describe", false, "print the Table 5 parameter sheet and exit")
+		logOpts  = logx.Flags()
 	)
 	flag.Parse()
+	logger := logOpts.Init("pgarm-gen")
 
 	if *describe {
 		for _, name := range []string{"R30F5", "R30F3", "R30F10"} {
@@ -50,18 +48,18 @@ func main() {
 		return
 	}
 	if *out == "" {
-		log.Fatal("missing -out path")
+		logx.Fatal(logger, "missing -out path")
 	}
 	p, err := gen.ByName(*dataset)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad dataset", "err", err)
 	}
 	p = p.Scaled(*scale)
 	p.Seed = *seed
-	fmt.Fprintf(os.Stderr, "generating %s: %d transactions over %d items...\n", p.Name, p.NumTxns, p.NumItems)
+	logger.Info("generating", "dataset", p.Name, "txns", p.NumTxns, "items", p.NumItems)
 	ds, err := gen.Generate(p)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "generate", "err", err)
 	}
 	write := func(path string, db *txn.DB) error {
 		switch *format {
@@ -75,17 +73,17 @@ func main() {
 	}
 	if *nodes <= 0 {
 		if err := write(*out, ds.DB); err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "write failed", "path", *out, "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions, avg size %.1f)\n", *out, ds.DB.Len(), ds.DB.AvgSize())
+		logger.Info("wrote dataset", "path", *out, "txns", ds.DB.Len(), "avg_size", ds.DB.AvgSize())
 		return
 	}
 	parts := txn.Partition(ds.DB, *nodes)
 	for i, part := range parts {
 		path := fmt.Sprintf("%s.n%02d.ptx", *out, i)
 		if err := write(path, part); err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "write failed", "path", path, "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (%d transactions)\n", path, part.Len())
+		logger.Info("wrote partition", "path", path, "node", i, "txns", part.Len())
 	}
 }

@@ -14,6 +14,11 @@
 // model — taxonomy, large itemsets, rules, generation metadata — is written
 // as a snapshot file that pgarm-serve can serve and hot-swap.
 //
+// With -http the process serves the same live telemetry surface pgarm-worker
+// has while mining: Prometheus /metrics, JSON /healthz, /debug/cluster (live
+// pass/progress/skew introspection over the in-process cluster) and the
+// standard /debug/pprof endpoints.
+//
 // Examples:
 //
 //	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
@@ -25,16 +30,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"pgarm/internal/core"
+	"pgarm/internal/driver"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/logx"
 	"pgarm/internal/model"
 	"pgarm/internal/obs"
+	"pgarm/internal/obshttp"
 	"pgarm/internal/profiling"
 	"pgarm/internal/rules"
 	"pgarm/internal/seq"
@@ -42,10 +50,28 @@ import (
 	"pgarm/internal/txn"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pgarm-mine: ")
+// serveTelemetry mounts the shared observability surface (obshttp) for an
+// in-process mining run: no fabric endpoint (the nodes talk over channels or
+// loopback inside this process), but live registry metrics and the cluster
+// view are there. Exits on a bad listen address, logs and keeps mining on
+// anything later.
+func serveTelemetry(addr, alg string, nodes int, reg *obs.Registry, view *driver.ClusterView, logger *slog.Logger) {
+	mux := obshttp.NewMux(obshttp.Config{
+		Nodes:     nodes,
+		Algorithm: alg,
+		Registry:  reg,
+		Cluster:   view,
+		Log:       logger,
+	})
+	bound, err := obshttp.Serve(addr, mux, logger)
+	if err != nil {
+		logx.Fatal(logger, "telemetry listen failed", "addr", addr, "err", err)
+	}
+	logger.Info("telemetry serving", "addr", bound,
+		"endpoints", "/metrics /healthz /debug/cluster /debug/pprof")
+}
 
+func main() {
 	var (
 		mode     = flag.String("mode", "itemset", "itemset (association rules) or seq (sequential patterns)")
 		algName  = flag.String("algorithm", "", "itemset: NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD (default H-HPGM-FGD); seq: NPSPM, SPSPM or HPSPM (default HPSPM)")
@@ -72,20 +98,23 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/cluster and /debug/pprof on this address")
+		logOpts  = logx.Flags()
 	)
 	flag.Parse()
+	logger := logOpts.Init("pgarm-mine")
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "profiling", "err", err)
 	}
 	defer stopProf()
 
 	if *mode == "seq" {
 		if *outModel != "" {
-			log.Fatal("-o snapshots require -mode itemset (sequential patterns have no serving format yet)")
+			logx.Fatal(logger, "-o snapshots require -mode itemset (sequential patterns have no serving format yet)")
 		}
-		mineSequences(seqOptions{
+		mineSequences(logger, seqOptions{
 			algorithm: *algName,
 			customers: *cust,
 			items:     *seqItems,
@@ -100,22 +129,23 @@ func main() {
 			traceOut:  *traceOut,
 			quiet:     *quiet,
 			topN:      *topN,
+			httpAddr:  *httpAddr,
 		})
 		return
 	}
 	if *mode != "itemset" {
-		log.Fatalf("unknown mode %q (itemset or seq)", *mode)
+		logx.Fatal(logger, "unknown mode (itemset or seq)", "mode", *mode)
 	}
 	if *algName == "" {
 		*algName = "H-HPGM-FGD"
 	}
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad algorithm", "err", err)
 	}
 	params, err := gen.ByName(*dataset)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad dataset", "err", err)
 	}
 
 	var tax *taxonomy.Taxonomy
@@ -123,7 +153,7 @@ func main() {
 	if *inFiles != "" {
 		tax, err = taxonomy.Balanced(params.NumItems, params.Roots, params.Fanout)
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "taxonomy", "err", err)
 		}
 		for _, path := range strings.Split(*inFiles, ",") {
 			// txn.Open sniffs the magic, so row and columnar partitions (and
@@ -131,17 +161,17 @@ func main() {
 			// with per-pass skip filters.
 			f, err := txn.Open(strings.TrimSpace(path))
 			if err != nil {
-				log.Fatal(err)
+				logx.Fatal(logger, "open partition", "err", err)
 			}
 			parts = append(parts, f)
 		}
 	} else {
 		params = params.Scaled(*scale)
 		params.Seed = *seed
-		fmt.Fprintf(os.Stderr, "generating %s (%d transactions)...\n", params.Name, params.NumTxns)
+		logger.Info("generating dataset", "dataset", params.Name, "txns", params.NumTxns)
 		ds, err := gen.Generate(params)
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "generate", "err", err)
 		}
 		tax = ds.Taxonomy
 		for _, p := range txn.Partition(ds.DB, *nodes) {
@@ -164,23 +194,26 @@ func main() {
 		tracer = obs.NewTracer()
 		cfg.Tracer = tracer
 	}
-	fmt.Fprintf(os.Stderr, "mining with %s on %d nodes, minsup %.3g%%...\n", alg, len(parts), *minsup*100)
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		view := &driver.ClusterView{}
+		cfg.Registry = reg
+		cfg.View = view
+		serveTelemetry(*httpAddr, string(alg), len(parts), reg, view, logger)
+	}
+	logger.Info("mining", "algorithm", string(alg), "nodes", len(parts), "minsup", *minsup)
 	res, err := core.Mine(tax, parts, cfg)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "mining failed", "err", err)
 	}
 	if tracer != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
+		if d := tracer.Dropped(); d > 0 {
+			logger.Warn("tracer dropped spans; trace file is truncated", "dropped", d)
 		}
-		if err := tracer.WriteTrace(f); err != nil {
-			log.Fatal(err)
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			logx.Fatal(logger, "trace write failed", "err", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), *traceOut)
+		logger.Info("wrote trace", "spans", tracer.Spans(), "path", *traceOut)
 	}
 
 	fmt.Print(res.Stats.String())
@@ -214,12 +247,12 @@ func main() {
 			NumTxns:       total,
 		})
 		if err != nil {
-			log.Fatal(err)
+			logx.Fatal(logger, "rule derivation failed", "err", err)
 		}
 		if *interest > 0 {
 			before := len(rs)
 			rs = rules.Prune(tax, rs, support, total, *interest)
-			fmt.Fprintf(os.Stderr, "R-interestingness (R=%g) pruned %d of %d rules\n", *interest, before-len(rs), before)
+			logger.Info("R-interestingness pruned rules", "r", *interest, "pruned", before-len(rs), "before", before)
 		}
 		if *rulesOn {
 			fmt.Printf("\n%d rules at confidence >= %.0f%%:\n", len(rs), *minconf*100)
@@ -247,10 +280,10 @@ func main() {
 				Rules:    rs,
 			}
 			if err := model.WriteFile(*outModel, m); err != nil {
-				log.Fatal(err)
+				logx.Fatal(logger, "model write failed", "err", err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote model snapshot to %s (%d itemsets, %d rules)\n",
-				*outModel, m.NumItemsets(), len(m.Rules))
+			logger.Info("wrote model snapshot", "path", *outModel,
+				"itemsets", m.NumItemsets(), "rules", len(m.Rules))
 		}
 	}
 }
@@ -271,27 +304,28 @@ type seqOptions struct {
 	traceOut  string
 	quiet     bool
 	topN      int
+	httpAddr  string
 }
 
 // mineSequences runs one parallel sequential-pattern job: generate a
 // customer-sequence database, mine it with the selected [SK98] miner and
 // print the frequent patterns with per-pass statistics.
-func mineSequences(o seqOptions) {
+func mineSequences(logger *slog.Logger, o seqOptions) {
 	if o.algorithm == "" {
 		o.algorithm = "HPSPM"
 	}
 	alg, err := seq.ParseAlgorithm(o.algorithm)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad algorithm", "err", err)
 	}
 	tax, err := taxonomy.Balanced(o.items, o.roots, o.fanout)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "taxonomy", "err", err)
 	}
 	p := seq.DefaultGenParams()
 	p.NumCustomers = o.customers
 	p.Seed = o.seed
-	fmt.Fprintf(os.Stderr, "generating %d customer sequences over %s...\n", p.NumCustomers, tax)
+	logger.Info("generating customer sequences", "customers", p.NumCustomers, "taxonomy", tax.String())
 	db := seq.GenerateSequences(tax, p)
 
 	cfg := seq.ParallelConfig{
@@ -308,24 +342,27 @@ func mineSequences(o seqOptions) {
 		tracer = obs.NewTracer()
 		cfg.Tracer = tracer
 	}
-	fmt.Fprintf(os.Stderr, "mining with %s on %d nodes, minsup %.3g%%...\n", alg, o.nodes, o.minsup*100)
+	if o.httpAddr != "" {
+		reg := obs.NewRegistry()
+		view := &driver.ClusterView{}
+		cfg.Registry = reg
+		cfg.View = view
+		serveTelemetry(o.httpAddr, string(alg), o.nodes, reg, view, logger)
+	}
+	logger.Info("mining", "algorithm", string(alg), "nodes", o.nodes, "minsup", o.minsup)
 	res, err := seq.MineParallel(tax, seq.Partition(db, o.nodes), cfg)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "mining failed", "err", err)
 	}
 	res.Stats.Dataset = fmt.Sprintf("SEQ-C%d", db.Len())
 	if tracer != nil {
-		f, err := os.Create(o.traceOut)
-		if err != nil {
-			log.Fatal(err)
+		if d := tracer.Dropped(); d > 0 {
+			logger.Warn("tracer dropped spans; trace file is truncated", "dropped", d)
 		}
-		if err := tracer.WriteTrace(f); err != nil {
-			log.Fatal(err)
+		if err := writeTrace(o.traceOut, tracer); err != nil {
+			logx.Fatal(logger, "trace write failed", "err", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", tracer.Spans(), o.traceOut)
+		logger.Info("wrote trace", "spans", tracer.Spans(), "path", o.traceOut)
 	}
 
 	fmt.Print(res.Stats.String())
@@ -348,4 +385,17 @@ func mineSequences(o seqOptions) {
 			fmt.Printf("  %s\n", pat)
 		}
 	}
+}
+
+// writeTrace writes the tracer's Chrome trace_event JSON to path.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

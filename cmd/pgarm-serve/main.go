@@ -24,43 +24,43 @@ package main
 
 import (
 	"flag"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"pgarm/internal/logx"
 	"pgarm/internal/obs"
 	"pgarm/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pgarm-serve: ")
-
 	var (
 		modelPath = flag.String("model", "", "model snapshot to serve (from pgarm-mine -o)")
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		topK      = flag.Int("topk", 10, "default recommendation count when a query omits k")
 		maxK      = flag.Int("maxk", 100, "upper bound on per-query k")
 		cacheSize = flag.Int("cache", 4096, "recommendation cache entries (0 = caching off)")
+		logOpts   = logx.Flags()
 	)
 	flag.Parse()
+	logger := logOpts.Init("pgarm-serve")
 	if *modelPath == "" {
-		log.Fatal("missing -model snapshot (mine one with `pgarm-mine ... -o model.pgarm`)")
+		logx.Fatal(logger, "missing -model snapshot (mine one with `pgarm-mine ... -o model.pgarm`)")
 	}
 
 	start := time.Now()
 	ix, err := serve.LoadFile(*modelPath)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "model load failed", "path", *modelPath, "err", err)
 	}
 	meta := ix.Meta()
-	log.Printf("loaded %s: snapshot %s, %d rules over %d items (dataset %s, %s, minsup %.3g%%, minconf %.3g%%) in %v",
-		*modelPath, ix.Version(), len(ix.Rules()), ix.Taxonomy().NumItems(),
-		meta.Dataset, meta.Algorithm, meta.MinSupport*100, meta.MinConfidence*100,
-		time.Since(start).Round(time.Millisecond))
+	logger.Info("loaded model",
+		"path", *modelPath, "snapshot", ix.Version(), "rules", len(ix.Rules()),
+		"items", ix.Taxonomy().NumItems(), "dataset", meta.Dataset,
+		"algorithm", meta.Algorithm, "minsup", meta.MinSupport, "minconf", meta.MinConfidence,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	reg := obs.NewRegistry()
 	srv := serve.NewServer(serve.NewHolder(ix), serve.NewCache(*cacheSize), serve.ServerOptions{
@@ -78,16 +78,17 @@ func main() {
 	go func() {
 		for range hup {
 			if err := srv.ReloadFile(""); err != nil {
-				log.Printf("SIGHUP reload failed (previous snapshot still serving): %v", err)
+				logger.Error("SIGHUP reload failed (previous snapshot still serving)", "err", err)
 				continue
 			}
 			cur := srv.Holder().Get()
-			log.Printf("SIGHUP reload: snapshot %s, %d rules", cur.Version(), len(cur.Rules()))
+			logger.Info("SIGHUP reload", "snapshot", cur.Version(), "rules", len(cur.Rules()))
 		}
 	}()
 
-	log.Printf("serving on %s: POST /v1/recommend, GET /v1/rules, POST /reload, /healthz, /metrics", *addr)
+	logger.Info("serving", "addr", *addr,
+		"endpoints", "POST /v1/recommend, GET /v1/rules, POST /reload, /healthz, /metrics")
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "http server failed", "err", err)
 	}
 }

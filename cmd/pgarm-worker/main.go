@@ -14,38 +14,45 @@
 //
 // With -http each worker serves live telemetry while mining: /metrics
 // (Prometheus text exposition: mining counters plus live fabric byte/message
-// gauges), /healthz (JSON with the current pass and fabric health) and the
-// standard /debug/pprof endpoints. -trace writes a Chrome trace_event file of
-// this node's phase spans on exit. If a peer process dies mid-run, the
-// remaining workers exit non-zero with the lost peer named instead of
-// hanging.
+// gauges), /healthz (JSON with the current pass and fabric health),
+// /debug/cluster (live run introspection: current pass, per-node progress and
+// lag, latest skew snapshot — cluster-wide on the coordinator, local
+// elsewhere) and the standard /debug/pprof endpoints.
+//
+// With -trace on every worker, each node records its phase spans; workers
+// ship theirs to the coordinator at each pass barrier over the telemetry
+// plane, so node 0's trace file is the merged cluster trace — every node's
+// spans on its own track group, remote timestamps rebased into the
+// coordinator's clock using the offsets estimated during the mesh handshake.
+// -json writes the machine-readable run report (on the coordinator it covers
+// the whole cluster, including the per-pass skew section). If a peer process
+// dies mid-run, the remaining workers exit non-zero with the lost peer named
+// instead of hanging.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"pgarm/internal/cluster"
 	"pgarm/internal/core"
+	"pgarm/internal/driver"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/logx"
+	"pgarm/internal/metrics"
 	"pgarm/internal/obs"
+	"pgarm/internal/obshttp"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
 
 func main() {
-	log.SetFlags(0)
-
 	var (
 		nodeID   = flag.Int("node", -1, "this worker's node id (0 = coordinator)")
 		addrs    = flag.String("addrs", "", "comma-separated listen addresses of every node, in id order")
@@ -58,51 +65,69 @@ func main() {
 		workers  = flag.Int("workers", 0, "scan workers on this node (0 or 1 = scan on the node goroutine)")
 		timeout  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
 		topN     = flag.Int("top", 20, "itemsets to list per level (coordinator)")
-		httpAddr = flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address")
-		traceOut = flag.String("trace", "", "write this node's Chrome trace_event JSON file on exit")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/cluster and /debug/pprof on this address")
+		traceOut = flag.String("trace", "", "write this node's Chrome trace_event JSON file on exit (node 0: merged cluster trace)")
+		jsonOut  = flag.String("json", "", "write the run report JSON on exit (node 0: full cluster report with skew section)")
+		logOpts  = logx.Flags()
 	)
 	flag.Parse()
-	log.SetPrefix(fmt.Sprintf("pgarm-worker[%d]: ", *nodeID))
+	logger := logOpts.Init("pgarm-worker").With("node", *nodeID)
 
 	addrList := strings.Split(*addrs, ",")
 	if *nodeID < 0 || *nodeID >= len(addrList) {
-		log.Fatalf("-node %d out of range of %d addresses", *nodeID, len(addrList))
+		logx.Fatal(logger, "-node out of range of address list", "nodes", len(addrList))
 	}
 	if *inFile == "" {
-		log.Fatal("missing -in partition file")
+		logx.Fatal(logger, "missing -in partition file")
 	}
 	alg, err := core.ParseAlgorithm(*algName)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad algorithm", "err", err)
 	}
 	params, err := gen.ByName(*dataset)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "bad dataset", "err", err)
 	}
 	tax, err := taxonomy.Balanced(params.NumItems, params.Roots, params.Fanout)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "taxonomy", "err", err)
 	}
 	local, err := txn.Open(*inFile)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "open partition", "err", err)
 	}
 
-	log.Printf("joining mesh as node %d of %d...", *nodeID, len(addrList))
-	ep, closer, err := cluster.DialMesh(*nodeID, addrList, cluster.MeshOptions{DialTimeout: *timeout})
+	logger.Info("joining mesh", "nodes", len(addrList))
+	ep, mesh, err := cluster.DialMesh(*nodeID, addrList, cluster.MeshOptions{DialTimeout: *timeout})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(logger, "mesh dial failed", "err", err)
 	}
-	defer closer.Close()
+	defer mesh.Close()
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
 	}
 	reg := obs.NewRegistry()
+	view := &driver.ClusterView{}
 	var mineDone atomic.Bool
 	if *httpAddr != "" {
-		serveHTTP(*httpAddr, reg, ep, *nodeID, len(addrList), string(alg), &mineDone)
+		mux := obshttp.NewMux(obshttp.Config{
+			Node:      *nodeID,
+			Nodes:     len(addrList),
+			Algorithm: string(alg),
+			Registry:  reg,
+			Endpoint:  ep,
+			Cluster:   view,
+			Done:      &mineDone,
+			Log:       logger,
+		})
+		bound, err := obshttp.Serve(*httpAddr, mux, logger)
+		if err != nil {
+			logx.Fatal(logger, "telemetry listen failed", "addr", *httpAddr, "err", err)
+		}
+		logger.Info("telemetry serving", "addr", bound,
+			"endpoints", "/metrics /healthz /debug/cluster /debug/pprof")
 	}
 
 	cfg := core.Config{
@@ -113,17 +138,23 @@ func main() {
 		Workers:      *workers,
 		Tracer:       tracer,
 		Registry:     reg,
+		// The coordinator rebases remote span timestamps with the offsets
+		// estimated during the mesh handshake; nil everywhere else.
+		ClockOffsets: mesh.ClockOffsets(),
+		View:         view,
 		// Progress callbacks fire on the coordinator only; followers stay
 		// quiet and expose the same numbers over -http instead.
 		OnPassStart: func(pass, cands int) {
-			log.Printf("pass %d: counting %d candidates...", pass, cands)
+			logger.Info("pass starting", "pass", pass, "k", pass, "candidates", cands)
 		},
 		OnPass: func(p core.PassProgress) {
-			log.Printf("pass %d done: |C_%d|=%d -> %d large in %v (%d bytes in, %d bytes out)",
-				p.Pass, p.Pass, p.Candidates, p.Large, p.Elapsed.Round(time.Millisecond), p.BytesIn, p.BytesOut)
+			logger.Info("pass done",
+				"pass", p.Pass, "k", p.Pass, "candidates", p.Candidates, "large", p.Large,
+				"elapsed", p.Elapsed.Round(time.Millisecond),
+				"bytes_in", p.BytesIn, "bytes_out", p.BytesOut)
 		},
 	}
-	log.Printf("mining %s over %d local transactions...", alg, local.Len())
+	logger.Info("mining", "algorithm", string(alg), "txns", local.Len(), "minsup", *minsup)
 	res, err := core.MineWorker(tax, local, cfg, ep)
 	mineDone.Store(true)
 	if err != nil {
@@ -131,16 +162,26 @@ func main() {
 		// the lost peer instead of surfacing only the secondary protocol
 		// error, and exit non-zero so supervisors notice.
 		if ferr := ep.Err(); ferr != nil {
-			log.Fatalf("aborted: %v (protocol error: %v)", ferr, err)
+			logx.Fatal(logger, "aborted", "cause", ferr, "protocol_err", err)
 		}
-		log.Fatal(err)
+		logx.Fatal(logger, "mining failed", "err", err)
 	}
 
 	if tracer != nil {
-		if werr := writeTrace(*traceOut, tracer); werr != nil {
-			log.Fatal(werr)
+		if d := tracer.Dropped(); d > 0 {
+			logger.Warn("tracer dropped spans; trace file is truncated", "dropped", d)
 		}
-		log.Printf("wrote %d spans to %s", tracer.Spans(), *traceOut)
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			logx.Fatal(logger, "trace write failed", "err", werr)
+		}
+		logger.Info("wrote trace", "spans", tracer.Spans(), "path", *traceOut)
+	}
+	if *jsonOut != "" {
+		rep := metrics.BuildReport(res.Stats, tracer)
+		if err := writeJSON(*jsonOut, &rep); err != nil {
+			logx.Fatal(logger, "report write failed", "err", err)
+		}
+		logger.Info("wrote report", "passes", len(rep.Passes), "path", *jsonOut)
 	}
 
 	if *nodeID == 0 {
@@ -160,66 +201,8 @@ func main() {
 			}
 		}
 	} else {
-		log.Printf("done: %d large levels", len(res.Large))
+		logger.Info("done", "large_levels", len(res.Large))
 	}
-}
-
-// serveHTTP starts this worker's telemetry server: Prometheus /metrics
-// (registry series plus live fabric gauges), a JSON /healthz and the
-// standard pprof endpoints, all on a private mux so nothing else leaks in.
-func serveHTTP(addr string, reg *obs.Registry, ep cluster.Endpoint, nodeID, nodes int, alg string, done *atomic.Bool) {
-	l := obs.L("node", strconv.Itoa(nodeID))
-	reg.GaugeFunc("pgarm_fabric_bytes_sent", "Fabric payload bytes sent since start.",
-		func() float64 { return float64(ep.Stats().BytesSent) }, l)
-	reg.GaugeFunc("pgarm_fabric_bytes_received", "Fabric payload bytes received since start.",
-		func() float64 { return float64(ep.Stats().BytesRecv) }, l)
-	reg.GaugeFunc("pgarm_fabric_msgs_sent", "Fabric messages sent since start.",
-		func() float64 { return float64(ep.Stats().MsgsSent) }, l)
-	reg.GaugeFunc("pgarm_fabric_msgs_received", "Fabric messages received since start.",
-		func() float64 { return float64(ep.Stats().MsgsRecv) }, l)
-	// The same instrument the mining node updates: register() is idempotent
-	// per name+labels, so this handle reads the live pass number.
-	passGauge := reg.Gauge("pgarm_pass", "Pass currently executing.", l)
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WritePrometheus(w); err != nil {
-			log.Printf("metrics: %v", err)
-		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		h := struct {
-			Node        int    `json:"node"`
-			Nodes       int    `json:"nodes"`
-			Algorithm   string `json:"algorithm"`
-			Pass        int64  `json:"pass"`
-			Done        bool   `json:"done"`
-			FabricError string `json:"fabric_error,omitempty"`
-		}{Node: nodeID, Nodes: nodes, Algorithm: alg, Pass: passGauge.Value(), Done: done.Load()}
-		code := http.StatusOK
-		if err := ep.Err(); err != nil {
-			h.FabricError = err.Error()
-			code = http.StatusServiceUnavailable
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		if err := json.NewEncoder(w).Encode(&h); err != nil {
-			log.Printf("healthz: %v", err)
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			log.Printf("http server: %v", err)
-		}
-	}()
-	log.Printf("telemetry on http://%s/metrics /healthz /debug/pprof", addr)
 }
 
 func writeTrace(path string, tr *obs.Tracer) error {
@@ -228,6 +211,20 @@ func writeTrace(path string, tr *obs.Tracer) error {
 		return err
 	}
 	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}

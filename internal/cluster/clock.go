@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Clock-offset estimation for the cross-process mesh. Span timestamps are
+// relative to each process's tracer epoch (a wall-clock reading), so merging
+// traces across machines needs an estimate of how far each worker's wall
+// clock sits from the coordinator's. DialMesh measures it during the
+// handshake, before any protocol traffic, with the classic Cristian/NTP
+// scheme: the coordinator pings each peer, the peer answers with its clock
+// reading, and the offset is taken against the round-trip midpoint. The
+// midpoint assumption errs by at most half the RTT asymmetry, so the
+// estimator keeps the sample with the smallest RTT — the exchange least
+// distorted by queueing.
+
+// clockSyncRounds is the number of ping round-trips per peer. The cost is a
+// few RTTs per peer once at startup; more rounds mean better odds of one
+// uncongested sample.
+const clockSyncRounds = 8
+
+// Clock-sync opcodes, sent coordinator -> peer one byte at a time. The peer
+// answers each ping and stops at done, so both sides agree on the round
+// count without configuration.
+const (
+	clockPing = 1
+	clockDone = 0
+)
+
+// ClockSample is one ping round-trip: the measured RTT and the offset of the
+// peer's wall clock relative to ours implied by the midpoint assumption
+// (positive = the peer's clock reads ahead).
+type ClockSample struct {
+	RTT    time.Duration
+	Offset time.Duration
+}
+
+// EstimateOffset reduces ping samples to one offset estimate: the offset of
+// the minimum-RTT sample. Under asymmetric latency the midpoint estimator is
+// biased by half the asymmetry of that round-trip; picking the fastest
+// exchange minimizes the room for asymmetry rather than averaging it in.
+// ok is false when no samples were taken.
+func EstimateOffset(samples []ClockSample) (offset time.Duration, ok bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.RTT < best.RTT {
+			best = s
+		}
+	}
+	return best.Offset, true
+}
+
+// syncClockWith runs the coordinator side of the exchange on a raw
+// connection (no fabric framing — this happens before the read loops start):
+// rounds pings, each answered by the peer's wall-clock nanos, then done.
+func syncClockWith(c net.Conn, rounds int, deadline time.Time) ([]ClockSample, error) {
+	if err := c.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	defer c.SetDeadline(time.Time{})
+	samples := make([]ClockSample, 0, rounds)
+	var reply [8]byte
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := c.Write([]byte{clockPing}); err != nil {
+			return nil, fmt.Errorf("cluster: clock ping: %w", err)
+		}
+		if _, err := io.ReadFull(c, reply[:]); err != nil {
+			return nil, fmt.Errorf("cluster: clock pong: %w", err)
+		}
+		rtt := time.Since(start)
+		peer := int64(binary.BigEndian.Uint64(reply[:]))
+		mid := start.UnixNano() + rtt.Nanoseconds()/2
+		samples = append(samples, ClockSample{RTT: rtt, Offset: time.Duration(peer - mid)})
+	}
+	if _, err := c.Write([]byte{clockDone}); err != nil {
+		return nil, fmt.Errorf("cluster: clock done: %w", err)
+	}
+	return samples, nil
+}
+
+// answerClockSync runs the peer side: answer every ping with the local
+// wall-clock nanos until the coordinator sends done.
+func answerClockSync(c net.Conn, deadline time.Time) error {
+	if err := c.SetDeadline(deadline); err != nil {
+		return err
+	}
+	defer c.SetDeadline(time.Time{})
+	var op [1]byte
+	var reply [8]byte
+	for {
+		if _, err := io.ReadFull(c, op[:]); err != nil {
+			return fmt.Errorf("cluster: clock sync read: %w", err)
+		}
+		switch op[0] {
+		case clockDone:
+			return nil
+		case clockPing:
+			binary.BigEndian.PutUint64(reply[:], uint64(time.Now().UnixNano()))
+			if _, err := c.Write(reply[:]); err != nil {
+				return fmt.Errorf("cluster: clock sync reply: %w", err)
+			}
+		default:
+			return fmt.Errorf("cluster: unexpected clock sync opcode %d", op[0])
+		}
+	}
+}

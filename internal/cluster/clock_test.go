@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEstimateOffsetEmpty(t *testing.T) {
+	if _, ok := EstimateOffset(nil); ok {
+		t.Fatal("empty sample set must report ok=false")
+	}
+}
+
+// TestEstimateOffsetPicksMinRTT pins the reduction rule: the estimate is the
+// offset of the minimum-RTT sample, not an average. The samples model a true
+// offset of +5ms observed through rounds with varying congestion: the slower
+// the round-trip, the larger the asymmetry-induced error.
+func TestEstimateOffsetPicksMinRTT(t *testing.T) {
+	const truth = 5 * time.Millisecond
+	samples := []ClockSample{
+		{RTT: 9 * time.Millisecond, Offset: truth + 4*time.Millisecond},
+		{RTT: 2 * time.Millisecond, Offset: truth + 300*time.Microsecond},
+		{RTT: 30 * time.Millisecond, Offset: truth - 14*time.Millisecond},
+		{RTT: 4 * time.Millisecond, Offset: truth - time.Millisecond},
+	}
+	got, ok := EstimateOffset(samples)
+	if !ok {
+		t.Fatal("ok=false with samples present")
+	}
+	if want := samples[1].Offset; got != want {
+		t.Fatalf("EstimateOffset = %v, want min-RTT sample's offset %v", got, want)
+	}
+	// And the chosen sample is indeed the closest to the truth here.
+	for _, s := range samples {
+		if d, best := (s.Offset - truth).Abs(), (got - truth).Abs(); d < best {
+			t.Fatalf("sample %+v beats the min-RTT estimate", s)
+		}
+	}
+}
+
+// delayedWriter delays every write by a fixed one-way latency, leaving reads
+// untouched — the building block for asymmetric-path simulation.
+type delayedWriter struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c delayedWriter) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Write(p)
+}
+
+// runSync performs one coordinator/peer exchange over an in-memory pipe, with
+// the peer's reply path delayed by replyDelay.
+func runSync(t *testing.T, rounds int, replyDelay time.Duration) []ClockSample {
+	t.Helper()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	var wg sync.WaitGroup
+	var peerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		peerErr = answerClockSync(delayedWriter{Conn: b, delay: replyDelay}, deadline)
+	}()
+	samples, err := syncClockWith(a, rounds, deadline)
+	if err != nil {
+		t.Fatalf("syncClockWith: %v", err)
+	}
+	wg.Wait()
+	if peerErr != nil {
+		t.Fatalf("answerClockSync: %v", peerErr)
+	}
+	return samples
+}
+
+// TestClockSyncSymmetric runs the real exchange between two goroutines
+// sharing one clock: the estimated offset must be bounded by the measured
+// round-trip (the estimator's intrinsic error bound).
+func TestClockSyncSymmetric(t *testing.T) {
+	samples := runSync(t, clockSyncRounds, 0)
+	if len(samples) != clockSyncRounds {
+		t.Fatalf("got %d samples, want %d", len(samples), clockSyncRounds)
+	}
+	offset, ok := EstimateOffset(samples)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	var minRTT time.Duration
+	for i, s := range samples {
+		if s.RTT <= 0 {
+			t.Fatalf("sample %d has non-positive RTT %v", i, s.RTT)
+		}
+		if i == 0 || s.RTT < minRTT {
+			minRTT = s.RTT
+		}
+	}
+	if offset.Abs() > minRTT {
+		t.Fatalf("offset %v exceeds min RTT %v with a shared clock", offset, minRTT)
+	}
+}
+
+// TestClockSyncAsymmetricLatency pins the estimator's documented bias: with
+// all the latency on the reply path (one-way delay D, true offset 0), the
+// midpoint assumption places the peer's reading D/2 late, so the estimate
+// converges on -D/2 — half the asymmetry, never more than the full RTT.
+func TestClockSyncAsymmetricLatency(t *testing.T) {
+	const d = 30 * time.Millisecond
+	samples := runSync(t, 4, d)
+	offset, ok := EstimateOffset(samples)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Expect ≈ -D/2; allow generous scheduling slop on either side but
+	// require the sign and rough magnitude to match the model.
+	if offset > -d/4 || offset < -d {
+		t.Fatalf("asymmetric offset = %v, want ≈ %v", offset, -d/2)
+	}
+}
+
+// TestAnswerClockSyncRejectsUnknownOpcode makes sure a garbled handshake
+// fails loudly instead of desynchronizing the stream.
+func TestAnswerClockSyncRejectsUnknownOpcode(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- answerClockSync(b, time.Now().Add(5*time.Second)) }()
+	if _, err := a.Write([]byte{0x7f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("unknown opcode must error")
+	}
+}
+
+// TestMeshClockOffsets checks the handshake integration: node 0 of a real
+// mesh learns one offset per node (near zero — every node shares this
+// process's clock), everyone else learns none.
+func TestMeshClockOffsets(t *testing.T) {
+	const n = 3
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	meshes := make([]*Mesh, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, meshes[i], errs[i] = DialMesh(i, addrs, MeshOptions{Listener: listeners[i], DialTimeout: 5 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		defer meshes[i].Close()
+	}
+	offs := meshes[0].ClockOffsets()
+	if len(offs) != n {
+		t.Fatalf("coordinator offsets = %v, want %d entries", offs, n)
+	}
+	if offs[0] != 0 {
+		t.Errorf("own offset = %v, want 0", offs[0])
+	}
+	for i := 1; i < n; i++ {
+		if offs[i].Abs() > time.Second {
+			t.Errorf("node %d offset %v implausible for a shared clock", i, offs[i])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if got := meshes[i].ClockOffsets(); got != nil {
+			t.Errorf("follower %d has offsets %v, want nil", i, got)
+		}
+	}
+}
+
+// TestMeshClockSyncDisabled: a negative round count skips the handshake.
+func TestMeshClockSyncDisabled(t *testing.T) {
+	const n = 2
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	meshes := make([]*Mesh, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, meshes[i], errs[i] = DialMesh(i, addrs, MeshOptions{
+				Listener: listeners[i], DialTimeout: 5 * time.Second, ClockSyncRounds: -1,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		defer meshes[i].Close()
+	}
+	if got := meshes[0].ClockOffsets(); got != nil {
+		t.Fatalf("offsets = %v with sync disabled, want nil", got)
+	}
+}

@@ -20,20 +20,39 @@ type MeshOptions struct {
 	// DialTimeout bounds how long to keep retrying peers that have not
 	// started yet (default 30s).
 	DialTimeout time.Duration
+	// ClockSyncRounds is the number of clock-offset ping round-trips node 0
+	// runs against each peer during the handshake (0 = default 8, negative =
+	// skip clock sync entirely). All processes in a mesh must agree on
+	// whether sync is enabled; the round count itself is negotiated on the
+	// wire.
+	ClockSyncRounds int
 }
 
-// meshCloser tears down a DialMesh endpoint.
-type meshCloser struct {
-	ep *tcpEndpoint
+// Mesh is the handle DialMesh returns alongside the Endpoint: it tears the
+// mesh down and, on node 0, carries the per-peer clock-offset estimates
+// measured during the handshake.
+type Mesh struct {
+	ep      *tcpEndpoint
+	offsets []time.Duration
 }
 
 // Close shuts the endpoint down cleanly: connections are closed, reader
 // goroutines drained, and the inbox closed. A shutdown already triggered by
 // a peer drop (see Endpoint.Err) makes this a no-op.
-func (c *meshCloser) Close() error {
-	c.ep.markClosed()
-	c.ep.shutdown(nil)
+func (m *Mesh) Close() error {
+	m.ep.markClosed()
+	m.ep.shutdown(nil)
 	return nil
+}
+
+// ClockOffsets returns the estimated wall-clock offset of every node relative
+// to node 0 (offsets[0] is always 0): positive means that node's clock reads
+// ahead of node 0's. Non-nil only on node 0 and only when clock sync ran.
+func (m *Mesh) ClockOffsets() []time.Duration {
+	if m.offsets == nil {
+		return nil
+	}
+	return append([]time.Duration(nil), m.offsets...)
 }
 
 // DialMesh joins this process into a cross-process shared-nothing mesh: one
@@ -45,7 +64,11 @@ func (c *meshCloser) Close() error {
 // every j > i with a 2-byte hello carrying its id, and accepts connections
 // from every j < i. Dials retry until the peer's listener is up or
 // DialTimeout expires, so workers may start in any order.
-func DialMesh(self int, addrs []string, opts MeshOptions) (Endpoint, io.Closer, error) {
+//
+// Before the read loops start, node 0 runs a clock-offset estimation exchange
+// with every peer on the raw connections (see clock.go); the estimates are
+// exposed through Mesh.ClockOffsets for merged-trace timestamp rebasing.
+func DialMesh(self int, addrs []string, opts MeshOptions) (Endpoint, *Mesh, error) {
 	n := len(addrs)
 	if self < 0 || self >= n {
 		return nil, nil, fmt.Errorf("cluster: self %d out of range of %d addrs", self, n)
@@ -135,11 +158,49 @@ func DialMesh(self int, addrs []string, opts MeshOptions) (Endpoint, io.Closer, 
 		}
 		return nil, nil, err
 	}
+
+	// Clock sync runs on the raw connections strictly before the read loops
+	// start, so the ping/pong bytes cannot interleave with framed protocol
+	// traffic. Peers cannot send app frames on their node-0 connection until
+	// their own DialMesh returns, which requires completing this exchange.
+	var offsets []time.Duration
+	if opts.ClockSyncRounds >= 0 {
+		rounds := opts.ClockSyncRounds
+		if rounds == 0 {
+			rounds = clockSyncRounds
+		}
+		deadline := time.Now().Add(opts.DialTimeout)
+		if self == 0 {
+			offsets = make([]time.Duration, n)
+			for j := 1; j < n; j++ {
+				samples, err := syncClockWith(ep.conns[j].c, rounds, deadline)
+				if err != nil {
+					return nil, nil, teardown(ep, fmt.Errorf("cluster: clock sync with node %d: %w", j, err))
+				}
+				offsets[j], _ = EstimateOffset(samples)
+			}
+		} else {
+			if err := answerClockSync(ep.conns[0].c, deadline); err != nil {
+				return nil, nil, teardown(ep, fmt.Errorf("cluster: clock sync at node %d: %w", self, err))
+			}
+		}
+	}
+
 	for peer, tc := range ep.conns {
 		if tc != nil {
 			ep.readers.Add(1)
 			go ep.readLoop(peer, tc)
 		}
 	}
-	return ep, &meshCloser{ep: ep}, nil
+	return ep, &Mesh{ep: ep, offsets: offsets}, nil
+}
+
+// teardown closes every live connection after a handshake failure.
+func teardown(ep *tcpEndpoint, err error) error {
+	for _, tc := range ep.conns {
+		if tc != nil {
+			tc.close()
+		}
+	}
+	return err
 }

@@ -160,6 +160,32 @@ type tcpEndpoint struct {
 	shutdownOnce sync.Once // full teardown: close conns, drain readers, close inbox
 	failMu       sync.Mutex
 	failErr      error
+
+	quiesceMu sync.Mutex
+	quiesced  []bool // per-peer: an EOF from this peer is orderly shutdown
+}
+
+// QuiescePeer marks one peer's departure as part of the protocol's orderly
+// shutdown: a subsequent read error on that connection no longer fails the
+// endpoint. The run-end telemetry barrier uses this — finished peers close
+// at their own pace, and a node still waiting for its own acknowledgement
+// must not mistake a fellow follower's clean exit for a peer failure.
+func (e *tcpEndpoint) QuiescePeer(peer int) {
+	if peer < 0 || peer >= e.n {
+		return
+	}
+	e.quiesceMu.Lock()
+	if e.quiesced == nil {
+		e.quiesced = make([]bool, e.n)
+	}
+	e.quiesced[peer] = true
+	e.quiesceMu.Unlock()
+}
+
+func (e *tcpEndpoint) peerQuiesced(peer int) bool {
+	e.quiesceMu.Lock()
+	defer e.quiesceMu.Unlock()
+	return e.quiesced != nil && peer >= 0 && peer < len(e.quiesced) && e.quiesced[peer]
 }
 
 // markClosed flags the endpoint as intentionally closing, so subsequent read
@@ -279,11 +305,11 @@ func (e *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
 }
 
 // onReadError distinguishes a clean shutdown (the endpoint was marked closed
-// before the connection dropped) from a peer failing mid-run. On failure the
-// teardown runs on a fresh goroutine: shutdown waits for all readers, and
-// this reader has not returned yet.
+// before the connection dropped, or the peer was quiesced) from a peer
+// failing mid-run. On failure the teardown runs on a fresh goroutine:
+// shutdown waits for all readers, and this reader has not returned yet.
 func (e *tcpEndpoint) onReadError(peer int, err error) {
-	if e.closing() {
+	if e.closing() || e.peerQuiesced(peer) {
 		return
 	}
 	go e.shutdown(fmt.Errorf("cluster: node %d lost peer %d: %w", e.id, peer, err))

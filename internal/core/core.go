@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pgarm/internal/driver"
 	"pgarm/internal/itemset"
@@ -117,6 +118,14 @@ type Config struct {
 	OnPassStart func(pass, candidates int)
 	// OnPass, when non-nil, fires on the coordinator as each pass completes.
 	OnPass func(PassProgress)
+	// ClockOffsets, when non-nil on the coordinator of a mesh run, holds the
+	// per-node clock offsets estimated during DialMesh (Mesh.ClockOffsets);
+	// the telemetry plane uses them to rebase remote span timestamps into the
+	// coordinator's clock when merging cluster traces.
+	ClockOffsets []time.Duration
+	// View, when non-nil, receives live cluster-run state (current pass,
+	// per-node progress, skew snapshots) for the /debug/cluster endpoint.
+	View *driver.ClusterView
 }
 
 // driverConfig maps the runtime-relevant half of the Config onto the shared
@@ -124,14 +133,16 @@ type Config struct {
 // stays with the itemset miner.
 func (c *Config) driverConfig() driver.Config {
 	return driver.Config{
-		MinSupport:  c.MinSupport,
-		MaxK:        c.MaxK,
-		Workers:     c.Workers,
-		BatchBytes:  c.BatchBytes,
-		Tracer:      c.Tracer,
-		Registry:    c.Registry,
-		OnPassStart: c.OnPassStart,
-		OnPass:      c.OnPass,
+		MinSupport:   c.MinSupport,
+		MaxK:         c.MaxK,
+		Workers:      c.Workers,
+		BatchBytes:   c.BatchBytes,
+		Tracer:       c.Tracer,
+		Registry:     c.Registry,
+		OnPassStart:  c.OnPassStart,
+		OnPass:       c.OnPass,
+		ClockOffsets: c.ClockOffsets,
+		View:         c.View,
 	}
 }
 

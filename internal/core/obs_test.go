@@ -173,9 +173,20 @@ func TestObservabilityEndToEnd(t *testing.T) {
 						t.Fatalf("pass %d: callback candidates %d, stats %d", p.Pass, p.Candidates, res.Stats.Passes[i].Candidates)
 					}
 					coord := res.Stats.Passes[i].Nodes[0]
-					if p.BytesIn != coord.BytesReceived || p.BytesOut != coord.BytesSent {
-						t.Fatalf("pass %d: callback bytes (%d in, %d out) != coordinator window (%d in, %d out)",
-							p.Pass, p.BytesIn, p.BytesOut, coord.BytesReceived, coord.BytesSent)
+					if i < len(done)-1 {
+						if p.BytesIn != coord.BytesReceived || p.BytesOut != coord.BytesSent {
+							t.Fatalf("pass %d: callback bytes (%d in, %d out) != coordinator window (%d in, %d out)",
+								p.Pass, p.BytesIn, p.BytesOut, coord.BytesReceived, coord.BytesSent)
+						}
+					} else {
+						// The last pass window additionally absorbs the
+						// run-end telemetry flush, folded in after the
+						// callback fired so the windows keep tiling the
+						// endpoint totals — it can only exceed the callback.
+						if p.BytesIn > coord.BytesReceived || p.BytesOut > coord.BytesSent {
+							t.Fatalf("pass %d: callback bytes (%d in, %d out) exceed coordinator window (%d in, %d out)",
+								p.Pass, p.BytesIn, p.BytesOut, coord.BytesReceived, coord.BytesSent)
+						}
 					}
 				}
 

@@ -15,8 +15,10 @@ import (
 // run the same Config; node 0 acts as coordinator.
 //
 // The returned Result carries the global large itemsets (identical on every
-// node after the final broadcast) but, unlike Mine, its Stats cover only
-// this worker's node — other processes' counters are not visible here.
+// node after the final broadcast). On the coordinator the Stats also merge
+// every worker's per-pass counters and endpoint totals — shipped at each pass
+// barrier over the telemetry plane — into a full cluster view; on follower
+// nodes they cover only the local node.
 func MineWorker(tax *taxonomy.Taxonomy, local txn.Scanner, cfg Config, ep cluster.Endpoint) (*Result, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return nil, fmt.Errorf("core: minimum support %g out of (0,1]", cfg.MinSupport)
@@ -34,6 +36,6 @@ func MineWorker(tax *taxonomy.Taxonomy, local txn.Scanner, cfg Config, ep cluste
 	}
 
 	res := &Result{Large: m.large}
-	res.Stats = driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, []*driver.Node{nd}, elapsed)
+	res.Stats = driver.AssembleClusterStats(string(cfg.Algorithm), cfg.MinSupport, nd, elapsed)
 	return res, nil
 }

@@ -49,6 +49,7 @@ const (
 	KLocalLarge                  // node -> coord: locally-owned frequents
 	KDupCounts                   // node -> coord: duplicated/replicated table counts
 	KLarge                       // coord -> node: global F_k broadcast
+	KTelemetry                   // node -> coord: per-pass stats + span batches (see telemetry.go)
 )
 
 // FabricKind selects the interconnect emulation for in-process clusters.
@@ -102,6 +103,23 @@ type Config struct {
 	OnPassStart func(pass, candidates int)
 	// OnPass, when non-nil, fires on the coordinator as each pass completes.
 	OnPass func(PassProgress)
+
+	// ClockOffsets, on the coordinator of a multi-process mesh, holds the
+	// estimated wall-clock offset of every node relative to node 0 (from
+	// cluster.Mesh.ClockOffsets). Remote span timestamps are rebased by it
+	// when merged into the coordinator's trace; nil means offset 0.
+	ClockOffsets []time.Duration
+	// View, when non-nil, receives live run-introspection updates (current
+	// pass, per-node progress, last skew snapshot) for /debug/cluster. The
+	// coordinator feeds it cluster-wide data from the telemetry stream;
+	// followers only see their own progress.
+	View *ClusterView
+
+	// sharedObs marks an in-process run where every node writes to the same
+	// Tracer: span batches are then skipped on the telemetry plane (they are
+	// already in the shared trace), while pass stats still flow so the
+	// coordinator's skew analytics and View stay live. Set by Run.
+	sharedObs bool
 }
 
 func (c *Config) batchBytes() int {

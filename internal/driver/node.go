@@ -48,6 +48,10 @@ type Node struct {
 	// lastGenerate is the wall time of the most recent candidate generation,
 	// recorded into the following pass's metadata.
 	lastGenerate time.Duration
+
+	// tel is the cluster telemetry plane's state: ship cursors on followers,
+	// the ingested cluster-wide view on the coordinator (see telemetry.go).
+	tel telemetryState
 }
 
 // NewNode wires one node of the protocol to an endpoint. Run executes it.
@@ -123,16 +127,32 @@ func (n *Node) recvKind(want ...uint8) (cluster.Message, error) {
 	return cluster.Message{}, fmt.Errorf("driver: node %d inbox closed while waiting for kind %v", n.id, want)
 }
 
-// Run executes the whole mining protocol on this node.
+// Run executes the whole mining protocol on this node, then the run-end
+// telemetry flush (every protocol termination path is decided identically on
+// all nodes, so the flush exchange is always consistent).
 func (n *Node) Run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("driver: node %d panicked: %v", n.id, r)
 		}
 	}()
+	if err := n.runProtocol(); err != nil {
+		return err
+	}
+	if err := n.flushTelemetry(); err != nil {
+		return err
+	}
+	n.cfg.View.Finish()
+	return nil
+}
+
+// runProtocol is the mining protocol proper: size exchange, pass 1, then the
+// level-wise generate/count/barrier loop.
+func (n *Node) runProtocol() error {
 	if n.tr.Enabled() {
 		n.tr.SetThreadName(n.id, 0, "driver")
 	}
+	n.cfg.View.Init(n.id, n.ep.N())
 	ssp := n.tr.Begin(n.id, 0, "size-exchange")
 	if err := n.sizeExchange(); err != nil {
 		return err
@@ -224,6 +244,7 @@ func (n *Node) pass1() (int, error) {
 	n.cur = metrics.NodeStats{Node: n.id}
 	numItems := n.miner.NumItems()
 	n.ins.startPass(1, numItems)
+	n.cfg.View.StartPass(1, numItems)
 	psp := n.tr.Begin(n.id, 0, "pass 1")
 	counts, err := n.miner.CountPass1(n, &n.cur)
 	if err != nil {
@@ -312,6 +333,7 @@ func (n *Node) runPass(k, nCands int) (int, error) {
 	started := time.Now()
 	n.cur = metrics.NodeStats{Node: n.id}
 	n.ins.startPass(k, nCands)
+	n.cfg.View.StartPass(k, nCands)
 	var psp obs.Span
 	if n.tr.Enabled() {
 		psp = n.tr.Begin(n.id, 0, fmt.Sprintf("pass %d", k))
@@ -352,6 +374,10 @@ func (n *Node) runPass(k, nCands int) (int, error) {
 
 func (n *Node) finishPassStats() {
 	n.perPass = append(n.perPass, n.cur)
+	n.cfg.View.SetNodePass(n.id, len(n.perPass))
+	if n.IsCoord() {
+		n.updateSkew()
+	}
 }
 
 // gatherFrequents implements the pass-end protocol shared by every miner:
@@ -372,6 +398,12 @@ func (n *Node) gatherFrequents(k int, out PassOutcome) (int, error) {
 		if err := n.ep.Send(0, KDupCounts, wire.AppendCountsAuto(nil, out.DupCounts)); err != nil {
 			return 0, err
 		}
+		// Piggyback this node's telemetry batch on the barrier it already
+		// pays for; sent before capturePassComm, so its bytes land inside
+		// the current pass window like the rest of the barrier traffic.
+		if err := n.shipTelemetry(false); err != nil {
+			return 0, err
+		}
 		wait := time.Now()
 		m, err := n.recvKind(KLarge)
 		if err != nil {
@@ -381,14 +413,17 @@ func (n *Node) gatherFrequents(k int, out PassOutcome) (int, error) {
 		return n.miner.FinishPass(n, k, m.Payload)
 	}
 
-	// Coordinator: collect N-1 owned-frequent messages and N-1 replicated
-	// count vectors.
+	// Coordinator: collect N-1 owned-frequent messages, N-1 replicated count
+	// vectors and N-1 telemetry batches. The batches are stashed raw and
+	// decoded only after the barrier wait is measured, so ingest cost never
+	// contaminates the skew signal it feeds.
 	dupTotal := make([]int64, len(out.DupCounts))
 	copy(dupTotal, out.DupCounts)
 	var peerOwned [][]byte
+	var telem []cluster.Message
 	wait := time.Now()
-	for got := 0; got < 2*n.numPeers(); got++ {
-		m, err := n.recvKind(KLocalLarge, KDupCounts)
+	for got := 0; got < 3*n.numPeers(); got++ {
+		m, err := n.recvKind(KLocalLarge, KDupCounts, KTelemetry)
 		if err != nil {
 			return 0, err
 		}
@@ -406,9 +441,16 @@ func (n *Node) gatherFrequents(k int, out PassOutcome) (int, error) {
 			for i, c := range counts {
 				dupTotal[i] += c
 			}
+		case KTelemetry:
+			telem = append(telem, m)
 		}
 	}
 	n.cur.BarrierWait += time.Since(wait)
+	for _, m := range telem {
+		if err := n.ingestTelemetry(m); err != nil {
+			return 0, err
+		}
+	}
 	payload, nf, err := n.miner.MergeFrequents(n, k, peerOwned, dupTotal)
 	if err != nil {
 		return 0, err

@@ -13,7 +13,7 @@ import (
 
 // kindNames maps the mining protocol's message kinds to stable display names
 // (index = kind value).
-var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large"}
+var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large", "telemetry"}
 
 func kindName(k uint8) string {
 	if int(k) < len(kindNames) {
@@ -65,6 +65,48 @@ func (n *Node) capturePassComm() {
 	}
 	n.base = st
 	n.baseKind = ks
+}
+
+// foldFlushWindow folds the traffic of the run-end telemetry flush — which
+// happens after the last pass window closed — into the last pass window, so
+// the per-pass windows keep tiling the endpoint's lifetime totals exactly
+// (ReconcileEndpoints stays balanced with telemetry traffic included).
+func (n *Node) foldFlushWindow() {
+	if len(n.perPass) == 0 {
+		return
+	}
+	st := n.ep.Stats()
+	ks := n.ep.KindStats()
+	d := st.Sub(n.base)
+	last := &n.perPass[len(n.perPass)-1]
+	last.BytesSent += d.BytesSent
+	last.BytesReceived += d.BytesRecv
+	last.MsgsSent += d.MsgsSent
+	last.MsgsReceived += d.MsgsRecv
+	last.ByKind = mergeKindIO(last.ByKind, kindDeltas(ks, n.baseKind))
+	n.base = st
+	n.baseKind = ks
+}
+
+// mergeKindIO adds the per-kind deltas of add into dst element-wise,
+// extending dst when add covers kinds dst has not seen (the telemetry kind
+// first appears mid-run).
+func mergeKindIO(dst, add []metrics.KindIO) []metrics.KindIO {
+	if len(add) > len(dst) {
+		grown := make([]metrics.KindIO, len(add))
+		copy(grown, dst)
+		for k := len(dst); k < len(add); k++ {
+			grown[k] = metrics.KindIO{Kind: uint8(k), Name: kindName(uint8(k))}
+		}
+		dst = grown
+	}
+	for k := range add {
+		dst[k].MsgsSent += add[k].MsgsSent
+		dst[k].MsgsReceived += add[k].MsgsReceived
+		dst[k].BytesSent += add[k].BytesSent
+		dst[k].BytesReceived += add[k].BytesReceived
+	}
+	return dst
 }
 
 // EndpointTotals snapshots one node's lifetime fabric counters for RunStats.

@@ -13,6 +13,10 @@ import (
 // time. The first node error, if any, is returned after every node has
 // exited.
 func Run(fabric cluster.Fabric, cfg Config, miners []Miner) ([]*Node, time.Duration, error) {
+	// In-process nodes share one Tracer, so the telemetry plane skips span
+	// shipping (they are already in the shared trace); pass stats still flow
+	// to keep the coordinator's skew analytics and ClusterView live.
+	cfg.sharedObs = true
 	nodes := make([]*Node, len(miners))
 	for i, m := range miners {
 		nodes[i] = NewNode(fabric.Endpoint(i), cfg, m)

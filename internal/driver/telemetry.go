@@ -1,0 +1,574 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+	"pgarm/internal/wire"
+)
+
+// The cluster telemetry plane: followers ship their completed-pass stats and
+// span batches to the coordinator as KTelemetry messages, piggybacked on the
+// barriers the protocol already has. The coordinator merges them into one
+// cluster-wide view — live skew gauges and /debug/cluster during the run, a
+// merged Chrome trace and per-pass SkewReports after it.
+//
+// Message schedule (all deterministic, so every node agrees on the count):
+//
+//   - at each pass-k barrier (k >= 2), every follower sends one KTelemetry
+//     right after its KDupCounts, carrying the pass windows completed since
+//     its previous batch (normally just pass k-1) and the spans recorded
+//     since its previous export;
+//   - after the protocol ends (every termination path — empty F_1, empty
+//     C_k, empty F_k, MaxK — is decided identically on all nodes), every
+//     follower sends one final KTelemetry with the remaining pass windows,
+//     remaining spans and a snapshot of its endpoint lifetime totals; the
+//     coordinator receives exactly numPeers of them.
+//
+// Exact accounting is preserved on both sides of the plane:
+//
+//   - barrier batches are sent before capturePassComm closes the pass
+//     window, so their bytes land inside the window like any other barrier
+//     traffic;
+//   - the final batch is sent after the last window closed, so every node
+//     folds its flush-window delta into its last pass window
+//     (foldFlushWindow) — the windows keep tiling the endpoint's lifetime
+//     totals exactly;
+//   - the totals snapshot a follower ships is taken before the flush send,
+//     and the pass windows it shipped tile to exactly that snapshot, so the
+//     coordinator's merged RunStats reconciles too (the flush message itself
+//     belongs to neither view's totals — it is accounted only in the
+//     follower's local post-fold stats).
+const telemetryVersion = 1
+
+// telemetryBatch is the decoded form of one KTelemetry payload.
+type telemetryBatch struct {
+	final     bool
+	epoch     int64 // sender tracer epoch as wall-clock Unix nanos (0 = no spans)
+	dropped   int64 // sender's cumulative dropped-span count
+	firstPass int   // 1-based pass number of passes[0]
+	passes    []metrics.NodeStats
+	tracks    []obs.TrackName
+	spans     []obs.SpanRecord
+	totals    *metrics.EndpointTotals // final batches only
+}
+
+// telemetryState is the per-node state of the plane: ship cursors on
+// followers, the ingested cluster view on the coordinator.
+type telemetryState struct {
+	shipped  int // perPass entries already shipped
+	spanMark int // tracer export watermark
+
+	// Coordinator: ingested remote pass windows ([peer][passIdx]), final
+	// endpoint totals, last cumulative dropped count per peer, the next pass
+	// index awaiting a complete skew snapshot, and the skew gauges.
+	remote   [][]metrics.NodeStats
+	totals   []*metrics.EndpointTotals
+	dropped  []int64
+	skewNext int
+	gauges   skewGauges
+}
+
+// telemetryEnabled reports whether the plane runs at all: it needs peers.
+func (n *Node) telemetryEnabled() bool { return n.ep.N() > 1 }
+
+// shipTelemetry encodes and sends this follower's batch: pass windows
+// completed since the last batch, plus (in per-process runs) the spans
+// recorded since the last export. final batches add the endpoint-totals
+// snapshot, taken before the send so the shipped windows tile to it exactly.
+func (n *Node) shipTelemetry(final bool) error {
+	b := telemetryBatch{
+		final:     final,
+		firstPass: n.tel.shipped + 1,
+		passes:    n.perPass[n.tel.shipped:],
+	}
+	n.tel.shipped = len(n.perPass)
+	if n.tr.Enabled() && !n.cfg.sharedObs {
+		b.epoch = n.tr.EpochWallNanos()
+		b.dropped = n.tr.Dropped()
+		b.tracks = n.tr.Tracks()
+		b.spans, n.tel.spanMark = n.tr.ExportSince(n.tel.spanMark)
+	}
+	if final {
+		t := EndpointTotals(n.id, n.ep)
+		b.totals = &t
+	}
+	return n.ep.Send(0, KTelemetry, appendTelemetry(nil, &b))
+}
+
+// ingestTelemetry merges one follower batch into the coordinator's view:
+// pass windows into tel.remote, spans (clock-rebased) into the tracer,
+// dropped-count deltas into the tracer's tally, totals into tel.totals —
+// then advances the live skew snapshot.
+func (n *Node) ingestTelemetry(m cluster.Message) error {
+	b, err := decodeTelemetry(m.Payload)
+	if err != nil {
+		return fmt.Errorf("driver: decode telemetry from node %d: %w", m.From, err)
+	}
+	t := &n.tel
+	if t.remote == nil {
+		t.remote = make([][]metrics.NodeStats, n.ep.N())
+		t.totals = make([]*metrics.EndpointTotals, n.ep.N())
+		t.dropped = make([]int64, n.ep.N())
+	}
+	node := m.From
+	if node <= 0 || node >= n.ep.N() {
+		return fmt.Errorf("driver: telemetry from unexpected node %d", node)
+	}
+	if b.firstPass != len(t.remote[node])+1 {
+		return fmt.Errorf("driver: telemetry from node %d starts at pass %d, want %d",
+			node, b.firstPass, len(t.remote[node])+1)
+	}
+	for _, ps := range b.passes {
+		ps.Node = node
+		t.remote[node] = append(t.remote[node], ps)
+	}
+
+	if b.epoch != 0 && n.tr.Enabled() && !n.cfg.sharedObs {
+		// Rebase: a remote span at s nanos past its epoch E_r happened at
+		// wall time E_r+s on the remote clock, which is E_r+s-offset on the
+		// coordinator's clock, i.e. E_r+s-offset-E_c past our epoch.
+		var offset int64
+		if node < len(n.cfg.ClockOffsets) {
+			offset = int64(n.cfg.ClockOffsets[node])
+		}
+		shift := b.epoch - offset - n.tr.EpochWallNanos()
+		for _, tr := range b.tracks {
+			n.tr.SetThreadName(int(tr.Node), int(tr.Lane), tr.Name)
+		}
+		for _, sp := range b.spans {
+			sp.Start += shift
+			n.tr.Record(sp)
+		}
+	}
+	if d := b.dropped - t.dropped[node]; d > 0 {
+		n.tr.AddDropped(d)
+		t.dropped[node] = b.dropped
+	}
+	if b.totals != nil {
+		tt := *b.totals
+		tt.Node = node
+		t.totals[node] = &tt
+	}
+	n.cfg.View.SetNodePass(node, len(t.remote[node]))
+	n.updateSkew()
+	return nil
+}
+
+// peerQuiescer is implemented by connection-oriented fabrics (TCP): marking
+// a peer quiesced makes its subsequent EOF part of orderly shutdown instead
+// of a failure. Channel fabrics have no connections to lose and simply don't
+// implement it.
+type peerQuiescer interface{ QuiescePeer(peer int) }
+
+func quiescePeer(ep cluster.Endpoint, peer int) {
+	if q, ok := ep.(peerQuiescer); ok {
+		q.QuiescePeer(peer)
+	}
+}
+
+// flushTelemetry is the run-end exchange: followers ship their final batch,
+// wait for the coordinator's empty acknowledgement, and fold the flush
+// traffic into their last pass window; the coordinator collects every final
+// batch, acks, and folds its side the same way. The ack doubles as a
+// shutdown barrier — without it a finished follower would close its
+// connection while the coordinator still waits on other peers' finals, and
+// the EOF would be mistaken for a peer failure.
+//
+// The ack releases followers one at a time, so their closes are staggered:
+// each node quiesces the peers it no longer owes anything — a follower owes
+// the other followers nothing once it enters the flush (only the
+// coordinator's ack is outstanding), and the coordinator owes a follower
+// nothing once its ack is sent — so those peers' EOFs read as the clean
+// exits they are. A peer dying *before* it is quiesced (e.g. a follower
+// crashing before its final batch) still fails the run.
+func (n *Node) flushTelemetry() error {
+	if !n.telemetryEnabled() {
+		return nil
+	}
+	if !n.IsCoord() {
+		for p := 1; p < n.ep.N(); p++ {
+			if p != n.ep.ID() {
+				quiescePeer(n.ep, p)
+			}
+		}
+		if err := n.shipTelemetry(true); err != nil {
+			return err
+		}
+		if _, err := n.recvKind(KTelemetry); err != nil {
+			return err
+		}
+		quiescePeer(n.ep, 0)
+		n.foldFlushWindow()
+		return nil
+	}
+	for p := 0; p < n.numPeers(); p++ {
+		m, err := n.recvKind(KTelemetry)
+		if err != nil {
+			return err
+		}
+		if err := n.ingestTelemetry(m); err != nil {
+			return err
+		}
+	}
+	for p := 1; p < n.ep.N(); p++ {
+		if err := n.ep.Send(p, KTelemetry, nil); err != nil {
+			return err
+		}
+		quiescePeer(n.ep, p)
+	}
+	n.foldFlushWindow()
+	return nil
+}
+
+// updateSkew advances the live skew snapshot over every pass that now has
+// stats from all nodes (a pass completes on the coordinator one barrier
+// before its remote windows arrive, so the live view trails by one pass) and
+// publishes it to the skew gauges and the ClusterView.
+func (n *Node) updateSkew() {
+	for {
+		pi := n.tel.skewNext
+		if pi >= len(n.perPass) {
+			return
+		}
+		nodes := make([]metrics.NodeStats, 0, n.ep.N())
+		nodes = append(nodes, n.perPass[pi])
+		for p := 1; p < n.ep.N(); p++ {
+			if n.tel.remote == nil || pi >= len(n.tel.remote[p]) {
+				return
+			}
+			nodes = append(nodes, n.tel.remote[p][pi])
+		}
+		pass := pi + 1 // pass numbers are sequential from 1
+		if pi < len(n.passMeta) {
+			pass = n.passMeta[pi].pass
+		}
+		s := metrics.ComputeSkew(pass, nodes)
+		if n.tel.gauges == (skewGauges{}) && n.cfg.Registry != nil {
+			n.tel.gauges = newSkewGauges(n.cfg.Registry)
+		}
+		n.tel.gauges.set(s)
+		n.cfg.View.SetSkew(s)
+		n.tel.skewNext++
+	}
+}
+
+// skewGauges are the coordinator's cluster-level pgarm_skew_* series,
+// refreshed as each pass's skew snapshot completes. Zero value is inert.
+type skewGauges struct {
+	pass      *obs.Gauge
+	straggler *obs.Gauge
+	barrier   *obs.FloatGauge
+	bytesCV   *obs.FloatGauge
+	blocksCV  *obs.FloatGauge
+}
+
+func newSkewGauges(r *obs.Registry) skewGauges {
+	return skewGauges{
+		pass:      r.Gauge("pgarm_skew_pass", "Pass of the latest complete skew snapshot."),
+		straggler: r.Gauge("pgarm_skew_straggler_node", "Node with the longest scan time in the latest complete pass."),
+		barrier:   r.FloatGauge("pgarm_skew_barrier_max_over_mean", "Barrier-wait imbalance ratio (max/mean) of the latest complete pass."),
+		bytesCV:   r.FloatGauge("pgarm_skew_bytes_sent_cv", "Coefficient of variation of per-node fabric bytes sent in the latest complete pass."),
+		blocksCV:  r.FloatGauge("pgarm_skew_blocks_scanned_cv", "Coefficient of variation of per-node blocks scanned in the latest complete pass."),
+	}
+}
+
+func (g skewGauges) set(s metrics.SkewReport) {
+	g.pass.Set(int64(s.Pass))
+	g.straggler.Set(int64(s.Straggler))
+	g.barrier.Set(s.BarrierWaitMaxOverMean)
+	g.bytesCV.Set(s.BytesSentCV)
+	g.blocksCV.Set(s.BlocksScannedCV)
+}
+
+// AssembleClusterStats builds a RunStats from one node's view of the run. On
+// the coordinator of a multi-node run this is the merged cluster view: its
+// own pass windows plus every follower's shipped windows and endpoint-totals
+// snapshots, reconciling exactly. On a follower (or a single-node run) it
+// degrades to that node's own stats, identical to a single-node
+// AssembleStats.
+func AssembleClusterStats(algorithm string, minSup float64, nd *Node, elapsed time.Duration) *metrics.RunStats {
+	rs := &metrics.RunStats{
+		Algorithm: algorithm,
+		Nodes:     nd.ep.N(),
+		MinSup:    minSup,
+		Elapsed:   elapsed,
+	}
+	for pi, meta := range nd.passMeta {
+		ps := metrics.PassStats{
+			Pass:       meta.pass,
+			Candidates: meta.candidates,
+			Duplicated: meta.duplicated,
+			Fragments:  meta.fragments,
+			Large:      meta.large,
+			Elapsed:    meta.elapsed,
+			Generate:   meta.generate,
+		}
+		if pi < len(nd.perPass) {
+			ps.Nodes = append(ps.Nodes, nd.perPass[pi])
+		}
+		for p := 1; p < nd.ep.N(); p++ {
+			if nd.tel.remote != nil && pi < len(nd.tel.remote[p]) {
+				ps.Nodes = append(ps.Nodes, nd.tel.remote[p][pi])
+			}
+		}
+		rs.Passes = append(rs.Passes, ps)
+	}
+	rs.Endpoints = append(rs.Endpoints, EndpointTotals(nd.id, nd.ep))
+	for p := 1; p < nd.ep.N(); p++ {
+		if nd.tel.totals != nil && nd.tel.totals[p] != nil {
+			rs.Endpoints = append(rs.Endpoints, *nd.tel.totals[p])
+		}
+	}
+	return rs
+}
+
+// --- wire codec -----------------------------------------------------------
+
+// appendTelemetry encodes a batch with the repo's varint conventions:
+//
+//	version byte | flags byte (bit0 = final) | epoch | dropped | firstPass
+//	| numPasses passes | numTracks tracks | numSpans spans
+//	| totals (final batches only)
+//
+// All scalars are uvarints except span arg values (zigzag — they may be
+// negative) and span starts (zigzag — rebasing can shift them negative).
+func appendTelemetry(dst []byte, b *telemetryBatch) []byte {
+	dst = append(dst, telemetryVersion)
+	var flags byte
+	if b.final {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = wire.AppendUvarint(dst, uint64(b.epoch))
+	dst = wire.AppendUvarint(dst, uint64(b.dropped))
+	dst = wire.AppendUvarint(dst, uint64(b.firstPass))
+
+	dst = wire.AppendUvarint(dst, uint64(len(b.passes)))
+	for i := range b.passes {
+		dst = appendNodeStats(dst, &b.passes[i])
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(b.tracks)))
+	for _, t := range b.tracks {
+		dst = wire.AppendUvarint(dst, uint64(t.Node))
+		dst = wire.AppendUvarint(dst, uint64(t.Lane))
+		dst = appendString(dst, t.Name)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(b.spans)))
+	for i := range b.spans {
+		sp := &b.spans[i]
+		dst = appendString(dst, sp.Name)
+		dst = wire.AppendUvarint(dst, uint64(sp.Node))
+		dst = wire.AppendUvarint(dst, uint64(sp.Lane))
+		dst = wire.AppendUvarint(dst, zigzag(sp.Start))
+		dst = wire.AppendUvarint(dst, uint64(sp.Dur))
+		dst = wire.AppendUvarint(dst, uint64(len(sp.Args)))
+		for _, a := range sp.Args {
+			dst = appendString(dst, a.Key)
+			dst = wire.AppendUvarint(dst, zigzag(a.Val))
+		}
+	}
+	if b.final {
+		t := b.totals
+		dst = wire.AppendUvarint(dst, uint64(t.MsgsSent))
+		dst = wire.AppendUvarint(dst, uint64(t.MsgsReceived))
+		dst = wire.AppendUvarint(dst, uint64(t.BytesSent))
+		dst = wire.AppendUvarint(dst, uint64(t.BytesReceived))
+		dst = appendKindIO(dst, t.ByKind)
+	}
+	return dst
+}
+
+func appendNodeStats(dst []byte, s *metrics.NodeStats) []byte {
+	for _, v := range [...]int64{
+		s.TxnsScanned, s.Probes, s.Increments, s.ItemsSent, s.ItemsReceived,
+		s.BytesSent, s.BytesReceived, s.DataBytesSent, s.DataBytesReceived,
+		s.MsgsSent, s.MsgsReceived, s.BlocksScanned, s.BlocksSkipped,
+		s.BytesDecoded, int64(s.ScanTime), int64(s.BarrierWait),
+	} {
+		dst = wire.AppendUvarint(dst, uint64(v))
+	}
+	return appendKindIO(dst, s.ByKind)
+}
+
+func appendKindIO(dst []byte, ks []metrics.KindIO) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(ks)))
+	for _, k := range ks {
+		dst = append(dst, k.Kind)
+		dst = wire.AppendUvarint(dst, uint64(k.MsgsSent))
+		dst = wire.AppendUvarint(dst, uint64(k.MsgsReceived))
+		dst = wire.AppendUvarint(dst, uint64(k.BytesSent))
+		dst = wire.AppendUvarint(dst, uint64(k.BytesReceived))
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// teldec is a sequential decoder with a sticky error, so the happy path
+// reads linearly and one check at the end suffices.
+type teldec struct {
+	b   []byte
+	err error
+}
+
+func (d *teldec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *teldec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n, err := wire.Uvarint(d.b)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *teldec) i64() int64 { return int64(d.u64()) }
+
+func (d *teldec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("driver: truncated telemetry payload")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *teldec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("driver: telemetry string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads a collection length and bounds it by the remaining payload
+// (each element costs at least minBytes), so corrupt lengths cannot drive
+// huge allocations.
+func (d *teldec) count(minBytes int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n*uint64(minBytes) > uint64(len(d.b)) {
+		d.fail("driver: telemetry collection length %d exceeds payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func decodeTelemetry(p []byte) (*telemetryBatch, error) {
+	d := &teldec{b: p}
+	if v := d.byte(); d.err == nil && v != telemetryVersion {
+		return nil, fmt.Errorf("driver: unsupported telemetry version %d", v)
+	}
+	flags := d.byte()
+	b := &telemetryBatch{
+		final:     flags&1 != 0,
+		epoch:     d.i64(),
+		dropped:   d.i64(),
+		firstPass: int(d.u64()),
+	}
+	nPasses := d.count(16)
+	for i := 0; i < nPasses && d.err == nil; i++ {
+		b.passes = append(b.passes, decodeNodeStats(d))
+	}
+	nTracks := d.count(3)
+	for i := 0; i < nTracks && d.err == nil; i++ {
+		b.tracks = append(b.tracks, obs.TrackName{
+			Node: int32(d.u64()), Lane: int32(d.u64()), Name: d.str(),
+		})
+	}
+	nSpans := d.count(5)
+	for i := 0; i < nSpans && d.err == nil; i++ {
+		sp := obs.SpanRecord{
+			Name:  d.str(),
+			Node:  int32(d.u64()),
+			Lane:  int32(d.u64()),
+			Start: unzigzag(d.u64()),
+			Dur:   d.i64(),
+		}
+		nArgs := d.count(2)
+		for j := 0; j < nArgs && d.err == nil; j++ {
+			sp.Args = append(sp.Args, obs.Arg{Key: d.str(), Val: unzigzag(d.u64())})
+		}
+		b.spans = append(b.spans, sp)
+	}
+	if b.final && d.err == nil {
+		t := metrics.EndpointTotals{
+			MsgsSent:      d.i64(),
+			MsgsReceived:  d.i64(),
+			BytesSent:     d.i64(),
+			BytesReceived: d.i64(),
+			ByKind:        decodeKindIO(d),
+		}
+		b.totals = &t
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("driver: %d trailing telemetry bytes", len(d.b))
+	}
+	return b, nil
+}
+
+func decodeNodeStats(d *teldec) metrics.NodeStats {
+	var s metrics.NodeStats
+	for _, p := range [...]*int64{
+		&s.TxnsScanned, &s.Probes, &s.Increments, &s.ItemsSent, &s.ItemsReceived,
+		&s.BytesSent, &s.BytesReceived, &s.DataBytesSent, &s.DataBytesReceived,
+		&s.MsgsSent, &s.MsgsReceived, &s.BlocksScanned, &s.BlocksSkipped,
+		&s.BytesDecoded,
+	} {
+		*p = d.i64()
+	}
+	s.ScanTime = time.Duration(d.i64())
+	s.BarrierWait = time.Duration(d.i64())
+	s.ByKind = decodeKindIO(d)
+	return s
+}
+
+func decodeKindIO(d *teldec) []metrics.KindIO {
+	n := d.count(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]metrics.KindIO, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.byte()
+		out = append(out, metrics.KindIO{
+			Kind: k, Name: kindName(k),
+			MsgsSent: d.i64(), MsgsReceived: d.i64(),
+			BytesSent: d.i64(), BytesReceived: d.i64(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package driver
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+)
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1998, -1998, math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+}
+
+// testBatch builds a batch exercising every codec field: multiple passes with
+// per-kind breakdowns, named tracks, spans with negative starts (a rebased
+// remote span can precede the receiving epoch) and negative arg values, and —
+// when final — an endpoint-totals snapshot.
+func testBatch(final bool) *telemetryBatch {
+	b := &telemetryBatch{
+		final:     final,
+		epoch:     time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC).UnixNano(),
+		dropped:   7,
+		firstPass: 3,
+		passes: []metrics.NodeStats{
+			{
+				TxnsScanned: 1200, Probes: 33000, Increments: 8100,
+				ItemsSent: 41, ItemsReceived: 52, BytesSent: 9001, BytesReceived: 777,
+				DataBytesSent: 8000, DataBytesReceived: 600, MsgsSent: 12, MsgsReceived: 9,
+				BlocksScanned: 5, BlocksSkipped: 2, BytesDecoded: 4096,
+				ScanTime: 18 * time.Millisecond, BarrierWait: 3 * time.Millisecond,
+				ByKind: []metrics.KindIO{
+					{Kind: uint8(KData), Name: kindName(uint8(KData)), MsgsSent: 4, MsgsReceived: 3, BytesSent: 8000, BytesReceived: 600},
+					{Kind: uint8(KTelemetry), Name: kindName(uint8(KTelemetry)), MsgsSent: 1, BytesSent: 120},
+				},
+			},
+			{TxnsScanned: 900, ScanTime: 2 * time.Millisecond},
+		},
+		tracks: []obs.TrackName{
+			{Node: 2, Lane: 0, Name: "node 2"},
+			{Node: 2, Lane: 1, Name: "scan w0"},
+		},
+		spans: []obs.SpanRecord{
+			{Name: "pass 3", Node: 2, Lane: 0, Start: -1500, Dur: 900000,
+				Args: []obs.Arg{{Key: "candidates", Val: 412}, {Key: "delta", Val: -9}}},
+			{Name: "barrier", Node: 2, Lane: 0, Start: 880000, Dur: 20000},
+		},
+	}
+	if final {
+		b.totals = &metrics.EndpointTotals{
+			MsgsSent: 240, MsgsReceived: 238, BytesSent: 131072, BytesReceived: 99000,
+			ByKind: []metrics.KindIO{
+				{Kind: uint8(KSize), Name: kindName(uint8(KSize)), MsgsSent: 1, MsgsReceived: 1, BytesSent: 9, BytesReceived: 9},
+			},
+		}
+	}
+	return b
+}
+
+func TestTelemetryCodecRoundTrip(t *testing.T) {
+	for _, final := range []bool{false, true} {
+		in := testBatch(final)
+		got, err := decodeTelemetry(appendTelemetry(nil, in))
+		if err != nil {
+			t.Fatalf("final=%v: decode: %v", final, err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("final=%v: round trip mismatch:\n got %+v\nwant %+v", final, got, in)
+		}
+	}
+}
+
+func TestTelemetryCodecRejectsCorruption(t *testing.T) {
+	good := appendTelemetry(nil, testBatch(true))
+	if _, err := decodeTelemetry(good); err != nil {
+		t.Fatalf("control decode failed: %v", err)
+	}
+
+	cases := map[string][]byte{
+		"wrong version":  append([]byte{telemetryVersion + 1}, good[1:]...),
+		"empty":          {},
+		"trailing bytes": append(append([]byte(nil), good...), 0xee),
+		// A truncation at every prefix length must error, never panic or
+		// fabricate a batch.
+		"truncated": good[:len(good)-1],
+	}
+	for name, p := range cases {
+		if _, err := decodeTelemetry(p); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := decodeTelemetry(good[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+
+	// A corrupt collection count larger than the payload must be rejected by
+	// the length bound, not drive a huge allocation.
+	huge := []byte{telemetryVersion, 0}
+	huge = append(huge, 0x80, 0x80, 0x80, 0x80, 0x10) // epoch
+	huge = append(huge, 0)                            // dropped
+	huge = append(huge, 1)                            // firstPass
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // numPasses: absurd
+	if _, err := decodeTelemetry(huge); err == nil {
+		t.Error("absurd collection count decoded successfully")
+	}
+}
+
+func TestClusterViewLifecycle(t *testing.T) {
+	// Nil receiver: every method is a safe no-op.
+	var nilView *ClusterView
+	nilView.Init(0, 4)
+	nilView.StartPass(2, 10)
+	nilView.SetNodePass(1, 1)
+	nilView.SetSkew(metrics.SkewReport{})
+	nilView.Finish()
+	if snap := nilView.Snapshot(); snap.Nodes != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+
+	cv := &ClusterView{}
+	cv.Init(0, 3)
+	cv.StartPass(2, 41)
+	cv.SetNodePass(0, 2)
+	cv.SetNodePass(1, 1)
+	cv.SetNodePass(99, 5) // out of range: ignored
+	cv.SetSkew(metrics.SkewReport{Pass: 1, Straggler: 2})
+
+	snap := cv.Snapshot()
+	if snap.Nodes != 3 || snap.Node != 0 || snap.Pass != 2 || snap.Candidates != 41 || snap.Done {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Progress) != 3 {
+		t.Fatalf("progress = %+v", snap.Progress)
+	}
+	// Node 1 has shipped only pass 1 while pass 2 runs: lag 1. Node 2 has
+	// shipped nothing: lag 2.
+	if snap.Progress[1].Lag != 1 || snap.Progress[2].Lag != 2 || snap.Progress[0].Lag != 0 {
+		t.Fatalf("lags = %+v", snap.Progress)
+	}
+	if snap.Skew == nil || snap.Skew.Straggler != 2 {
+		t.Fatalf("skew = %+v", snap.Skew)
+	}
+
+	cv.Finish()
+	if snap := cv.Snapshot(); !snap.Done || snap.Progress[2].Lag != 0 {
+		t.Fatalf("after Finish: %+v", snap)
+	}
+
+	// The HTTP surface serves the same snapshot as JSON.
+	rec := httptest.NewRecorder()
+	cv.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/cluster", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var decoded ClusterSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, cv.Snapshot()) {
+		t.Fatalf("served %+v, snapshot %+v", decoded, cv.Snapshot())
+	}
+}

@@ -1,0 +1,83 @@
+// Package logx is the binaries' shared structured-logging setup: every pgarm
+// command takes the same -log-level and -log-format flags and emits log/slog
+// records keyed by component, so cluster runs produce greppable (text) or
+// machine-parseable (json) logs with consistent field names — node, pass, k,
+// candidates, elapsed — across pgarm-mine, pgarm-worker, pgarm-bench,
+// pgarm-serve and pgarm-gen.
+package logx
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Options holds the parsed values of the shared logging flags.
+type Options struct {
+	Level  string
+	Format string
+}
+
+// Flags registers -log-level and -log-format on the default flag set and
+// returns the destination. Call once before flag.Parse.
+func Flags() *Options {
+	o := &Options{}
+	flag.StringVar(&o.Level, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&o.Format, "log-format", "text", "log output format: text or json")
+	return o
+}
+
+// Init builds the process logger from the parsed options, installs it as the
+// slog default and returns it. Every record carries component as a top-level
+// attribute. Records go to stderr, keeping stdout free for results. Invalid
+// flag values exit(2) like any other flag error.
+func (o *Options) Init(component string) *slog.Logger {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info", "":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -log-level %q (debug, info, warn or error)\n", o.Level)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(o.Format) {
+	case "text", "":
+		// Drop the wall-clock timestamp in text mode: interactive runs read
+		// better without it, and structured consumers use -log-format json.
+		hopts.ReplaceAttr = func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		}
+		h = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -log-format %q (text or json)\n", o.Format)
+		os.Exit(2)
+	}
+	l := slog.New(h).With("component", component)
+	slog.SetDefault(l)
+	return l
+}
+
+// Fatal logs msg at error level with the given attrs and exits 1 — the
+// structured replacement for log.Fatal in the binaries.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	if l == nil {
+		l = slog.Default()
+	}
+	l.Error(msg, args...)
+	os.Exit(1)
+}

@@ -175,6 +175,53 @@ func Summarize(vals []float64) Skew {
 	return s
 }
 
+// SkewReport is the per-pass cluster-imbalance summary the coordinator's
+// telemetry plane computes and the JSON run report carries: how unevenly one
+// pass's work landed across nodes, and who the straggler was — the direct
+// input for adaptive re-partitioning.
+type SkewReport struct {
+	Pass int `json:"pass"`
+	// BarrierWaitMaxOverMean is the barrier-wait imbalance ratio: 1.0 means
+	// every node idled equally long at the L_k barrier; large values mean one
+	// straggler held the cluster while the rest waited.
+	BarrierWaitMaxOverMean float64 `json:"barrier_wait_max_over_mean"`
+	// BytesSentCV / BlocksScannedCV are coefficients of variation of the
+	// per-node fabric bytes sent and blocks scanned this pass — communication
+	// and scan-load spread (Aouad et al.'s dominant distributed-Apriori
+	// variance sources).
+	BytesSentCV     float64 `json:"bytes_sent_cv"`
+	BlocksScannedCV float64 `json:"blocks_scanned_cv"`
+	// Straggler is the node with the longest local scan+count time this pass
+	// (ties resolved to the lowest id); -1 when no node stats are available.
+	Straggler int `json:"straggler"`
+}
+
+// ComputeSkew derives the pass's skew summary from its per-node stats.
+func ComputeSkew(pass int, nodes []NodeStats) SkewReport {
+	sr := SkewReport{Pass: pass, Straggler: -1}
+	if len(nodes) == 0 {
+		return sr
+	}
+	bw := make([]float64, len(nodes))
+	bs := make([]float64, len(nodes))
+	bl := make([]float64, len(nodes))
+	straggler := nodes[0]
+	for i, n := range nodes {
+		bw[i] = float64(n.BarrierWait)
+		bs[i] = float64(n.BytesSent)
+		bl[i] = float64(n.BlocksScanned)
+		if n.ScanTime > straggler.ScanTime ||
+			(n.ScanTime == straggler.ScanTime && n.Node < straggler.Node) {
+			straggler = n
+		}
+	}
+	sr.BarrierWaitMaxOverMean = Summarize(bw).MaxOverMean
+	sr.BytesSentCV = Summarize(bs).CV
+	sr.BlocksScannedCV = Summarize(bl).CV
+	sr.Straggler = straggler.Node
+	return sr
+}
+
 // String renders the skew summary.
 func (s Skew) String() string {
 	return fmt.Sprintf("min=%.0f max=%.0f mean=%.0f cv=%.3f max/mean=%.2f",

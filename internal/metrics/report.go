@@ -9,21 +9,34 @@ import (
 
 // ReportVersion identifies the run-report JSON schema. Bump it on any
 // incompatible change so downstream trajectory tooling can dispatch.
-const ReportVersion = 1
+//
+// Version history:
+//
+//	1 — initial schema (passes, endpoints, span rollups)
+//	2 — adds the per-pass "skew" section and "spans_dropped"
+const ReportVersion = 2
 
 // Report is the machine-readable form of one mining run: RunStats flattened
 // into stable JSON plus span rollups from the tracer (when tracing was on).
 // It is the diffable artifact `pgarm-bench -json` emits.
 type Report struct {
-	Version   int              `json:"version"`
-	Algorithm string           `json:"algorithm"`
-	Dataset   string           `json:"dataset"`
-	Nodes     int              `json:"nodes"`
-	MinSup    float64          `json:"min_sup"`
-	ElapsedMS float64          `json:"elapsed_ms"`
-	Passes    []PassReport     `json:"passes"`
+	Version   int          `json:"version"`
+	Algorithm string       `json:"algorithm"`
+	Dataset   string       `json:"dataset"`
+	Nodes     int          `json:"nodes"`
+	MinSup    float64      `json:"min_sup"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Passes    []PassReport `json:"passes"`
+	// Skew carries one cluster-imbalance summary per pass, computed from the
+	// same per-node stats Passes reports — the two sections reconcile by
+	// construction.
+	Skew      []SkewReport     `json:"skew,omitempty"`
 	Endpoints []EndpointTotals `json:"endpoints,omitempty"`
 	Spans     []obs.Rollup     `json:"spans,omitempty"`
+	// SpansDropped counts spans the tracer discarded at its buffer cap
+	// (cluster-wide when remote tracers were merged in); non-zero means the
+	// trace file is truncated.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
 }
 
 // PassReport is one pass of a Report.
@@ -80,6 +93,7 @@ func BuildReport(rs *RunStats, tracer *obs.Tracer) Report {
 		Endpoints: rs.Endpoints,
 		Spans:     tracer.Rollups(),
 	}
+	rep.SpansDropped = tracer.Dropped()
 	for _, p := range rs.Passes {
 		pr := PassReport{
 			Pass:                 p.Pass,
@@ -116,6 +130,7 @@ func BuildReport(rs *RunStats, tracer *obs.Tracer) Report {
 			})
 		}
 		rep.Passes = append(rep.Passes, pr)
+		rep.Skew = append(rep.Skew, ComputeSkew(p.Pass, p.Nodes))
 	}
 	return rep
 }

@@ -147,6 +147,40 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return r.register(name, help, "gauge", labels, func() instrument { return &Gauge{} }).(*Gauge)
 }
 
+// FloatGauge is a settable float64 metric — skew ratios and coefficients of
+// variation, which the integer Gauge cannot carry.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *FloatGauge) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// FloatGauge registers (or returns the existing) float gauge series.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "gauge", labels, func() instrument { return &FloatGauge{} }).(*FloatGauge)
+}
+
 // gaugeFunc samples a callback at exposition time — the hook live endpoints
 // (fabric byte counters, current pass) are exported through.
 type gaugeFunc struct {

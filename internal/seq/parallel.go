@@ -2,6 +2,7 @@ package seq
 
 import (
 	"fmt"
+	"time"
 
 	"pgarm/internal/cluster"
 	"pgarm/internal/driver"
@@ -88,6 +89,14 @@ type ParallelConfig struct {
 	OnPassStart func(pass, candidates int)
 	// OnPass, when non-nil, fires on the coordinator as each pass completes.
 	OnPass func(PassProgress)
+	// ClockOffsets, when non-nil on the coordinator of a mesh run, holds the
+	// per-node clock offsets estimated during DialMesh (Mesh.ClockOffsets);
+	// the telemetry plane uses them to rebase remote span timestamps into the
+	// coordinator's clock when merging cluster traces.
+	ClockOffsets []time.Duration
+	// View, when non-nil, receives live cluster-run state (current pass,
+	// per-node progress, skew snapshots) for the /debug/cluster endpoint.
+	View *driver.ClusterView
 }
 
 // validate rejects malformed configurations before any fabric (listeners,
@@ -119,14 +128,16 @@ func (c *ParallelConfig) validate() error {
 // sequence miner.
 func (c *ParallelConfig) driverConfig() driver.Config {
 	return driver.Config{
-		MinSupport:  c.MinSupport,
-		MaxK:        c.MaxK,
-		Workers:     c.Workers,
-		BatchBytes:  c.BatchBytes,
-		Tracer:      c.Tracer,
-		Registry:    c.Registry,
-		OnPassStart: c.OnPassStart,
-		OnPass:      c.OnPass,
+		MinSupport:   c.MinSupport,
+		MaxK:         c.MaxK,
+		Workers:      c.Workers,
+		BatchBytes:   c.BatchBytes,
+		Tracer:       c.Tracer,
+		Registry:     c.Registry,
+		OnPassStart:  c.OnPassStart,
+		OnPass:       c.OnPass,
+		ClockOffsets: c.ClockOffsets,
+		View:         c.View,
 	}
 }
 
@@ -185,8 +196,10 @@ func MineParallel(tax *taxonomy.Taxonomy, parts []*DB, cfg ParallelConfig) (*Par
 // same config; node 0 acts as coordinator.
 //
 // The returned result carries the global frequent patterns (identical on
-// every node after the final broadcast) but its Stats cover only this
-// worker's node — other processes' counters are not visible here.
+// every node after the final broadcast). On the coordinator the Stats also
+// merge every worker's per-pass counters and endpoint totals — shipped at
+// each pass barrier over the telemetry plane — into a full cluster view; on
+// follower nodes they cover only the local node.
 func MineWorker(tax *taxonomy.Taxonomy, local *DB, cfg ParallelConfig, ep cluster.Endpoint) (*ParallelResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -202,6 +215,6 @@ func MineWorker(tax *taxonomy.Taxonomy, local *DB, cfg ParallelConfig, ep cluste
 	}
 	return &ParallelResult{
 		Result: res,
-		Stats:  driver.AssembleStats(string(cfg.Algorithm), cfg.MinSupport, []*driver.Node{nd}, elapsed),
+		Stats:  driver.AssembleClusterStats(string(cfg.Algorithm), cfg.MinSupport, nd, elapsed),
 	}, nil
 }
