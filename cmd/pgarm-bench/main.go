@@ -15,6 +15,14 @@
 // replays a zipf-skewed basket mix with concurrent clients, reporting QPS and
 // p50/p99 latency with the recommendation cache off and on.
 //
+// -experiment adapt is the skew-adaptation bench: it splits the dataset into
+// zipf-sized partitions (node 0 hoards data and straggles) and mines them
+// statically and with -adaptive granule escalation, reporting per-pass
+// barrier waits, traffic, the granule map each pass ran with and bit-identity
+// against the sequential reference:
+//
+//	pgarm-bench -experiment adapt -scale 0.005 -nodes 4 -zipf 1.5 -json adapt.json
+//
 // -trace writes a Chrome trace_event file (load it in chrome://tracing or
 // https://ui.perfetto.dev) covering every mining run; -json writes a
 // versioned machine-readable report with per-run, per-pass and per-node
@@ -56,12 +64,15 @@ type benchReport struct {
 	// Scan holds the storage-format bench arms (row vs columnar decode,
 	// block-skip mining) when `-experiment scan` ran.
 	Scan []metrics.ScanReport `json:"scan,omitempty"`
+	// Adapt holds the skew-adaptation arms (sequential reference, static,
+	// adaptive) when `-experiment adapt` ran.
+	Adapt []metrics.AdaptReport `json:"adapt,omitempty"`
 }
 
 func main() {
 	def := experiment.Defaults()
 	var (
-		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan or all")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan, adapt or all")
 		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
 		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
@@ -82,7 +93,12 @@ func main() {
 		scanWork   = flag.Int("scan-workers", scdef.Workers, "scan bench: scan workers per measurement")
 		scanBlock  = flag.Int("scan-block", scdef.TxnsPerBlock, "scan bench: transactions per columnar block (mining arm)")
 		scanMinSup = flag.Float64("scan-minsup", scdef.MinSup, "scan bench: mining-arm support threshold")
-		logOpts    = logx.Flags()
+
+		adef        = experiment.AdaptDefaults()
+		adaptMinSup = flag.Float64("adapt-minsup", adef.MinSup, "adapt bench: support threshold")
+		adaptZipf   = flag.Float64("zipf", adef.Zipf, "adapt bench: partition-size skew exponent (0 = even split)")
+		adaptEsc    = flag.Float64("escalate-at", 0, "adapt bench: barrier-wait max/mean ratio triggering escalation (0 = default 1.25)")
+		logOpts     = logx.Flags()
 	)
 	flag.Parse()
 	logger = logOpts.Init("pgarm-bench")
@@ -228,6 +244,23 @@ func main() {
 		}
 		scanReports = reps
 	}
+	var adaptReports []metrics.AdaptReport
+	// The adapt bench measures real barrier wall-clock under deliberately
+	// skewed partitions, so it too is opt-in rather than part of "all".
+	if *exp == "adapt" {
+		ran = true
+		step("skew adaptation bench")
+		ao := adef
+		ao.MinSup = *adaptMinSup
+		ao.Zipf = *adaptZipf
+		ao.EscalateAt = *adaptEsc
+		t, reps, err := env.Adapt(ao)
+		if err != nil {
+			logx.Fatal(logger, "experiment failed", "err", err)
+		}
+		fmt.Println(t.Render())
+		adaptReports = reps
+	}
 	if !ran {
 		logx.Fatal(logger, "unknown experiment", "experiment", *exp)
 	}
@@ -256,6 +289,7 @@ func main() {
 		}
 		rep.Serve = serveReports
 		rep.Scan = scanReports
+		rep.Adapt = adaptReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			logx.Fatal(logger, "report marshal failed", "err", err)

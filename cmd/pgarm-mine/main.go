@@ -90,6 +90,7 @@ func main() {
 		interest = flag.Float64("interest", 0, "R-interestingness prune factor, e.g. 1.1 (0 = keep all rules)")
 		outModel = flag.String("o", "", "write the mined model (taxonomy, itemsets, rules, metadata) to this snapshot file")
 		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes (0 = unlimited)")
+		adaptive = flag.Bool("adaptive", false, "H-HPGM family: escalate duplication granules per hot taxonomy subtree from observed barrier skew")
 		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
 		tcp      = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
 		quiet    = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
@@ -185,6 +186,7 @@ func main() {
 		MaxK:         *maxK,
 		MemoryBudget: *budget,
 		Workers:      *workers,
+		Adaptive:     *adaptive,
 	}
 	if *tcp {
 		cfg.Fabric = core.FabricTCP
@@ -274,6 +276,7 @@ func main() {
 					MinSupport:    *minsup,
 					MinConfidence: *minconf,
 					CreatedUnix:   time.Now().Unix(),
+					Granules:      res.Stats.FinalPlan().GranuleMap(),
 				},
 				Taxonomy: tax,
 				Large:    res.Large,

@@ -61,6 +61,7 @@ func main() {
 		algName  = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm")
 		minsup   = flag.Float64("minsup", 0.005, "minimum support fraction")
 		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes")
+		adaptive = flag.Bool("adaptive", false, "H-HPGM family: escalate duplication granules per hot taxonomy subtree from observed barrier skew (must match on every worker)")
 		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = completion)")
 		workers  = flag.Int("workers", 0, "scan workers on this node (0 or 1 = scan on the node goroutine)")
 		timeout  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
@@ -136,6 +137,7 @@ func main() {
 		MaxK:         *maxK,
 		MemoryBudget: *budget,
 		Workers:      *workers,
+		Adaptive:     *adaptive,
 		Tracer:       tracer,
 		Registry:     reg,
 		// The coordinator rebases remote span timestamps with the offsets

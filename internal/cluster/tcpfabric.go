@@ -163,6 +163,12 @@ type tcpEndpoint struct {
 
 	quiesceMu sync.Mutex
 	quiesced  []bool // per-peer: an EOF from this peer is orderly shutdown
+
+	// phaseFn, when installed (driver.SetPhase), describes the protocol
+	// position this endpoint's owner is in ("pass 3/execute"); peer-loss
+	// errors include it so an abort names the pass and phase the run died in.
+	phaseMu sync.Mutex
+	phaseFn func() string
 }
 
 // QuiescePeer marks one peer's departure as part of the protocol's orderly
@@ -312,7 +318,30 @@ func (e *tcpEndpoint) onReadError(peer int, err error) {
 	if e.closing() || e.peerQuiesced(peer) {
 		return
 	}
+	if ph := e.phase(); ph != "" {
+		go e.shutdown(fmt.Errorf("cluster: node %d lost peer %d during %s: %w", e.id, peer, ph, err))
+		return
+	}
 	go e.shutdown(fmt.Errorf("cluster: node %d lost peer %d: %w", e.id, peer, err))
+}
+
+// SetPhase installs a callback describing the protocol position the
+// endpoint's owner is in, woven into peer-loss errors. fn must be safe to
+// call from any goroutine.
+func (e *tcpEndpoint) SetPhase(fn func() string) {
+	e.phaseMu.Lock()
+	e.phaseFn = fn
+	e.phaseMu.Unlock()
+}
+
+func (e *tcpEndpoint) phase() string {
+	e.phaseMu.Lock()
+	fn := e.phaseFn
+	e.phaseMu.Unlock()
+	if fn == nil {
+		return ""
+	}
+	return fn()
 }
 
 func (e *tcpEndpoint) Inbox() <-chan Message { return e.inbox }

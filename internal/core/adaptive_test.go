@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/metrics"
+	"pgarm/internal/txn"
+)
+
+// skewedParts splits the database so node 0 hoards half the transactions and
+// the rest spread evenly — the load-skew regime adaptive granule escalation
+// targets. Contiguous slices, so the split is deterministic.
+func skewedParts(db *txn.DB, n int) []txn.Scanner {
+	if n == 1 {
+		return partsOf(db, 1)
+	}
+	total := db.Len()
+	first := total / 2
+	parts := make([]txn.Scanner, 0, n)
+	p := &txn.DB{}
+	for i := 0; i < first; i++ {
+		p.Append(db.At(i))
+	}
+	parts = append(parts, p)
+	rest := total - first
+	off := first
+	for i := 1; i < n; i++ {
+		sz := rest / (n - 1)
+		if i <= rest%(n-1) {
+			sz++
+		}
+		q := &txn.DB{}
+		for j := 0; j < sz; j++ {
+			q.Append(db.At(off + j))
+		}
+		off += sz
+		parts = append(parts, q)
+	}
+	return parts
+}
+
+// TestAdaptiveBitIdentical verifies the refactor's core promise: with
+// adaptation on, F_k stays bit-identical to the sequential reference at every
+// worker and node count, with and without a memory budget. The escalation
+// thresholds are set low enough that skewed multi-node runs actually
+// escalate, so the adaptive duplication paths are exercised, not just the
+// static fallback.
+func TestAdaptiveBitIdentical(t *testing.T) {
+	ds := testDataset(t, 2000)
+	const minSup = 0.02
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatalf("cumulate: %v", err)
+	}
+	if len(want.Large) < 3 {
+		t.Fatalf("weak test data: only %d large levels (need 3+ for a skew hint to exist)", len(want.Large))
+	}
+	for _, budget := range []int64{0, 16 << 10} {
+		for _, nodes := range []int{1, 4} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("budget%d/%dnodes/%dworkers", budget, nodes, workers), func(t *testing.T) {
+					got, err := Mine(ds.Taxonomy, skewedParts(ds.DB, nodes), Config{
+						Algorithm:    HHPGM,
+						MinSupport:   minSup,
+						MemoryBudget: budget,
+						Workers:      workers,
+						Adaptive:     true,
+						EscalateAt:   0.01,
+						JumpAt:       0.02,
+					})
+					if err != nil {
+						t.Fatalf("mine: %v", err)
+					}
+					assertSameLarge(t, want, got)
+				})
+			}
+		}
+	}
+}
+
+// totalItemsSent sums the count-support item shipping volume over the run —
+// an exact counter, independent of wall-clock.
+func totalItemsSent(rs *metrics.RunStats) int64 {
+	var n int64
+	for _, ps := range rs.Passes {
+		for _, ns := range ps.Nodes {
+			n += ns.ItemsSent
+		}
+	}
+	return n
+}
+
+// TestForcedEscalation pins the escalation regression: with thresholds any
+// real barrier wait crosses, a skewed 4-node H-HPGM run must escalate hot
+// roots straight to the fine granule (JumpAt is crossed too), duplicate
+// candidates it would otherwise partition, ship strictly fewer items than the
+// static run, and still match the sequential reference bit-for-bit.
+func TestForcedEscalation(t *testing.T) {
+	ds := testDataset(t, 2000)
+	const minSup = 0.02
+	want, err := cumulate.Mine(ds.Taxonomy, ds.DB, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatalf("cumulate: %v", err)
+	}
+	base := Config{Algorithm: HHPGM, MinSupport: minSup}
+
+	static, err := Mine(ds.Taxonomy, skewedParts(ds.DB, 4), base)
+	if err != nil {
+		t.Fatalf("static mine: %v", err)
+	}
+	assertSameLarge(t, want, static)
+	for _, ps := range static.Stats.Passes {
+		if ps.Plan != nil && len(ps.Plan.Escalations) > 0 {
+			t.Fatalf("static run escalated at pass %d: %+v", ps.Pass, ps.Plan.Escalations)
+		}
+	}
+
+	acfg := base
+	acfg.Adaptive = true
+	acfg.EscalateAt = 0.01
+	acfg.JumpAt = 0.02
+	adaptive, err := Mine(ds.Taxonomy, skewedParts(ds.DB, 4), acfg)
+	if err != nil {
+		t.Fatalf("adaptive mine: %v", err)
+	}
+	assertSameLarge(t, want, adaptive)
+
+	escalated := false
+	for _, ps := range adaptive.Stats.Passes {
+		if ps.Plan == nil || len(ps.Plan.Escalations) == 0 {
+			continue
+		}
+		escalated = true
+		if !ps.Plan.Adaptive {
+			t.Errorf("pass %d has escalations but the plan is not marked adaptive", ps.Pass)
+		}
+		for _, e := range ps.Plan.Escalations {
+			if e.Granule != "fine" {
+				t.Errorf("pass %d root %d escalated to %q, want \"fine\" (JumpAt crossed)", ps.Pass, e.Root, e.Granule)
+			}
+		}
+		if ps.Duplicated == 0 {
+			t.Errorf("pass %d escalated but duplicated no candidates", ps.Pass)
+		}
+	}
+	if !escalated {
+		t.Fatalf("no pass escalated despite EscalateAt=%g on a skewed 4-node run", acfg.EscalateAt)
+	}
+	if fp := adaptive.Stats.FinalPlan(); fp == nil || fp.GranuleMap() == fp.Granule {
+		t.Errorf("final plan granule map records no escalated roots: %+v", fp)
+	}
+
+	sSent, aSent := totalItemsSent(static.Stats), totalItemsSent(adaptive.Stats)
+	if aSent >= sSent {
+		t.Errorf("adaptive run shipped %d items, static %d: duplication should shrink shipping", aSent, sSent)
+	}
+}

@@ -91,6 +91,23 @@ type Config struct {
 	// never fragments and the duplicating variants copy everything.
 	MemoryBudget int64
 
+	// Adaptive enables skew-adaptive duplication granules for the H-HPGM
+	// family: each pass's plan phase inspects the previous complete skew
+	// snapshot and, when the barrier-wait imbalance crosses EscalateAt,
+	// escalates the duplication granule for the straggler's hot taxonomy
+	// subtrees one level (H-HPGM -> TGD -> PGD -> FGD), or straight to FGD
+	// past JumpAt. The decision is computed from globally broadcast state,
+	// so every node derives the identical plan and results stay
+	// bit-identical to the static run's reference (sequential Cumulate).
+	// Ignored by NPGM and HPGM, which have no granule to adapt.
+	Adaptive bool
+	// EscalateAt is the barrier-wait max/mean ratio that triggers a one-level
+	// escalation; 0 means the default 1.25.
+	EscalateAt float64
+	// JumpAt is the ratio past which escalation jumps straight to the fine
+	// grain; 0 means the default 4.0.
+	JumpAt float64
+
 	// Workers is the number of scan goroutines each node uses over its
 	// local partition during pass 1 and the count-support phase. 0 or 1
 	// runs the scan on the node goroutine itself (the pre-parallel
@@ -126,6 +143,20 @@ type Config struct {
 	// View, when non-nil, receives live cluster-run state (current pass,
 	// per-node progress, skew snapshots) for the /debug/cluster endpoint.
 	View *driver.ClusterView
+}
+
+func (c *Config) escalateAt() float64 {
+	if c.EscalateAt <= 0 {
+		return 1.25
+	}
+	return c.EscalateAt
+}
+
+func (c *Config) jumpAt() float64 {
+	if c.JumpAt <= 0 {
+		return 4.0
+	}
+	return c.JumpAt
 }
 
 // driverConfig maps the runtime-relevant half of the Config onto the shared

@@ -28,8 +28,15 @@ type engineOut struct {
 
 // engine is one algorithm's per-pass behaviour. The runtime (internal/driver)
 // owns candidate generation and the L_k barrier; the engine owns candidate
-// partitioning and the count-support phase.
+// partitioning (the plan phase) and the count-support phase (the execute
+// phase).
 type engine interface {
+	// plan computes pass k's candidate-to-node assignment — a pure function
+	// of globally replicated state plus the broadcast skew hint, so every
+	// node derives the identical plan. Any state the count phase needs
+	// (owners, duplication choice) is held by the engine.
+	plan(n *driver.Node, k int, cands [][]item.Item, prev *metrics.SkewReport) (driver.PlanDecision, error)
+	// pass counts support for pass k over the plan computed by plan.
 	pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error)
 }
 
@@ -83,6 +90,16 @@ func fragmentCount(numCands, k int, budget int64) int {
 // minimum support (Figure 14).
 type npgmEngine struct {
 	m *itemsetMiner
+}
+
+// plan is trivial for NPGM: the candidate set is fully replicated, so there
+// is no assignment to compute and nothing to adapt.
+func (e *npgmEngine) plan(_ *driver.Node, k int, cands [][]item.Item, _ *metrics.SkewReport) (driver.PlanDecision, error) {
+	return driver.PlanDecision{
+		Partitioner: "replicated",
+		Granule:     "all",
+		Duplicated:  len(cands),
+	}, nil
 }
 
 func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {

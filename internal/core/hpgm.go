@@ -22,17 +22,18 @@ import (
 // blow-up H-HPGM eliminates (Table 6).
 type hpgmEngine struct {
 	m *itemsetMiner
+
+	// owned is this node's candidate share, computed by plan for the pass in
+	// flight.
+	owned [][]item.Item
 }
 
-func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
-	m := e.m
+// plan partitions C_k: node i keeps the candidates hashing to i. The hashing
+// is sharded across the scan workers into disjoint ranges of ownedFlag; the
+// owned list is then collected in id order.
+func (e *hpgmEngine) plan(n *driver.Node, k int, cands [][]item.Item, _ *metrics.SkewReport) (driver.PlanDecision, error) {
 	nNodes := n.NumNodes()
 	self := n.ID()
-
-	// Partition: node i keeps the candidates hashing to i. The hashing is
-	// sharded across the scan workers into disjoint ranges of ownedFlag; the
-	// owned list is then collected in id order and packed into a flat-arena
-	// table in one build.
 	psp := n.Span("partition")
 	W := n.Workers()
 	ownedFlag := make([]bool, len(cands))
@@ -41,19 +42,28 @@ func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 			ownedFlag[i] = int(itemset.Hash(cands[i])%uint64(nNodes)) == self
 		}
 	})
-	var owned [][]item.Item
+	e.owned = e.owned[:0]
 	for i, c := range cands {
 		if ownedFlag[i] {
-			owned = append(owned, c)
+			e.owned = append(e.owned, c)
 		}
 	}
-	table := itemset.NewTableFrom(owned, W)
+	psp.Arg("owned", int64(len(e.owned)))
+	psp.Arg("workers", int64(W))
+	psp.End()
+	return driver.PlanDecision{Partitioner: "itemset-hash", Granule: "none"}, nil
+}
+
+func (e *hpgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metrics.NodeStats) (engineOut, error) {
+	m := e.m
+	nNodes := n.NumNodes()
+	self := n.ID()
+
+	W := n.Workers()
+	table := itemset.NewTableFrom(e.owned, W)
 
 	member := cumulate.KeepSet(m.tax, cands)
 	view := taxonomy.NewView(m.tax, m.largeFlags, member)
-	psp.Arg("owned", int64(len(owned)))
-	psp.Arg("workers", int64(W))
-	psp.End()
 
 	// The receiver goroutine keeps exclusive ownership of the partitioned
 	// table; scan workers only route units into per-worker batchers.

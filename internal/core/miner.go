@@ -109,8 +109,22 @@ func (m *itemsetMiner) Generate(n *driver.Node, k int) (int, error) {
 	return len(m.curCands), nil
 }
 
-// CountPass delegates pass k's partition and count-support phase to the
-// algorithm engine and keeps the full outcome for the barrier hooks.
+// PlanPass delegates pass k's candidate-to-node assignment to the algorithm
+// engine. prev is the cluster skew snapshot the coordinator broadcast for
+// this pass (nil in the first passes); adaptive H-HPGM configurations use it
+// to escalate duplication per hot taxonomy subtree.
+func (m *itemsetMiner) PlanPass(n *driver.Node, k int, prev *metrics.SkewReport) (driver.PlanDecision, error) {
+	dec, err := m.eng.plan(n, k, m.curCands, prev)
+	if err != nil {
+		return driver.PlanDecision{}, err
+	}
+	dec.Candidates = len(m.curCands)
+	return dec, nil
+}
+
+// CountPass delegates pass k's count-support phase to the algorithm engine
+// (over the assignment PlanPass computed) and keeps the full outcome for the
+// barrier hooks.
 func (m *itemsetMiner) CountPass(n *driver.Node, k int, st *metrics.NodeStats) (driver.PassOutcome, error) {
 	out, err := m.eng.pass(n, k, m.curCands, st)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"pgarm/internal/item"
 	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
@@ -50,6 +51,23 @@ type Result struct {
 	// all passes (pass 1 always decodes everything). Zero for other sources.
 	BlocksScanned int64
 	BlocksSkipped int64
+	// Plan records one plan decision per executed pass — the sequential
+	// run's trivial instance of the plan/execute/replan seam the parallel
+	// driver formalizes: a single node counts every candidate locally, so
+	// every pass is the static "sequential/all" plan.
+	Plan []metrics.PlanDecision
+}
+
+// StaticPlan is the sequential baseline's per-pass plan decision: no
+// partitioning, every candidate counted locally ("all" granule).
+func StaticPlan(pass, candidates int) metrics.PlanDecision {
+	return metrics.PlanDecision{
+		Pass:        pass,
+		Partitioner: "sequential",
+		Granule:     "all",
+		Candidates:  candidates,
+		Duplicated:  candidates,
+	}
 }
 
 // LargeK returns the large k-itemsets, or nil when the run ended before k.
@@ -132,6 +150,7 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cumulate: pass 1: %w", err)
 	}
+	res.Plan = append(res.Plan, StaticPlan(1, tax.NumItems()))
 	large := make([]bool, tax.NumItems())
 	var l1 []itemset.Counted
 	var largeItems []item.Item
@@ -158,6 +177,7 @@ func mine(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) (*Result, error) {
 		if len(cands) == 0 {
 			break
 		}
+		res.Plan = append(res.Plan, StaticPlan(k, len(cands)))
 		table := itemset.NewTable(len(cands))
 		for _, c := range cands {
 			table.Add(c)

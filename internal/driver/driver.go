@@ -50,6 +50,7 @@ const (
 	KDupCounts                   // node -> coord: duplicated/replicated table counts
 	KLarge                       // coord -> node: global F_k broadcast
 	KTelemetry                   // node -> coord: per-pass stats + span batches (see telemetry.go)
+	KPlan                        // coord -> node: pass-k skew hint for the plan phase (see plan.go)
 )
 
 // FabricKind selects the interconnect emulation for in-process clusters.
@@ -136,6 +137,27 @@ func (c *Config) workers() int {
 	return c.Workers
 }
 
+// PlanDecision is re-exported from metrics: the plan phase's output, one per
+// pass, recorded in pass metadata and the run report.
+type PlanDecision = metrics.PlanDecision
+
+// PassPlanner is the planning facet of a Miner: it turns the pass's
+// candidate set into an explicit candidate-to-node assignment before any
+// scanning starts. Extracted from Generate/CountPass so the assignment is a
+// first-class, inspectable artifact (report `plan` section, /debug/cluster)
+// instead of a side effect of the count phase.
+type PassPlanner interface {
+	// PlanPass computes pass k's assignment plan. prev is the latest
+	// complete cluster skew snapshot, broadcast by the coordinator at the
+	// start of the pass (nil while none is complete — the first passes of a
+	// run); adaptive miners may escalate duplication per hot taxonomy
+	// subtree from it. The decision must be a pure function of prev and
+	// state replicated on every node, so all nodes compute the identical
+	// plan. Runs strictly before CountPass; any state the plan derives
+	// (owners, duplication choice) is held by the miner for the count phase.
+	PlanPass(n *Node, k int, prev *metrics.SkewReport) (PlanDecision, error)
+}
+
 // Miner is the mining-logic half of a run. The runtime calls these hooks
 // from the node goroutine in protocol order; every hook receives the Node
 // for access to cluster position (ID/NumNodes), the derived global state
@@ -147,6 +169,10 @@ func (c *Config) workers() int {
 // must be pure functions of state identical on every node after each
 // barrier.
 type Miner interface {
+	// PassPlanner runs between Generate and CountPass (the plan phase of the
+	// per-pass state machine).
+	PassPlanner
+
 	// LocalSize is the size of the local partition (transactions, customers)
 	// reported during the size exchange.
 	LocalSize() int
@@ -214,6 +240,7 @@ type passMeta struct {
 	large      int
 	elapsed    time.Duration
 	generate   time.Duration // candidate-generation share of elapsed
+	plan       PlanDecision  // the plan phase's decision
 }
 
 // PassProgress is the per-pass progress callback payload (Config.OnPass),

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pgarm/internal/cluster"
@@ -52,11 +53,16 @@ type Node struct {
 	// tel is the cluster telemetry plane's state: ship cursors on followers,
 	// the ingested cluster-wide view on the coordinator (see telemetry.go).
 	tel telemetryState
+
+	// phaseWord packs the published protocol position (pass << 8 | phase),
+	// read by the fabric's peer-loss path so aborts name the pass and phase
+	// the run died in (see plan.go).
+	phaseWord atomic.Uint64
 }
 
 // NewNode wires one node of the protocol to an endpoint. Run executes it.
 func NewNode(ep cluster.Endpoint, cfg Config, m Miner) *Node {
-	return &Node{
+	n := &Node{
 		id:    ep.ID(),
 		ep:    ep,
 		cfg:   cfg,
@@ -64,6 +70,8 @@ func NewNode(ep cluster.Endpoint, cfg Config, m Miner) *Node {
 		tr:    cfg.Tracer,
 		ins:   newNodeInstruments(cfg.Registry, ep.ID()),
 	}
+	installPhaseHook(ep, n)
+	return n
 }
 
 // ID is this node's cluster rank; node 0 is the coordinator.
@@ -139,6 +147,7 @@ func (n *Node) Run() (err error) {
 	if err := n.runProtocol(); err != nil {
 		return err
 	}
+	n.setPhase(0, phaseFlush)
 	if err := n.flushTelemetry(); err != nil {
 		return err
 	}
@@ -166,7 +175,11 @@ func (n *Node) runProtocol() error {
 		return nil
 	}
 	for k := 2; n.cfg.MaxK == 0 || k <= n.cfg.MaxK; k++ {
-		// Deterministic on every node (same F_(k-1), same generator).
+		// Candidate generation opens the plan phase: deterministic on every
+		// node (same F_(k-1), same generator), and the nc == 0 termination
+		// below is therefore decided identically everywhere — which is what
+		// lets the plan phase exchange messages without stranding them.
+		n.setPhase(k, phasePlan)
 		gsp := n.tr.Begin(n.id, 0, "generate")
 		genStart := time.Now()
 		nc, err := n.miner.Generate(n, k)
@@ -245,6 +258,12 @@ func (n *Node) pass1() (int, error) {
 	numItems := n.miner.NumItems()
 	n.ins.startPass(1, numItems)
 	n.cfg.View.StartPass(1, numItems)
+	// Pass 1 has a fixed plan — the dense count vector is reduced, never
+	// partitioned — recorded anyway so the report's plan section covers every
+	// pass.
+	plan := PlanDecision{Pass: 1, Partitioner: "dense-reduce", Granule: "all", Candidates: numItems, Duplicated: numItems}
+	n.cfg.View.SetPlan(plan)
+	n.setPhase(1, phaseExecute)
 	psp := n.tr.Begin(n.id, 0, "pass 1")
 	counts, err := n.miner.CountPass1(n, &n.cur)
 	if err != nil {
@@ -252,12 +271,14 @@ func (n *Node) pass1() (int, error) {
 	}
 	n.cur.ScanTime = time.Since(started)
 
+	n.setPhase(1, phaseBarrier)
 	bsp := n.tr.Begin(n.id, 0, "barrier")
 	global, err := n.reduceCounts(counts)
 	if err != nil {
 		return 0, err
 	}
 	bsp.End()
+	n.setPhase(1, phaseReplan)
 
 	nf, err := n.miner.FinishPass1(n, global)
 	if err != nil {
@@ -275,6 +296,7 @@ func (n *Node) pass1() (int, error) {
 			candidates: numItems,
 			large:      nf,
 			elapsed:    time.Since(started),
+			plan:       plan,
 		})
 	}
 	n.emitProgress(1, numItems, nf, time.Since(started))
@@ -327,49 +349,158 @@ func (n *Node) reduceCounts(counts []int64) ([]int64, error) {
 	return global, nil
 }
 
-// runPass executes one count-support pass for k >= 2 and returns |F_k|
+// passState is one state of the per-pass state machine.
+type passState int
+
+const (
+	statePlan passState = iota
+	stateExecute
+	stateBarrier
+	stateReplan
+	statePassDone
+)
+
+// passRun is the per-pass context the state machine threads through its
+// states.
+type passRun struct {
+	k       int
+	nCands  int
+	started time.Time
+	psp     obs.Span     // the whole-pass span, opened by plan, closed by replan
+	plan    PlanDecision // the plan phase's decision
+	out     PassOutcome  // the execute phase's barrier contribution
+	large   int          // |F_k| once the barrier resolves
+}
+
+// runPass executes one count-support pass for k >= 2 as an explicit state
+// machine — Plan -> Execute -> Barrier -> Replan — and returns |F_k|
 // (identical on every node after the broadcast).
+//
+//	Plan     exchange the coordinator's latest complete skew snapshot
+//	         (KPlan) and compute the pass's candidate-to-node assignment via
+//	         the miner's PassPlanner facet; identical on every node.
+//	Execute  the miner's count-support phase over the plan.
+//	Barrier  the F_k gather/broadcast (gatherFrequents), which also carries
+//	         the followers' telemetry batches.
+//	Replan   close the pass window: capture communication, advance the
+//	         coordinator's skew snapshot (the input to the *next* pass's
+//	         Plan state) and record the pass metadata.
 func (n *Node) runPass(k, nCands int) (int, error) {
-	started := time.Now()
+	pr := &passRun{k: k, nCands: nCands, started: time.Now()}
+	for st := statePlan; st != statePassDone; {
+		var err error
+		switch st {
+		case statePlan:
+			err = n.planPhase(pr)
+			st = stateExecute
+		case stateExecute:
+			err = n.executePhase(pr)
+			st = stateBarrier
+		case stateBarrier:
+			err = n.barrierPhase(pr)
+			st = stateReplan
+		case stateReplan:
+			err = n.replanPhase(pr)
+			st = statePassDone
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return pr.large, nil
+}
+
+// planPhase opens the pass window and turns the latest complete skew
+// snapshot into this pass's plan. The KPlan exchange happens here — after
+// every node has decided (via the identical nc > 0 check) that the run
+// continues, so no hint message can be stranded by termination.
+func (n *Node) planPhase(pr *passRun) error {
+	n.setPhase(pr.k, phasePlan)
 	n.cur = metrics.NodeStats{Node: n.id}
-	n.ins.startPass(k, nCands)
-	n.cfg.View.StartPass(k, nCands)
-	var psp obs.Span
+	n.ins.startPass(pr.k, pr.nCands)
+	n.cfg.View.StartPass(pr.k, pr.nCands)
 	if n.tr.Enabled() {
-		psp = n.tr.Begin(n.id, 0, fmt.Sprintf("pass %d", k))
+		pr.psp = n.tr.Begin(n.id, 0, fmt.Sprintf("pass %d", pr.k))
 	}
 	if n.IsCoord() && n.cfg.OnPassStart != nil {
-		n.cfg.OnPassStart(k, nCands)
+		n.cfg.OnPassStart(pr.k, pr.nCands)
 	}
 
-	out, err := n.miner.CountPass(n, k, &n.cur)
+	wait := time.Now()
+	hint, err := n.exchangeSkewHint(pr.k)
 	if err != nil {
-		return 0, fmt.Errorf("driver: node %d pass %d: %w", n.id, k, err)
+		return err
 	}
-	nf, err := n.gatherFrequents(k, out)
-	if err != nil {
-		return 0, err
-	}
+	// A follower blocking on the hint is barrier-like idle time; charge it
+	// to the same counter so the skew signal stays honest.
+	n.cur.BarrierWait += time.Since(wait)
 
+	plsp := n.tr.Begin(n.id, 0, "plan")
+	dec, err := n.miner.PlanPass(n, pr.k, hint)
+	if err != nil {
+		return fmt.Errorf("driver: node %d pass %d plan: %w", n.id, pr.k, err)
+	}
+	dec.Pass = pr.k
+	if hint != nil {
+		dec.SkewPass = hint.Pass
+	}
+	pr.plan = dec
+	n.cfg.View.SetPlan(dec)
+	plsp.Arg("duplicated", int64(dec.Duplicated))
+	plsp.Arg("escalations", int64(len(dec.Escalations)))
+	plsp.End()
+	return nil
+}
+
+// executePhase runs the miner's count-support phase over the plan.
+func (n *Node) executePhase(pr *passRun) error {
+	n.setPhase(pr.k, phaseExecute)
+	out, err := n.miner.CountPass(n, pr.k, &n.cur)
+	if err != nil {
+		return fmt.Errorf("driver: node %d pass %d: %w", n.id, pr.k, err)
+	}
+	pr.out = out
+	return nil
+}
+
+// barrierPhase resolves the global F_k.
+func (n *Node) barrierPhase(pr *passRun) error {
+	n.setPhase(pr.k, phaseBarrier)
+	nf, err := n.gatherFrequents(pr.k, pr.out)
+	if err != nil {
+		return err
+	}
+	pr.large = nf
+	return nil
+}
+
+// replanPhase closes the pass window and stages the replan input: the
+// telemetry the barrier ingested advances the coordinator's complete skew
+// snapshot (inside finishPassStats), which the *next* pass's plan phase
+// broadcasts. Pass metadata — including the plan decision — is recorded
+// here.
+func (n *Node) replanPhase(pr *passRun) error {
+	n.setPhase(pr.k, phaseReplan)
 	n.capturePassComm()
 	n.ins.endPass(&n.cur)
 	n.finishPassStats()
-	psp.Arg("candidates", int64(nCands))
-	psp.Arg("large", int64(nf))
-	psp.End()
+	pr.psp.Arg("candidates", int64(pr.nCands))
+	pr.psp.Arg("large", int64(pr.large))
+	pr.psp.End()
 	if n.Keep() {
 		n.passMeta = append(n.passMeta, passMeta{
-			pass:       k,
-			candidates: nCands,
-			duplicated: out.Duplicated,
-			fragments:  out.Fragments,
-			large:      nf,
-			elapsed:    time.Since(started),
+			pass:       pr.k,
+			candidates: pr.nCands,
+			duplicated: pr.out.Duplicated,
+			fragments:  pr.out.Fragments,
+			large:      pr.large,
+			elapsed:    time.Since(pr.started),
 			generate:   n.lastGenerate,
+			plan:       pr.plan,
 		})
 	}
-	n.emitProgress(k, nCands, nf, time.Since(started))
-	return nf, nil
+	n.emitProgress(pr.k, pr.nCands, pr.large, time.Since(pr.started))
+	return nil
 }
 
 func (n *Node) finishPassStats() {

@@ -13,7 +13,7 @@ import (
 
 // kindNames maps the mining protocol's message kinds to stable display names
 // (index = kind value).
-var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large", "telemetry"}
+var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large", "telemetry", "plan"}
 
 func kindName(k uint8) string {
 	if int(k) < len(kindNames) {

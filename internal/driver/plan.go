@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/metrics"
+	"pgarm/internal/wire"
+)
+
+// The plan phase's cross-node exchange: replanning from observed skew must be
+// identical on every node, but the skew signal (barrier waits, per-node
+// bytes) is wall-clock data only the coordinator's telemetry plane holds. So
+// at the start of each pass k >= 2 — a point every node reaches iff the run
+// continues, since the empty-C_k termination is decided identically
+// everywhere — the coordinator broadcasts its latest *complete* skew snapshot
+// as one KPlan message, and every node feeds the identical snapshot into
+// PlanPass. Floats travel as raw IEEE-754 bits, so the hint (and therefore
+// the plan derived from it) is bit-identical across nodes and across
+// in-process/multi-process runs.
+//
+// A pass's complete snapshot exists only after the *next* barrier ingests the
+// followers' telemetry, so the hint for pass k describes pass k-2 (nil for
+// the first passes). Adaptation therefore trails the signal by one pass —
+// the price of keeping the plan deterministic without an extra barrier.
+
+// passPhase labels the per-pass state machine's states for error context and
+// the /debug/cluster view.
+type passPhase uint8
+
+const (
+	phaseStartup passPhase = iota
+	phasePlan
+	phaseExecute
+	phaseBarrier
+	phaseReplan
+	phaseFlush
+)
+
+var phaseNames = [...]string{"startup", "plan", "execute", "barrier", "replan", "flush"}
+
+func (p passPhase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// setPhase publishes the protocol position (pass, phase) this node is in.
+// Read by the fabric's peer-loss path and the ClusterView, so aborts and
+// /debug/cluster name the pass and phase the run died in.
+func (n *Node) setPhase(pass int, ph passPhase) {
+	n.phaseWord.Store(uint64(pass)<<8 | uint64(ph))
+	n.cfg.View.SetPhase(ph.String())
+}
+
+// phaseLabel renders the published position, e.g. "pass 3/execute".
+func (n *Node) phaseLabel() string {
+	w := n.phaseWord.Load()
+	pass, ph := int(w>>8), passPhase(w&0xff)
+	if pass == 0 {
+		return ph.String()
+	}
+	return fmt.Sprintf("pass %d/%s", pass, ph)
+}
+
+// phaseSetter is implemented by connection-oriented endpoints (TCP fabric,
+// DialMesh): a callback describing the protocol position, woven into
+// peer-loss errors. Channel fabrics have no connections to lose and simply
+// don't implement it.
+type phaseSetter interface{ SetPhase(fn func() string) }
+
+func installPhaseHook(ep cluster.Endpoint, n *Node) {
+	if ps, ok := ep.(phaseSetter); ok {
+		ps.SetPhase(n.phaseLabel)
+	}
+}
+
+// exchangeSkewHint runs the plan phase's protocol step for pass k: the
+// coordinator broadcasts its latest complete skew snapshot (possibly none)
+// and every node returns the identical hint. Single-node runs skip the wire
+// and use the local snapshot directly.
+func (n *Node) exchangeSkewHint(k int) (*metrics.SkewReport, error) {
+	if n.ep.N() == 1 {
+		return n.tel.lastSkew, nil
+	}
+	if n.IsCoord() {
+		payload := appendSkewHint(wire.AppendUvarint(nil, uint64(k)), n.tel.lastSkew)
+		for p := 1; p < n.ep.N(); p++ {
+			if err := n.ep.Send(p, KPlan, payload); err != nil {
+				return nil, err
+			}
+		}
+		return n.tel.lastSkew, nil
+	}
+	m, err := n.recvKind(KPlan)
+	if err != nil {
+		return nil, err
+	}
+	pass, hint, err := decodeSkewHint(m.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("driver: node %d decode plan hint: %w", n.id, err)
+	}
+	if pass != k {
+		return nil, fmt.Errorf("driver: node %d got plan hint for pass %d, want %d", n.id, pass, k)
+	}
+	return hint, nil
+}
+
+// appendSkewHint encodes an optional SkewReport: a presence byte, then the
+// pass, the three ratios as raw IEEE-754 bit patterns (bit-exact across
+// nodes) and the straggler (zigzag; may be -1).
+func appendSkewHint(dst []byte, s *metrics.SkewReport) []byte {
+	if s == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = wire.AppendUvarint(dst, uint64(s.Pass))
+	dst = wire.AppendUvarint(dst, math.Float64bits(s.BarrierWaitMaxOverMean))
+	dst = wire.AppendUvarint(dst, math.Float64bits(s.BytesSentCV))
+	dst = wire.AppendUvarint(dst, math.Float64bits(s.BlocksScannedCV))
+	dst = wire.AppendUvarint(dst, zigzag(int64(s.Straggler)))
+	return dst
+}
+
+// decodeSkewHint decodes a KPlan payload: the pass the hint is for, then the
+// optional snapshot.
+func decodeSkewHint(p []byte) (int, *metrics.SkewReport, error) {
+	d := &teldec{b: p}
+	pass := int(d.u64())
+	present := d.byte()
+	var s *metrics.SkewReport
+	if present == 1 {
+		s = &metrics.SkewReport{
+			Pass:                   int(d.u64()),
+			BarrierWaitMaxOverMean: math.Float64frombits(d.u64()),
+			BytesSentCV:            math.Float64frombits(d.u64()),
+			BlocksScannedCV:        math.Float64frombits(d.u64()),
+			Straggler:              int(unzigzag(d.u64())),
+		}
+	} else if present != 0 && d.err == nil {
+		return 0, nil, fmt.Errorf("driver: bad plan-hint presence byte %d", present)
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if len(d.b) != 0 {
+		return 0, nil, fmt.Errorf("driver: %d trailing plan-hint bytes", len(d.b))
+	}
+	return pass, s, nil
+}

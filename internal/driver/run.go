@@ -73,6 +73,8 @@ func AssembleStats(algorithm string, minSup float64, nodes []*Node, elapsed time
 			Elapsed:    meta.elapsed,
 			Generate:   meta.generate,
 		}
+		pl := meta.plan
+		ps.Plan = &pl
 		for _, nd := range nodes {
 			if pi < len(nd.perPass) {
 				ps.Nodes = append(ps.Nodes, nd.perPass[pi])

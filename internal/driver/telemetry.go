@@ -70,6 +70,11 @@ type telemetryState struct {
 	dropped  []int64
 	skewNext int
 	gauges   skewGauges
+
+	// lastSkew is the latest *complete* skew snapshot — the replan state's
+	// output and the next plan phase's input (broadcast as the KPlan hint).
+	// On followers and single-node runs it advances from local stats only.
+	lastSkew *metrics.SkewReport
 }
 
 // telemetryEnabled reports whether the plane runs at all: it needs peers.
@@ -252,6 +257,8 @@ func (n *Node) updateSkew() {
 		}
 		n.tel.gauges.set(s)
 		n.cfg.View.SetSkew(s)
+		sc := s
+		n.tel.lastSkew = &sc
 		n.tel.skewNext++
 	}
 }
@@ -307,6 +314,8 @@ func AssembleClusterStats(algorithm string, minSup float64, nd *Node, elapsed ti
 			Elapsed:    meta.elapsed,
 			Generate:   meta.generate,
 		}
+		pl := meta.plan
+		ps.Plan = &pl
 		if pi < len(nd.perPass) {
 			ps.Nodes = append(ps.Nodes, nd.perPass[pi])
 		}

@@ -28,6 +28,9 @@ type ClusterSnapshot struct {
 	Candidates int `json:"candidates"`
 	// Done flips when the protocol has completed on this node.
 	Done bool `json:"done"`
+	// Phase is the state-machine state this node is currently in (plan,
+	// execute, barrier, replan; startup/flush outside the pass loop).
+	Phase string `json:"phase,omitempty"`
 	// Progress lists, per node, the last pass this view has complete stats
 	// for, and its lag behind the current pass. On a follower only the local
 	// entry is populated; the coordinator sees the whole cluster via the
@@ -36,6 +39,10 @@ type ClusterSnapshot struct {
 	Progress []NodeProgress `json:"progress,omitempty"`
 	// Skew is the most recent complete-pass skew snapshot (coordinator only).
 	Skew *metrics.SkewReport `json:"skew,omitempty"`
+	// Plan is the current pass's plan decision — the live granule map: which
+	// partitioner the pass runs, the base duplication granule and any
+	// adaptive per-subtree escalations.
+	Plan *metrics.PlanDecision `json:"plan,omitempty"`
 }
 
 // NodeProgress is one node's entry in a ClusterSnapshot.
@@ -96,6 +103,26 @@ func (cv *ClusterView) SetSkew(s metrics.SkewReport) {
 	cv.v.Skew = &s
 }
 
+// SetPlan publishes the current pass's plan decision (the live granule map).
+func (cv *ClusterView) SetPlan(d metrics.PlanDecision) {
+	if cv == nil {
+		return
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	cv.v.Plan = &d
+}
+
+// SetPhase publishes the state-machine state this node is in.
+func (cv *ClusterView) SetPhase(phase string) {
+	if cv == nil {
+		return
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	cv.v.Phase = phase
+}
+
 // Finish marks the run complete.
 func (cv *ClusterView) Finish() {
 	if cv == nil {
@@ -129,6 +156,11 @@ func (cv *ClusterView) Snapshot() ClusterSnapshot {
 	if cv.v.Skew != nil {
 		s := *cv.v.Skew
 		out.Skew = &s
+	}
+	if cv.v.Plan != nil {
+		p := *cv.v.Plan
+		p.Escalations = append([]metrics.Escalation(nil), cv.v.Plan.Escalations...)
+		out.Plan = &p
 	}
 	return out
 }

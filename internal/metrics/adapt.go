@@ -1,0 +1,45 @@
+package metrics
+
+// AdaptReport is one arm of the skew-adaptation experiment
+// (`pgarm-bench -experiment adapt`): the same zipf-skewed partitioning mined
+// by a sequential reference ("cumulate"), by the static base algorithm
+// ("static") and with skew-adaptive granule escalation on ("adaptive").
+// Unlike the modeled mining experiments the barrier waits are real wall-clock
+// on the machine running the bench; the byte counters are exact.
+type AdaptReport struct {
+	Arm       string  `json:"arm"` // "cumulate", "static" or "adaptive"
+	Algorithm string  `json:"algorithm"`
+	Nodes     int     `json:"nodes"`
+	MinSup    float64 `json:"min_sup"`
+	// Zipf is the skew exponent of the partition-size split (0 = even).
+	Zipf float64 `json:"zipf"`
+	// Passes holds the per-pass barrier and plan summary (empty for the
+	// sequential reference, which has no barrier).
+	Passes []AdaptPass `json:"passes,omitempty"`
+	// TotalBytes is the whole-run fabric traffic summed over nodes and passes.
+	TotalBytes int64 `json:"total_bytes"`
+	// ItemsSent is the whole-run count-support item shipping volume — the
+	// counter duplication is meant to shrink.
+	ItemsSent int64 `json:"items_sent"`
+	// FinalGranules is the last pass's granule map (e.g. "none,root3=fine").
+	FinalGranules string `json:"final_granules,omitempty"`
+	// Identical reports bit-identity of this arm's frequent itemsets against
+	// the sequential reference (trivially true on the reference itself).
+	Identical bool `json:"identical"`
+}
+
+// AdaptPass is one pass of one adaptation arm.
+type AdaptPass struct {
+	Pass int `json:"pass"`
+	// BarrierWaitMaxMS / BarrierWaitMeanMS summarize how long nodes idled at
+	// the pass-end L_k barrier — max is the cluster-limiting wait the
+	// adaptive plan tries to shrink.
+	BarrierWaitMaxMS  float64 `json:"barrier_wait_max_ms"`
+	BarrierWaitMeanMS float64 `json:"barrier_wait_mean_ms"`
+	// BytesTotal is the pass's fabric traffic summed over nodes.
+	BytesTotal int64 `json:"bytes_total"`
+	// Granule is the pass plan's granule map ("none", "none,root3=fine", ...).
+	Granule string `json:"granule"`
+	// Duplicated is how many candidates the plan copied to every node.
+	Duplicated int `json:"duplicated"`
+}

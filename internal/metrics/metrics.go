@@ -86,7 +86,10 @@ type PassStats struct {
 	Large      int           // |L_k|
 	Elapsed    time.Duration // wall time of the whole pass
 	Generate   time.Duration // candidate-generation share of Elapsed
-	Nodes      []NodeStats
+	// Plan is the pass's candidate-to-node assignment decision, recorded by
+	// the driver's plan phase (nil only for runs predating it).
+	Plan  *PlanDecision
+	Nodes []NodeStats
 }
 
 // AvgBytesReceived returns mean count-support payload bytes received per
@@ -250,6 +253,17 @@ type EndpointTotals struct {
 	BytesSent     int64    `json:"bytes_sent"`
 	BytesReceived int64    `json:"bytes_received"`
 	ByKind        []KindIO `json:"by_kind,omitempty"`
+}
+
+// FinalPlan returns the last pass's plan decision — the granule map the run
+// ended on — or nil when no pass recorded one.
+func (r *RunStats) FinalPlan() *PlanDecision {
+	for i := len(r.Passes) - 1; i >= 0; i-- {
+		if r.Passes[i].Plan != nil {
+			return r.Passes[i].Plan
+		}
+	}
+	return nil
 }
 
 // Pass returns the stats of pass k, or nil if the run ended earlier.

@@ -14,7 +14,8 @@ import (
 //
 //	1 — initial schema (passes, endpoints, span rollups)
 //	2 — adds the per-pass "skew" section and "spans_dropped"
-const ReportVersion = 2
+//	3 — adds the per-pass "plan" section (partitioner, granule, escalations)
+const ReportVersion = 3
 
 // Report is the machine-readable form of one mining run: RunStats flattened
 // into stable JSON plus span rollups from the tracer (when tracing was on).
@@ -30,7 +31,11 @@ type Report struct {
 	// Skew carries one cluster-imbalance summary per pass, computed from the
 	// same per-node stats Passes reports — the two sections reconcile by
 	// construction.
-	Skew      []SkewReport     `json:"skew,omitempty"`
+	Skew []SkewReport `json:"skew,omitempty"`
+	// Plan carries one candidate-assignment decision per pass: the
+	// partitioner, the duplication granule and any adaptive per-subtree
+	// escalations the pass ran with.
+	Plan      []PlanDecision   `json:"plan,omitempty"`
 	Endpoints []EndpointTotals `json:"endpoints,omitempty"`
 	Spans     []obs.Rollup     `json:"spans,omitempty"`
 	// SpansDropped counts spans the tracer discarded at its buffer cap
@@ -131,6 +136,9 @@ func BuildReport(rs *RunStats, tracer *obs.Tracer) Report {
 		}
 		rep.Passes = append(rep.Passes, pr)
 		rep.Skew = append(rep.Skew, ComputeSkew(p.Pass, p.Nodes))
+		if p.Plan != nil {
+			rep.Plan = append(rep.Plan, *p.Plan)
+		}
 	}
 	return rep
 }

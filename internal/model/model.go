@@ -52,6 +52,10 @@ type Meta struct {
 	MinConfidence float64 `json:"min_confidence"`
 	// CreatedUnix is the snapshot creation time (Unix seconds).
 	CreatedUnix int64 `json:"created_unix"`
+	// Granules records the duplication granule map the final pass ran with
+	// (e.g. "none" or "none,root3=fine" after adaptive escalation). Empty for
+	// algorithms without a plan and for snapshots written by older builds.
+	Granules string `json:"granules,omitempty"`
 }
 
 // Model is one complete mined model: everything a serving process needs.
@@ -171,6 +175,9 @@ func appendMeta(dst []byte, m Meta) []byte {
 	dst = appendFloat(dst, m.MinSupport)
 	dst = appendFloat(dst, m.MinConfidence)
 	dst = wire.AppendUvarint(dst, uint64(m.CreatedUnix))
+	// Granules is appended last: readers of older snapshots simply run out of
+	// bytes before it and leave the field empty.
+	dst = appendString(dst, m.Granules)
 	return dst
 }
 
@@ -205,11 +212,17 @@ func readMeta(b []byte) (Meta, error) {
 		return m, err
 	}
 	b = b[off:]
-	created, _, err := wire.Uvarint(b)
+	created, off, err := wire.Uvarint(b)
 	if err != nil {
 		return m, err
 	}
 	m.CreatedUnix = int64(created)
+	b = b[off:]
+	if len(b) > 0 { // absent in snapshots written before the field existed
+		if m.Granules, _, err = readString(b); err != nil {
+			return m, err
+		}
+	}
 	return m, nil
 }
 

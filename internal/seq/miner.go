@@ -28,6 +28,10 @@ type seqMiner struct {
 	prev  []Pattern       // F_{k-1}, the generation input
 	cands [][][]item.Item // C_k of the pass in flight
 
+	// owners[i] is the node that counts cands[i], computed by PlanPass for
+	// the partitioned algorithms (nil for the replicated NPSPM).
+	owners []int
+
 	// Barrier contribution of the pass in flight: the frequent patterns this
 	// node owns (partitioned algorithms). The coordinator merges its own
 	// share from here instead of round-tripping it through the wire encoding.
@@ -97,8 +101,61 @@ func (m *seqMiner) Generate(n *driver.Node, k int) (int, error) {
 	return len(m.cands), nil
 }
 
+// PlanPass computes pass k's candidate-to-node assignment. The sequence
+// miners are static planners — the skew hint is ignored — which keeps the
+// planner seam honest: the driver's state machine imposes no adaptivity,
+// only an explicit, inspectable assignment per pass.
+//
+// SPSPM hashes the canonical pattern key; HPSPM hashes the pattern's root
+// vector (the sorted multiset of its items' hierarchy roots), the H-HPGM
+// rule: all candidates of one tree combination live on one node, so a
+// destination's item filter covers whole subtrees. NPSPM replicates C_k and
+// assigns nothing.
+func (m *seqMiner) PlanPass(n *driver.Node, k int, _ *metrics.SkewReport) (driver.PlanDecision, error) {
+	switch m.cfg.Algorithm {
+	case NPSPM:
+		m.owners = nil
+		return driver.PlanDecision{Partitioner: "replicated", Granule: "all", Duplicated: len(m.cands)}, nil
+	case SPSPM, HPSPM:
+	default:
+		return driver.PlanDecision{}, fmt.Errorf("seq: unknown algorithm %q", m.cfg.Algorithm)
+	}
+	nNodes := n.NumNodes()
+	psp := n.Span("partition")
+	W := n.Workers()
+	owners := make([]int, len(m.cands))
+	itemset.ForShards(len(m.cands), W, n.BoundaryObs("partition shard").Hook(), func(w, lo, hi int) {
+		var roots []item.Item // per-shard root-vector scratch (HPSPM)
+		for i := lo; i < hi; i++ {
+			if m.cfg.Algorithm == HPSPM {
+				var h uint64
+				h, roots = patternRootHashScratch(m.tax, m.cands[i], roots)
+				owners[i] = int(h % uint64(nNodes))
+			} else {
+				owners[i] = int(patternHash(m.cands[i]) % uint64(nNodes))
+			}
+		}
+	})
+	m.owners = owners
+	owned := 0
+	for i := range owners {
+		if owners[i] == n.ID() {
+			owned++
+		}
+	}
+	psp.Arg("owned", int64(owned))
+	psp.Arg("workers", int64(W))
+	psp.End()
+	part := "pattern-hash"
+	if m.cfg.Algorithm == HPSPM {
+		part = "pattern-root-hash"
+	}
+	return driver.PlanDecision{Partitioner: part, Granule: "none"}, nil
+}
+
 // CountPass runs pass k's count-support phase under the configured
-// algorithm and prepares this node's barrier contribution.
+// algorithm, over the assignment PlanPass computed, and prepares this node's
+// barrier contribution.
 func (m *seqMiner) CountPass(n *driver.Node, k int, st *metrics.NodeStats) (driver.PassOutcome, error) {
 	m.owned = m.owned[:0]
 	po := driver.PassOutcome{}
@@ -179,26 +236,10 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 	nNodes := n.NumNodes()
 	self := n.ID()
 
-	// Candidate ownership is deterministic on every node. SPSPM hashes the
-	// canonical pattern key; HPSPM hashes the pattern's root vector (the
-	// sorted multiset of its items' hierarchy roots), the H-HPGM rule: all
-	// candidates of one tree combination live on one node, so a destination's
-	// item filter covers whole subtrees.
-	psp := n.Span("partition")
+	// Candidate ownership was computed by PlanPass; derive this node's share
+	// and the per-destination filters from it.
+	owners := m.owners
 	W := n.Workers()
-	owners := make([]int, len(m.cands))
-	itemset.ForShards(len(m.cands), W, n.BoundaryObs("partition shard").Hook(), func(w, lo, hi int) {
-		var roots []item.Item // per-shard root-vector scratch (HPSPM)
-		for i := lo; i < hi; i++ {
-			if m.cfg.Algorithm == HPSPM {
-				var h uint64
-				h, roots = patternRootHashScratch(m.tax, m.cands[i], roots)
-				owners[i] = int(h % uint64(nNodes))
-			} else {
-				owners[i] = int(patternHash(m.cands[i]) % uint64(nNodes))
-			}
-		}
-	})
 	var ownedIdx []int
 	for i := range owners {
 		if owners[i] == self {
@@ -222,9 +263,6 @@ func (m *seqMiner) countPartitioned(n *driver.Node, k int, st *metrics.NodeStats
 			}
 		}
 	}
-	psp.Arg("owned", int64(len(ownedIdx)))
-	psp.Arg("workers", int64(W))
-	psp.End()
 
 	// Receiver: one unit is one (possibly filtered) closed customer
 	// sequence; the receiver alone touches the owned counts and the node's
