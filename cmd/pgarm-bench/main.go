@@ -67,12 +67,15 @@ type benchReport struct {
 	// Adapt holds the skew-adaptation arms (sequential reference, static,
 	// adaptive) when `-experiment adapt` ran.
 	Adapt []metrics.AdaptReport `json:"adapt,omitempty"`
+	// Stream holds the incremental-mining checkpoints (recount fractions,
+	// append→servable freshness, bit-identity) when `-experiment stream` ran.
+	Stream []metrics.StreamReport `json:"stream,omitempty"`
 }
 
 func main() {
 	def := experiment.Defaults()
 	var (
-		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan, adapt or all")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan, adapt, stream or all")
 		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
 		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
@@ -93,6 +96,10 @@ func main() {
 		scanWork   = flag.Int("scan-workers", scdef.Workers, "scan bench: scan workers per measurement")
 		scanBlock  = flag.Int("scan-block", scdef.TxnsPerBlock, "scan bench: transactions per columnar block (mining arm)")
 		scanMinSup = flag.Float64("scan-minsup", scdef.MinSup, "scan bench: mining-arm support threshold")
+
+		stdef       = experiment.StreamDefaults()
+		streamCkpts = flag.Int("checkpoints", stdef.Checkpoints, "stream bench: number of ingested deltas / incremental checkpoints")
+		streamSup   = flag.Float64("stream-minsup", stdef.MinSup, "stream bench: support threshold")
 
 		adef        = experiment.AdaptDefaults()
 		adaptMinSup = flag.Float64("adapt-minsup", adef.MinSup, "adapt bench: support threshold")
@@ -244,6 +251,25 @@ func main() {
 		}
 		scanReports = reps
 	}
+	var streamReports []metrics.StreamReport
+	// The stream bench measures real append→servable wall-clock, so it too
+	// is opt-in rather than part of "all".
+	if *exp == "stream" {
+		ran = true
+		step("streaming ingestion bench")
+		so := stdef
+		so.Checkpoints = *streamCkpts
+		so.MinSup = *streamSup
+		if *workers > 0 {
+			so.Workers = *workers
+		}
+		t, reps, err := env.Stream(so)
+		if err != nil {
+			logx.Fatal(logger, "experiment failed", "err", err)
+		}
+		fmt.Println(t.Render())
+		streamReports = reps
+	}
 	var adaptReports []metrics.AdaptReport
 	// The adapt bench measures real barrier wall-clock under deliberately
 	// skewed partitions, so it too is opt-in rather than part of "all".
@@ -290,6 +316,7 @@ func main() {
 		rep.Serve = serveReports
 		rep.Scan = scanReports
 		rep.Adapt = adaptReports
+		rep.Stream = streamReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			logx.Fatal(logger, "report marshal failed", "err", err)

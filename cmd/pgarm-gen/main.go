@@ -13,6 +13,11 @@
 // delta-coded transactions, "columnar" the block-compressed columnar format
 // with per-block skip filters (see internal/txn). The miners auto-detect the
 // format by magic, so either feeds -in unchanged.
+//
+// Generation is out-of-core: transactions stream from gen.Stream straight
+// into the per-partition writers (round-robin, matching txn.Partition), so
+// memory stays constant — the full-scale 3.2M-transaction datasets never
+// need to fit in RAM.
 package main
 
 import (
@@ -21,8 +26,16 @@ import (
 
 	"pgarm/internal/gen"
 	"pgarm/internal/logx"
+	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
 )
+
+// partWriter is the streaming surface both on-disk formats expose.
+type partWriter interface {
+	Append(txn.Transaction) error
+	Count() int64
+	Close() error
+}
 
 func main() {
 	var (
@@ -57,33 +70,76 @@ func main() {
 	p = p.Scaled(*scale)
 	p.Seed = *seed
 	logger.Info("generating", "dataset", p.Name, "txns", p.NumTxns, "items", p.NumItems)
-	ds, err := gen.Generate(p)
+
+	// The columnar writers need the taxonomy before the stream starts;
+	// Balanced is deterministic, so this is the same hierarchy (and
+	// fingerprint) gen.Stream builds internally.
+	tax, err := taxonomy.Balanced(p.NumItems, p.Roots, p.Fanout)
 	if err != nil {
-		logx.Fatal(logger, "generate", "err", err)
+		logx.Fatal(logger, "taxonomy", "err", err)
 	}
-	write := func(path string, db *txn.DB) error {
+	newWriter := func(path string) (partWriter, error) {
 		switch *format {
 		case "row":
-			return txn.WriteFile(path, db)
+			return txn.NewRowWriter(path)
 		case "columnar":
-			return txn.WriteColumnar(path, db, ds.Taxonomy, *block)
+			return txn.NewColumnarWriter(path, tax, *block)
 		default:
-			return fmt.Errorf("unknown -format %q (row or columnar)", *format)
+			return nil, fmt.Errorf("unknown -format %q (row or columnar)", *format)
 		}
 	}
-	if *nodes <= 0 {
-		if err := write(*out, ds.DB); err != nil {
-			logx.Fatal(logger, "write failed", "path", *out, "err", err)
+
+	n := *nodes
+	if n <= 0 {
+		n = 1
+	}
+	paths := make([]string, n)
+	writers := make([]partWriter, n)
+	for i := range writers {
+		paths[i] = *out
+		if *nodes > 0 {
+			paths[i] = fmt.Sprintf("%s.n%02d.ptx", *out, i)
 		}
-		logger.Info("wrote dataset", "path", *out, "txns", ds.DB.Len(), "avg_size", ds.DB.AvgSize())
+		w, err := newWriter(paths[i])
+		if err != nil {
+			for _, open := range writers[:i] {
+				open.Close()
+			}
+			logx.Fatal(logger, "create failed", "path", paths[i], "err", err)
+		}
+		writers[i] = w
+	}
+
+	// Round-robin by generation order — identical placement to
+	// txn.Partition (transaction i goes to node i%n).
+	i, itemSum := 0, int64(0)
+	_, err = gen.Stream(p, func(t txn.Transaction) error {
+		itemSum += int64(len(t.Items))
+		w := writers[i%n]
+		i++
+		return w.Append(t)
+	})
+	if err != nil {
+		for _, w := range writers {
+			w.Close()
+		}
+		logx.Fatal(logger, "generate failed", "err", err)
+	}
+	for j, w := range writers {
+		if err := w.Close(); err != nil {
+			logx.Fatal(logger, "write failed", "path", paths[j], "err", err)
+		}
+	}
+
+	if *nodes <= 0 {
+		avg := 0.0
+		if i > 0 {
+			avg = float64(itemSum) / float64(i)
+		}
+		logger.Info("wrote dataset", "path", *out, "txns", i, "avg_size", avg)
 		return
 	}
-	parts := txn.Partition(ds.DB, *nodes)
-	for i, part := range parts {
-		path := fmt.Sprintf("%s.n%02d.ptx", *out, i)
-		if err := write(path, part); err != nil {
-			logx.Fatal(logger, "write failed", "path", path, "err", err)
-		}
-		logger.Info("wrote partition", "path", path, "node", i, "txns", part.Len())
+	for j, w := range writers {
+		logger.Info("wrote partition", "path", paths[j], "node", j, "txns", w.Count())
 	}
 }

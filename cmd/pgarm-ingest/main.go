@@ -1,0 +1,137 @@
+// Command pgarm-ingest appends transactions to a stream log (internal/stream),
+// the durable ingestion point of the streaming pipeline: pgarm-ingest appends,
+// pgarm-mine -follow tails the log and runs FUP-style incremental checkpoints,
+// pgarm-serve hot-swaps the resulting snapshots.
+//
+// The source is either the synthetic generator (constant memory, any scale) or
+// an existing transaction file from pgarm-gen (-from, row or columnar). TIDs
+// are remapped to continue the log's strictly ascending sequence, so repeated
+// invocations model an endless arrival stream.
+//
+// Examples:
+//
+//	pgarm-ingest -log /tmp/stream -dataset R30F5 -scale 0.002 -batch 1000
+//	pgarm-ingest -log /tmp/stream -from /tmp/r30f5.ptx -batch 500 -interval 100ms
+//	pgarm-ingest -log /tmp/stream -dataset R30F5 -scale 0.01 -batch 2000 -batches 3
+package main
+
+import (
+	"errors"
+	"flag"
+	"time"
+
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/logx"
+	"pgarm/internal/stream"
+	"pgarm/internal/txn"
+)
+
+func main() {
+	var (
+		logDir   = flag.String("log", "", "stream log directory (created if absent)")
+		dataset  = flag.String("dataset", "R30F5", "dataset configuration: R30F5, R30F3 or R30F10")
+		scale    = flag.Float64("scale", 0.002, "fraction of the paper's 3.2M transactions to generate")
+		seed     = flag.Int64("seed", 1998, "generator seed")
+		from     = flag.String("from", "", "append from this pgarm-gen transaction file instead of generating")
+		batch    = flag.Int("batch", 1000, "transactions per appended (and fsync'd) batch")
+		batches  = flag.Int("batches", 0, "stop after this many batches (0 = drain the source)")
+		interval = flag.Duration("interval", 0, "pause between batches (models arrival pacing)")
+		segBytes = flag.Int64("segment-bytes", stream.DefaultSegmentBytes, "rotate log segments at this size")
+		logOpts  = logx.Flags()
+	)
+	flag.Parse()
+	logger := logOpts.Init("pgarm-ingest")
+
+	if *logDir == "" {
+		logx.Fatal(logger, "missing -log directory")
+	}
+	if *batch <= 0 {
+		logx.Fatal(logger, "-batch must be positive")
+	}
+	l, err := stream.OpenLog(*logDir, stream.Options{SegmentBytes: *segBytes})
+	if err != nil {
+		logx.Fatal(logger, "open log", "err", err)
+	}
+	start := time.Now()
+	logger.Info("log open", "dir", *logDir, "txns", l.Len(), "next_tid", l.NextTID())
+
+	next := l.NextTID()
+	appended, batchesDone := 0, 0
+	pending := make([]txn.Transaction, 0, *batch)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := l.Append(pending); err != nil {
+			return err
+		}
+		if err := l.Sync(); err != nil {
+			return err
+		}
+		appended += len(pending)
+		batchesDone++
+		logger.Info("appended batch", "batch", batchesDone, "txns", len(pending),
+			"log_txns", l.Len(), "offset", l.End())
+		pending = pending[:0]
+		if *interval > 0 {
+			time.Sleep(*interval)
+		}
+		return nil
+	}
+	errDone := errors.New("batch limit reached")
+	// emit takes ownership of items (callers clone when their buffer is
+	// scratch) and remaps the TID onto the log's sequence.
+	emit := func(items []item.Item) error {
+		pending = append(pending, txn.Transaction{TID: next, Items: items})
+		next++
+		if len(pending) >= *batch {
+			if err := flush(); err != nil {
+				return err
+			}
+			if *batches > 0 && batchesDone >= *batches {
+				return errDone
+			}
+		}
+		return nil
+	}
+
+	var srcErr error
+	if *from != "" {
+		f, err := txn.Open(*from)
+		if err != nil {
+			logx.Fatal(logger, "open source", "err", err)
+		}
+		logger.Info("ingesting from file", "path", *from, "txns", f.Len())
+		srcErr = f.Scan(func(t txn.Transaction) error {
+			return emit(item.Clone(t.Items))
+		})
+	} else {
+		p, err := gen.ByName(*dataset)
+		if err != nil {
+			logx.Fatal(logger, "bad dataset", "err", err)
+		}
+		p = p.Scaled(*scale)
+		p.Seed = *seed
+		logger.Info("ingesting from generator", "dataset", p.Name, "txns", p.NumTxns)
+		_, srcErr = gen.Stream(p, func(t txn.Transaction) error {
+			return emit(t.Items) // gen.Stream allocates per txn: safe to keep
+		})
+	}
+	if srcErr != nil && !errors.Is(srcErr, errDone) {
+		l.Close()
+		logx.Fatal(logger, "ingest failed", "err", srcErr)
+	}
+	if srcErr == nil {
+		if err := flush(); err != nil {
+			l.Close()
+			logx.Fatal(logger, "ingest failed", "err", err)
+		}
+	}
+	total := l.Len()
+	if err := l.Close(); err != nil {
+		logx.Fatal(logger, "close log", "err", err)
+	}
+	logger.Info("ingest complete", "appended", appended, "batches", batchesDone,
+		"log_txns", total, "elapsed", time.Since(start).Round(time.Millisecond))
+}

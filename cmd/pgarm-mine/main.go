@@ -19,11 +19,18 @@
 // pass/progress/skew introspection over the in-process cluster) and the
 // standard /debug/pprof endpoints.
 //
+// With -follow the process instead tails a stream log written by pgarm-ingest
+// and mines FUP-style incremental checkpoints (internal/stream): each
+// -delta-txns new transactions trigger a delta pass whose result is
+// bit-identical to a full batch re-mine, written to -o with carry-forward
+// state, and optionally announced to a pgarm-serve instance via -reload-url.
+//
 // Examples:
 //
 //	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
 //	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules -minconf 0.6
 //	pgarm-mine -dataset R30F5 -scale 0.002 -minsup 0.01 -minconf 0.3 -o /tmp/model.pgarm -quiet
+//	pgarm-mine -follow -log /tmp/stream -dataset R30F5 -minsup 0.01 -delta-txns 2000 -o /tmp/model.pgarm -reload-url http://localhost:8080/reload
 //	pgarm-mine -mode seq -algorithm HPSPM -customers 5000 -nodes 4 -minsup 0.05 -trace seq.json
 package main
 
@@ -100,7 +107,16 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/cluster and /debug/pprof on this address")
-		logOpts  = logx.Flags()
+
+		follow    = flag.Bool("follow", false, "tail a stream log (-log) and mine incremental checkpoints into -o")
+		streamLog = flag.String("log", "", "-follow: stream log directory written by pgarm-ingest")
+		deltaTxns = flag.Int("delta-txns", 5000, "-follow: mine a checkpoint once this many new transactions arrived")
+		poll      = flag.Duration("poll", 200*time.Millisecond, "-follow: log polling interval")
+		idleMine  = flag.Duration("idle", 2*time.Second, "-follow: mine a partial delta after this much stream silence")
+		maxDeltas = flag.Int("max-deltas", 0, "-follow: exit after this many checkpoints (0 = follow forever)")
+		reloadURL = flag.String("reload-url", "", "-follow: POST here after each snapshot (pgarm-serve /reload)")
+
+		logOpts = logx.Flags()
 	)
 	flag.Parse()
 	logger := logOpts.Init("pgarm-mine")
@@ -111,6 +127,27 @@ func main() {
 	}
 	defer stopProf()
 
+	if *follow {
+		if *mode != "itemset" {
+			logx.Fatal(logger, "-follow requires -mode itemset")
+		}
+		followStream(logger, followOptions{
+			logDir:    *streamLog,
+			dataset:   *dataset,
+			out:       *outModel,
+			minsup:    *minsup,
+			minconf:   *minconf,
+			interest:  *interest,
+			maxK:      *maxK,
+			workers:   *workers,
+			deltaTxns: *deltaTxns,
+			poll:      *poll,
+			idle:      *idleMine,
+			maxDeltas: *maxDeltas,
+			reloadURL: *reloadURL,
+		})
+		return
+	}
 	if *mode == "seq" {
 		if *outModel != "" {
 			logx.Fatal(logger, "-o snapshots require -mode itemset (sequential patterns have no serving format yet)")

@@ -7,7 +7,6 @@ import (
 	"pgarm/internal/cumulate"
 	"pgarm/internal/driver"
 	"pgarm/internal/item"
-	"pgarm/internal/itemset"
 	"pgarm/internal/metrics"
 	"pgarm/internal/taxonomy"
 	"pgarm/internal/txn"
@@ -123,8 +122,6 @@ func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 	index := m.cands.fullIndex(k, cands, W)
 	wcounts := driver.WorkerVectors(W, len(cands))
 	wstats := make([]metrics.NodeStats, W)
-	wext := driver.WorkerScratch(W, 64)
-	wsub := driver.WorkerScratch(W, 2*k)
 	started := time.Now()
 	per := (len(cands) + frags - 1) / frags
 	for f := 0; f < frags; f++ {
@@ -136,22 +133,13 @@ func (e *npgmEngine) pass(n *driver.Node, k int, cands [][]item.Item, st *metric
 		// Each fragment only counts candidates in [lo, hi), so the block
 		// predicate is built from exactly that slice: a block with no chance
 		// of supporting any in-fragment candidate is skipped before decode.
-		pred := txn.NewPredicate(m.tax, cands[int(lo):int(hi)])
-		err := driver.ScanTxnShards(m.db, pred, W, n.ShardObs("scan"), wstats, func(w int, t txn.Transaction) error {
-			ws := &wstats[w]
-			ws.TxnsScanned++
-			ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
-			wext[w] = ext
-			counts := wcounts[w]
-			itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
-				ws.Probes++
-				if id := index.Lookup(sub); id >= lo && id < hi {
-					counts[id]++
-					ws.Increments++
-				}
-				return true
-			})
-			return nil
+		err := driver.CountTable(view, member, index, k, m.db, wcounts, driver.CountOptions{
+			Workers: W,
+			Lo:      lo,
+			Hi:      hi,
+			Pred:    txn.NewPredicate(m.tax, cands[int(lo):int(hi)]),
+			Obs:     n.ShardObs("scan"),
+			WStats:  wstats,
 		})
 		if err != nil {
 			return engineOut{}, fmt.Errorf("fragment %d scan: %w", f, err)

@@ -1,0 +1,68 @@
+package driver
+
+import (
+	"pgarm/internal/cumulate"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// CountOptions configures one CountTable scan.
+type CountOptions struct {
+	// Workers is the scan worker count (<= 1 scans inline).
+	Workers int
+	// Lo/Hi restrict counting to the candidate id range [Lo, Hi) — NPGM's
+	// memory fragments. Hi <= 0 means the whole index.
+	Lo, Hi int32
+	// Pred is the per-pass block-skip predicate; nil scans every block.
+	Pred *txn.Predicate
+	// Obs carries the per-shard observability hooks; the zero value
+	// disables them.
+	Obs ShardObs
+	// WStats accumulates TxnsScanned, Probes, Increments and block
+	// counters per worker, exactly as the batch engines record them. It
+	// must hold at least Workers slots (min 1).
+	WStats []metrics.NodeStats
+}
+
+// CountTable counts support for the candidates behind index over one
+// transaction source: each transaction is extended with its kept ancestors
+// (view), filtered to candidate members (member), and every k-subset is
+// probed against the index, incrementing wcounts. It is the count-support
+// kernel shared by the batch NPGM pass and the incremental miner's delta
+// and prefix scans, so both count bit-identically by construction.
+//
+// wcounts must have opt.Workers (min 1) vectors of length index.Len();
+// callers fold them with MergeWorkerVectors. src must support concurrent
+// independent Scan calls when opt.Workers > 1 (every txn.Scanner in the
+// repo does).
+func CountTable(view *taxonomy.View, member []bool, index *itemset.Index, k int, src txn.Scanner, wcounts [][]int64, opt CountOptions) error {
+	W := opt.Workers
+	if W < 1 {
+		W = 1
+	}
+	lo, hi := opt.Lo, opt.Hi
+	if hi <= 0 {
+		hi = int32(index.Len())
+	}
+	wext := WorkerScratch(W, 64)
+	wsub := WorkerScratch(W, 2*k)
+	return ScanTxnShards(src, opt.Pred, W, opt.Obs, opt.WStats, func(w int, t txn.Transaction) error {
+		ws := &opt.WStats[w]
+		ws.TxnsScanned++
+		ext := cumulate.ExtendFiltered(view, member, wext[w][:0], t.Items)
+		wext[w] = ext
+		counts := wcounts[w]
+		itemset.ForEachSubsetScratch(ext, k, wsub[w], func(sub []item.Item) bool {
+			ws.Probes++
+			if id := index.Lookup(sub); id >= lo && id < hi {
+				counts[id]++
+				ws.Increments++
+			}
+			return true
+		})
+		return nil
+	})
+}

@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/metrics"
+	"pgarm/internal/model"
+	"pgarm/internal/rules"
+	"pgarm/internal/stream"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// StreamOptions parameterize the streaming-ingestion experiment
+// (`pgarm-bench -experiment stream`). Like the serve/scan/adapt benches it
+// measures real wall-clock on the machine running it.
+type StreamOptions struct {
+	// Dataset names the Table 5 configuration to generate and stream.
+	Dataset string
+	// Checkpoints is how many deltas the stream is split into; each delta
+	// triggers one incremental checkpoint.
+	Checkpoints int
+	// MinSup is the mining threshold; MinConf the rule-derivation threshold
+	// (the snapshot write includes rules, so both shape the freshness path).
+	MinSup  float64
+	MinConf float64
+	// Workers is the incremental miner's scan parallelism.
+	Workers int
+}
+
+// StreamDefaults returns the stream bench configuration used by pgarm-bench.
+func StreamDefaults() StreamOptions {
+	return StreamOptions{
+		Dataset:     "R30F5",
+		Checkpoints: 4,
+		MinSup:      0.02,
+		MinConf:     0.5,
+		Workers:     4,
+	}
+}
+
+// Stream runs the streaming-ingestion bench: the dataset is appended to a
+// real stream log in Checkpoints batches; after each append one FUP-style
+// incremental checkpoint runs (tail the log, delta-mine, derive rules, write
+// the snapshot) and is compared — wall-clock and bit-for-bit — against a
+// full batch re-mine of the same log prefix. Each row reports how little of
+// the candidate space the carry-forward had to re-count and the end-to-end
+// append→servable freshness.
+func (e *Env) Stream(o StreamOptions) (*Table, []metrics.StreamReport, error) {
+	if o.Dataset == "" {
+		o.Dataset = "R30F5"
+	}
+	if o.Checkpoints < 1 {
+		o.Checkpoints = 4
+	}
+	if o.MinSup <= 0 {
+		o.MinSup = 0.02
+	}
+	if o.MinConf <= 0 {
+		o.MinConf = 0.5
+	}
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	p, err := gen.ByName(o.Dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := gen.Generate(p.Scaled(e.opt.Scale))
+	if err != nil {
+		return nil, nil, err
+	}
+	tax := ds.Taxonomy
+	n := ds.DB.Len()
+	if n < o.Checkpoints {
+		return nil, nil, fmt.Errorf("experiment: %d txns cannot fill %d checkpoints", n, o.Checkpoints)
+	}
+
+	dir, err := os.MkdirTemp("", "pgarm-stream-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	logDir := filepath.Join(dir, "log")
+	snapPath := filepath.Join(dir, "model.pgarm")
+	// A small segment cap keeps rotation on the measured path.
+	l, err := stream.OpenLog(logDir, stream.Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l.Close()
+	reader, err := stream.OpenReader(logDir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	table := &Table{
+		Title: fmt.Sprintf("Streaming ingestion: FUP incremental vs full re-mine (%s, %d txns, minsup %g, %d workers)",
+			ds.Params.Name, n, o.MinSup, o.Workers),
+		Header: []string{"ckpt", "delta", "total", "cands", "recounted", "recount%", "incr ms", "full ms", "speedup", "fresh ms", "identical"},
+		Notes: []string{
+			"recounted = candidates absent from the prior border sets: the only ones whose prefix support had to be re-counted.",
+			"fresh ms = append start -> snapshot (with rules + carry-forward state) durable on disk.",
+			"identical = incremental large itemsets bit-identical to the full batch re-mine of the same log prefix.",
+		},
+	}
+
+	var reports []metrics.StreamReport
+	var prior *model.MiningState
+	var minedOff stream.Offset
+	cfg := stream.MineConfig{MinSupport: o.MinSup, Workers: o.Workers}
+	for ci := 0; ci < o.Checkpoints; ci++ {
+		lo, hi := ci*n/o.Checkpoints, (ci+1)*n/o.Checkpoints
+
+		// Append the delta, fsync'd — freshness starts here.
+		t0 := time.Now()
+		batch := make([]txn.Transaction, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch = append(batch, ds.DB.At(i))
+		}
+		if err := l.Append(batch); err != nil {
+			return nil, nil, err
+		}
+		if err := l.Sync(); err != nil {
+			return nil, nil, err
+		}
+
+		// Tail the log like a follower would and run the checkpoint.
+		var pending []txn.Transaction
+		curOff, err := reader.ReadFrom(minedOff, func(t txn.Transaction) error {
+			pending = append(pending, txn.Transaction{TID: t.TID, Items: item.Clone(t.Items)})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tMine := time.Now()
+		res, state, stats, err := stream.IncrementalMine(tax, prior, reader.Prefix(minedOff), txn.NewDB(pending), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		incrMS := float64(time.Since(tMine)) / float64(time.Millisecond)
+		state.LogSeg, state.LogByte = curOff.Seg, curOff.Byte
+
+		support := res.SupportIndex()
+		rs, err := rules.Derive(tax, res.All(), support, rules.Config{
+			MinConfidence: o.MinConf,
+			NumTxns:       res.NumTxns,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		m := &model.Model{
+			Meta: model.Meta{
+				Dataset:       ds.Params.Name,
+				Algorithm:     "Cumulate-FUP",
+				Tool:          model.ToolVersion,
+				NumTxns:       int64(res.NumTxns),
+				MinSupport:    o.MinSup,
+				MinConfidence: o.MinConf,
+				CreatedUnix:   time.Now().Unix(),
+			},
+			Taxonomy: tax,
+			Large:    res.Large,
+			Rules:    rs,
+			State:    state,
+		}
+		if err := model.WriteFile(snapPath, m); err != nil {
+			return nil, nil, err
+		}
+		freshMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		// Reference arm: full batch re-mine over the identical log prefix.
+		full, fullMS, err := fullRemine(tax, ds, hi, o.MinSup)
+		if err != nil {
+			return nil, nil, err
+		}
+		identical := equalLevels(res.Large, full.Large)
+
+		recount := 0.0
+		if stats.Candidates > 0 {
+			recount = float64(stats.Recounted) / float64(stats.Candidates)
+		}
+		speedup := 0.0
+		if incrMS > 0 {
+			speedup = fullMS / incrMS
+		}
+		rep := metrics.StreamReport{
+			Checkpoint:      ci,
+			Dataset:         ds.Params.Name,
+			MinSup:          o.MinSup,
+			Workers:         o.Workers,
+			DeltaTxns:       stats.DeltaTxns,
+			TotalTxns:       stats.TotalTxns,
+			Passes:          stats.Passes,
+			Candidates:      stats.Candidates,
+			Recounted:       stats.Recounted,
+			PrefixScans:     stats.PrefixScans,
+			RecountFraction: recount,
+			IncrementalMS:   incrMS,
+			FullMS:          fullMS,
+			SpeedupX:        speedup,
+			FreshnessMS:     freshMS,
+			Rules:           len(rs),
+			Identical:       identical,
+		}
+		reports = append(reports, rep)
+		table.AddRow(
+			fmt.Sprintf("%d", ci),
+			fmt.Sprintf("%d", rep.DeltaTxns),
+			fmt.Sprintf("%d", rep.TotalTxns),
+			fmt.Sprintf("%d", rep.Candidates),
+			fmt.Sprintf("%d", rep.Recounted),
+			fmt.Sprintf("%.1f%%", recount*100),
+			fmt.Sprintf("%.1f", incrMS),
+			fmt.Sprintf("%.1f", fullMS),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.1f", freshMS),
+			fmt.Sprintf("%v", identical),
+		)
+
+		prior = state
+		minedOff = curOff
+	}
+	return table, reports, nil
+}
+
+// fullRemine mines the first hi transactions from scratch with the serial
+// reference miner and returns the result with its wall-clock in ms.
+func fullRemine(tax *taxonomy.Taxonomy, ds *gen.Dataset, hi int, minSup float64) (*cumulate.Result, float64, error) {
+	union := &txn.DB{}
+	for i := 0; i < hi; i++ {
+		union.Append(ds.DB.At(i))
+	}
+	t0 := time.Now()
+	full, err := cumulate.Mine(tax, union, cumulate.Config{MinSupport: minSup})
+	if err != nil {
+		return nil, 0, err
+	}
+	return full, float64(time.Since(t0)) / float64(time.Millisecond), nil
+}

@@ -132,8 +132,29 @@ type pattern struct {
 	corruption float64
 }
 
-// Generate builds the taxonomy and the transaction database.
+// Generate builds the taxonomy and the transaction database in memory.
 func Generate(p Params) (*Dataset, error) {
+	db := &txn.DB{}
+	tax, err := Stream(p, func(t txn.Transaction) error {
+		db.Append(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Params: p, Taxonomy: tax, DB: db}, nil
+}
+
+// Stream generates the dataset one transaction at a time without ever
+// materializing the database, so paper-scale datasets (3.2M transactions)
+// can be spilled straight to disk or appended to a stream log in constant
+// memory. Transactions arrive in TID order (0, 1, ...); each Items slice is
+// freshly allocated and may be retained by fn.
+//
+// Stream and Generate draw from the identical pseudo-random sequence: for
+// the same Params they produce bit-identical transactions (asserted by
+// TestStreamMatchesGenerate).
+func Stream(p Params, fn func(txn.Transaction) error) (*taxonomy.Taxonomy, error) {
 	if p.NumTxns <= 0 || p.NumItems <= 0 || p.Roots <= 0 || p.Fanout <= 0 {
 		return nil, fmt.Errorf("gen: non-positive parameter in %+v", p)
 	}
@@ -143,8 +164,10 @@ func Generate(p Params) (*Dataset, error) {
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	pats := makePatterns(p, tax, rng)
-	db := makeTransactions(p, tax, pats, rng)
-	return &Dataset{Params: p, Taxonomy: tax, DB: db}, nil
+	if err := makeTransactions(p, tax, pats, rng, fn); err != nil {
+		return nil, err
+	}
+	return tax, nil
 }
 
 // makePatterns builds the weighted pool of potentially large itemsets.
@@ -218,8 +241,8 @@ func pickPattern(pats []pattern, rng *rand.Rand) *pattern {
 // draw is below the corruption level), and interior items are specialized to
 // a uniformly chosen descendant leaf, so the database contains leaf items
 // only — the hierarchy enters through the mining-side ancestor extension.
-func makeTransactions(p Params, tax *taxonomy.Taxonomy, pats []pattern, rng *rand.Rand) *txn.DB {
-	db := &txn.DB{}
+// Each basket is streamed to fn as soon as it is assembled.
+func makeTransactions(p Params, tax *taxonomy.Taxonomy, pats []pattern, rng *rand.Rand, fn func(txn.Transaction) error) error {
 	scratch := make([]item.Item, 0, 32)
 	for tid := int64(0); tid < int64(p.NumTxns); tid++ {
 		size := poisson(rng, p.AvgTxnSize-1) + 1
@@ -240,9 +263,11 @@ func makeTransactions(p Params, tax *taxonomy.Taxonomy, pats []pattern, rng *ran
 		if len(items) == 0 {
 			items = []item.Item{leafOf(tax, item.Item(rng.Intn(p.NumItems)), rng)}
 		}
-		db.Append(txn.Transaction{TID: tid, Items: items})
+		if err := fn(txn.Transaction{TID: tid, Items: items}); err != nil {
+			return err
+		}
 	}
-	return db
+	return nil
 }
 
 // instantiate corrupts a pattern and specializes interior items to leaves.

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -214,4 +215,49 @@ func indexOf(s, sub string) int {
 		}
 	}
 	return -1
+}
+
+// TestStreamMatchesGenerate asserts the streaming generator and the
+// collecting Generate draw the identical pseudo-random sequence: same
+// taxonomy fingerprint, same transactions, bit for bit, and an early stop
+// from fn aborts the stream.
+func TestStreamMatchesGenerate(t *testing.T) {
+	p := smallParams()
+	ds, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	tax, err := Stream(p, func(tr txn.Transaction) error {
+		want := ds.DB.At(i)
+		if tr.TID != want.TID || !item.Equal(tr.Items, want.Items) {
+			t.Fatalf("txn %d: streamed %v, generated %v", i, tr, want)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != ds.DB.Len() {
+		t.Fatalf("streamed %d txns, generated %d", i, ds.DB.Len())
+	}
+	if tax.Fingerprint() != ds.Taxonomy.Fingerprint() {
+		t.Fatal("taxonomy fingerprints differ")
+	}
+
+	stop := errors.New("stop")
+	n := 0
+	if _, err := Stream(p, func(txn.Transaction) error {
+		n++
+		if n == 10 {
+			return stop
+		}
+		return nil
+	}); !errors.Is(err, stop) {
+		t.Fatalf("early stop: err = %v, want %v", err, stop)
+	}
+	if n != 10 {
+		t.Fatalf("fn called %d times after stop at 10", n)
+	}
 }

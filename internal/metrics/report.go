@@ -15,7 +15,9 @@ import (
 //	1 — initial schema (passes, endpoints, span rollups)
 //	2 — adds the per-pass "skew" section and "spans_dropped"
 //	3 — adds the per-pass "plan" section (partitioner, granule, escalations)
-const ReportVersion = 3
+//	4 — adds the "stream" section (incremental checkpoints: delta/recount
+//	    fractions, append→servable freshness, bit-identity)
+const ReportVersion = 4
 
 // Report is the machine-readable form of one mining run: RunStats flattened
 // into stable JSON plus span rollups from the tracer (when tracing was on).

@@ -1,0 +1,47 @@
+package metrics
+
+// StreamReport is one incremental-mining checkpoint of the streaming bench
+// (`pgarm-bench -experiment stream`): how much candidate re-counting the
+// FUP carry-forward avoided, how the incremental wall-clock compares to a
+// full batch re-mine over the same data, and the end-to-end append→servable
+// freshness (append start to snapshot on disk).
+type StreamReport struct {
+	// Checkpoint is the 0-based delta index; Dataset names the source.
+	Checkpoint int     `json:"checkpoint"`
+	Dataset    string  `json:"dataset"`
+	MinSup     float64 `json:"min_sup"`
+	Workers    int     `json:"workers"`
+
+	// DeltaTxns/TotalTxns are the appended and cumulative transaction
+	// counts at this checkpoint.
+	DeltaTxns int64 `json:"delta_txns"`
+	TotalTxns int64 `json:"total_txns"`
+
+	// Passes counts executed passes; Candidates every candidate across the
+	// k >= 2 passes; Recounted those absent from the prior border sets (the
+	// only ones that forced a prefix rescan); PrefixScans the passes that
+	// touched the prefix at all.
+	Passes      int `json:"passes"`
+	Candidates  int `json:"candidates"`
+	Recounted   int `json:"recounted"`
+	PrefixScans int `json:"prefix_scans"`
+	// RecountFraction is Recounted / Candidates (0 when no candidates).
+	RecountFraction float64 `json:"recount_fraction"`
+
+	// IncrementalMS is the checkpoint's mining wall-clock; FullMS the batch
+	// re-mine over the identical data; SpeedupX their ratio.
+	IncrementalMS float64 `json:"incremental_ms"`
+	FullMS        float64 `json:"full_ms"`
+	SpeedupX      float64 `json:"speedup_x"`
+
+	// FreshnessMS is append start → snapshot durable on disk: the
+	// end-to-end staleness a serving process reloading the snapshot sees.
+	FreshnessMS float64 `json:"freshness_ms"`
+
+	// Rules is the derived rule count in the written snapshot.
+	Rules int `json:"rules"`
+
+	// Identical reports bit-identity of the incremental large itemsets
+	// (items, counts and order) against the full batch re-mine.
+	Identical bool `json:"identical"`
+}

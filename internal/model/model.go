@@ -71,6 +71,10 @@ type Model struct {
 	// Rules are the derived generalized association rules, sorted by
 	// descending confidence then support.
 	Rules []rules.Rule
+	// State, when non-nil, is the incremental-mining carry-forward (log
+	// offset + border-set counts) a follower needs to resume delta passes
+	// from this snapshot. Batch mines leave it nil and write no section.
+	State *MiningState
 }
 
 // Validate checks internal consistency: every itemset and rule item must be
@@ -113,7 +117,7 @@ func (m *Model) Validate() error {
 			return err
 		}
 	}
-	return nil
+	return m.validateState()
 }
 
 // NumItemsets returns the total large itemset count across all levels.
@@ -132,6 +136,7 @@ const (
 	secTaxonomy = 2
 	secItemsets = 3
 	secRules    = 4
+	secState    = 5
 )
 
 // appendString appends a length-prefixed string.

@@ -50,6 +50,9 @@ func Encode(m *Model) ([]byte, error) {
 	section(secTaxonomy, appendTaxonomy(nil, m.Taxonomy))
 	section(secItemsets, appendItemsets(nil, m.Large))
 	section(secRules, appendRules(nil, m.Rules))
+	if m.State != nil {
+		section(secState, appendState(nil, m.State))
+	}
 
 	out := make([]byte, 0, headerLen+len(body))
 	out = append(out, magic[:]...)
@@ -118,8 +121,9 @@ type Reader struct {
 	tax   *taxonomy.Taxonomy
 	large [][]itemset.Counted
 	rules []rules.Rule
+	state *MiningState
 	// decoded flags distinguish "not yet decoded" from "decoded empty".
-	taxDone, largeDone, rulesDone bool
+	taxDone, largeDone, rulesDone, stateDone bool
 }
 
 // NewReader validates a complete snapshot held in memory and indexes its
@@ -250,7 +254,11 @@ func (r *Reader) Model() (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Meta: r.meta, Taxonomy: tax, Large: large, Rules: rs}
+	st, err := r.State()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Meta: r.meta, Taxonomy: tax, Large: large, Rules: rs, State: st}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -85,6 +85,7 @@ func NewServer(h *Holder, c *Cache, opts ServerOptions) *Server {
 	reg.GaugeFunc("pgarm_serve_cache_entries", "Entries currently cached.", func() float64 {
 		return float64(c.Len())
 	})
+	reg.GaugeFunc("pgarm_snapshot_age_seconds", "Age of the live snapshot (now - created; -1 = none loaded).", s.snapshotAge)
 	s.generation.Set(h.Generation())
 	return s
 }
@@ -357,11 +358,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":         true,
 		"model":      ix.Version(),
+		"checksum":   ix.Version(),
 		"generation": s.holder.Generation(),
 		"rules":      len(ix.Rules()),
 		"items":      ix.Taxonomy().NumItems(),
 		"dataset":    meta.Dataset,
 		"algorithm":  meta.Algorithm,
 		"created":    meta.CreatedUnix,
+		// age_seconds is the staleness a streaming follower keeps bounded:
+		// now minus the snapshot's creation stamp (clamped at clock skew).
+		"age_seconds": s.snapshotAge(),
 	})
+}
+
+// snapshotAge returns the live snapshot's age in seconds, or -1 when no
+// model is loaded. Negative clock skew clamps to 0.
+func (s *Server) snapshotAge() float64 {
+	ix := s.holder.Get()
+	if ix == nil {
+		return -1
+	}
+	age := time.Since(time.Unix(ix.Meta().CreatedUnix, 0)).Seconds()
+	if age < 0 {
+		age = 0
+	}
+	return age
 }

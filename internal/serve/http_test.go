@@ -287,3 +287,68 @@ func TestHotSwapZeroFailures(t *testing.T) {
 	}
 	t.Logf("%d requests over %d hot swaps, 0 failures", requests.Load(), swaps)
 }
+
+// TestHealthzFreshnessFields pins the /healthz freshness contract the
+// streaming pipeline's monitoring relies on: generation, checksum and
+// age_seconds in the JSON body, and the snapshot-age gauge plus
+// reload-failure counter on /metrics.
+func TestHealthzFreshnessFields(t *testing.T) {
+	dir := t.TempDir()
+	path, version := writeSnapshot(t, dir, "m.pgarm", shoes, 0.8)
+	ix, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewHolder(ix), nil, ServerOptions{ModelPath: path, Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		OK         bool    `json:"ok"`
+		Generation int64   `json:"generation"`
+		Checksum   string  `json:"checksum"`
+		AgeSeconds float64 `json:"age_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hz.OK || hz.Generation != 1 {
+		t.Fatalf("healthz: %+v", hz)
+	}
+	if hz.Checksum != version {
+		t.Fatalf("checksum %q, want %q", hz.Checksum, version)
+	}
+	// The test snapshot is created with CreatedUnix=1, so its age is huge —
+	// the point is that the field is present, non-negative and derived from
+	// the snapshot's creation time.
+	if hz.AgeSeconds <= 0 {
+		t.Fatalf("age_seconds = %v, want > 0 for a CreatedUnix=1 snapshot", hz.AgeSeconds)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pgarm_snapshot_age_seconds",
+		"pgarm_serve_reload_failures_total 0",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// With no snapshot loaded the gauge reports -1, distinguishable from
+	// "very fresh".
+	empty := NewServer(NewHolder(nil), nil, ServerOptions{Registry: obs.NewRegistry()})
+	if got := empty.snapshotAge(); got != -1 {
+		t.Fatalf("snapshotAge with no model = %v, want -1", got)
+	}
+}

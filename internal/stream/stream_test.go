@@ -1,0 +1,423 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pgarm/internal/cumulate"
+	"pgarm/internal/gen"
+	"pgarm/internal/item"
+	"pgarm/internal/model"
+	"pgarm/internal/txn"
+)
+
+// smallDataset generates a small-but-structured dataset: enough
+// transactions for several checkpoints, a real hierarchy, and pattern skew.
+func smallDataset(t testing.TB) *gen.Dataset {
+	t.Helper()
+	p := gen.Params{
+		Name:            "stream-test",
+		NumTxns:         800,
+		AvgTxnSize:      6,
+		AvgPatternSize:  3,
+		NumPatterns:     60,
+		NumItems:        240,
+		Roots:           6,
+		Fanout:          4,
+		CorrelationMean: 0.5,
+		CorruptionMean:  0.5,
+		CorruptionSD:    0.1,
+		Seed:            7,
+	}
+	ds, err := gen.Generate(p)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return ds
+}
+
+// writeLog appends the dataset to a fresh log in batches ending at the given
+// checkpoint boundaries, returning the end offset of each batch. A tiny
+// segment threshold forces rotation so multi-segment logs are the norm.
+func writeLog(t testing.TB, dir string, ds *gen.Dataset, checkpoints []int) []Offset {
+	t.Helper()
+	l, err := OpenLog(dir, Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	defer l.Close()
+	offs := make([]Offset, 0, len(checkpoints))
+	start := 0
+	for _, end := range checkpoints {
+		batch := make([]txn.Transaction, 0, end-start)
+		for i := start; i < end; i++ {
+			batch = append(batch, ds.DB.At(i))
+		}
+		if err := l.Append(batch); err != nil {
+			t.Fatalf("append [%d,%d): %v", start, end, err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		offs = append(offs, l.End())
+		start = end
+	}
+	return offs
+}
+
+func sliceDB(ds *gen.Dataset, lo, hi int) *txn.DB {
+	db := &txn.DB{}
+	for i := lo; i < hi; i++ {
+		db.Append(ds.DB.At(i))
+	}
+	return db
+}
+
+// TestIncrementalBitIdentity is the correctness bar of the streaming
+// subsystem: at every checkpoint, for every worker count and support level,
+// the incremental result must be bit-identical (itemsets, counts, order) to
+// a full batch re-mine over the whole log so far — including a mid-sequence
+// round-trip of the carry-forward state through the snapshot codec.
+func TestIncrementalBitIdentity(t *testing.T) {
+	ds := smallDataset(t)
+	checkpoints := []int{250, 400, 430, 800} // deliberately uneven deltas
+	dir := t.TempDir()
+	offs := writeLog(t, dir, ds, checkpoints)
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("open reader: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, minsup := range []float64{0.05, 0.02} {
+			cfg := MineConfig{MinSupport: minsup, Workers: workers}
+			var prior *model.MiningState
+			prev := 0
+			prevOff := Offset{}
+			for ci, end := range checkpoints {
+				delta := sliceDB(ds, prev, end)
+				res, state, stats, err := IncrementalMine(ds.Taxonomy, prior, r.Prefix(prevOff), delta, cfg)
+				if err != nil {
+					t.Fatalf("w=%d sup=%g ckpt=%d: incremental: %v", workers, minsup, ci, err)
+				}
+				full, err := cumulate.Mine(ds.Taxonomy, sliceDB(ds, 0, end), cumulate.Config{MinSupport: minsup})
+				if err != nil {
+					t.Fatalf("w=%d sup=%g ckpt=%d: full: %v", workers, minsup, ci, err)
+				}
+				if !reflect.DeepEqual(res.Large, full.Large) {
+					t.Fatalf("w=%d sup=%g ckpt=%d: incremental diverged from full re-mine\nincremental: %v\nfull: %v",
+						workers, minsup, ci, res.Large, full.Large)
+				}
+				if res.NumTxns != end || stats.TotalTxns != int64(end) || stats.DeltaTxns != int64(end-prev) {
+					t.Fatalf("ckpt=%d: txn accounting off: res=%d stats=%+v", ci, res.NumTxns, stats)
+				}
+				if ci > 0 && stats.Candidates > 0 && stats.Recounted >= stats.Candidates {
+					t.Fatalf("ckpt=%d: no FUP savings: recounted %d of %d candidates",
+						ci, stats.Recounted, stats.Candidates)
+				}
+				// Round-trip the state through the snapshot codec mid-sequence,
+				// exactly as the follower does between checkpoints.
+				state.LogSeg, state.LogByte = offs[ci].Seg, offs[ci].Byte
+				m := &model.Model{
+					Meta:     model.Meta{NumTxns: int64(end), MinSupport: minsup},
+					Taxonomy: ds.Taxonomy,
+					Large:    res.Large,
+					State:    state,
+				}
+				buf, err := model.Encode(m)
+				if err != nil {
+					t.Fatalf("ckpt=%d: encode state: %v", ci, err)
+				}
+				mr, err := model.NewReader(buf)
+				if err != nil {
+					t.Fatalf("ckpt=%d: reopen state: %v", ci, err)
+				}
+				prior, err = mr.State()
+				if err != nil {
+					t.Fatalf("ckpt=%d: decode state: %v", ci, err)
+				}
+				if prior == nil || !reflect.DeepEqual(prior, state) {
+					t.Fatalf("ckpt=%d: state did not round-trip", ci)
+				}
+				prev = end
+				prevOff = offs[ci]
+			}
+		}
+	}
+}
+
+// TestLogRoundtripRotationReopen checks that a multi-segment log replays
+// exactly what was appended, across writer reopens.
+func TestLogRoundtripRotationReopen(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	writeLog(t, dir, ds, []int{300, 600})
+
+	// Reopen for appending: recovery must land exactly at the end.
+	l, err := OpenLog(dir, Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l.Len() != 600 {
+		t.Fatalf("reopened log has %d txns, want 600", l.Len())
+	}
+	if want := ds.DB.At(599).TID + 1; l.NextTID() != want {
+		t.Fatalf("reopened NextTID %d, want %d", l.NextTID(), want)
+	}
+	var rest []txn.Transaction
+	for i := 600; i < 800; i++ {
+		rest = append(rest, ds.DB.At(i))
+	}
+	if err := l.Append(rest); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatalf("open reader: %v", err)
+	}
+	i := 0
+	end, err := r.ReadFrom(Offset{}, func(tr txn.Transaction) error {
+		want := ds.DB.At(i)
+		if tr.TID != want.TID || !reflect.DeepEqual(append([]item.Item{}, tr.Items...), want.Items) {
+			t.Fatalf("txn %d mismatch: got %v want %v", i, tr, want)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if i != 800 || end.Txns != 800 {
+		t.Fatalf("replayed %d txns, offset %+v; want 800", i, end)
+	}
+	if end.Seg == 0 {
+		t.Fatalf("expected rotation to produce multiple segments, still on segment 0")
+	}
+
+	// Prefix scanners must deliver exact counts, repeatedly and concurrently.
+	ps := r.Prefix(Offset{Txns: 357})
+	if ps.Len() != 357 {
+		t.Fatalf("prefix len %d", ps.Len())
+	}
+	for round := 0; round < 2; round++ {
+		n := 0
+		if err := ps.Scan(func(tr txn.Transaction) error { n++; return nil }); err != nil {
+			t.Fatalf("prefix scan: %v", err)
+		}
+		if n != 357 {
+			t.Fatalf("prefix delivered %d txns, want 357", n)
+		}
+	}
+}
+
+// TestReadFromTailing checks the tailing contract: a reader at the end of
+// the log sees nothing until more is appended, a torn in-flight tail is
+// waited out rather than erroring, and replay resumes at the returned
+// offset without loss or duplication.
+func TestReadFromTailing(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := func(lo, hi int) []txn.Transaction {
+		var b []txn.Transaction
+		for i := lo; i < hi; i++ {
+			b = append(b, ds.DB.At(i))
+		}
+		return b
+	}
+	if err := l.Append(batch(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	off, err := r.ReadFrom(Offset{}, func(txn.Transaction) error { n++; return nil })
+	if err != nil || n != 100 {
+		t.Fatalf("first read: n=%d err=%v", n, err)
+	}
+
+	// Nothing new: same offset, no txns, no error.
+	m := 0
+	off2, err := r.ReadFrom(off, func(txn.Transaction) error { m++; return nil })
+	if err != nil || m != 0 || off2 != off {
+		t.Fatalf("idle read: m=%d off2=%+v err=%v", m, off2, err)
+	}
+
+	// Simulate an in-flight frame: append a few garbage bytes to the last
+	// segment. The tailer must wait at the frame boundary, not error.
+	segPath := filepath.Join(dir, segName(off.Seg))
+	f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	off3, err := r.ReadFrom(off, func(txn.Transaction) error { return nil })
+	if err != nil || off3 != off {
+		t.Fatalf("torn-tail read: off3=%+v err=%v", off3, err)
+	}
+	// Writer restart truncates the torn bytes and appends more.
+	l.Close()
+	l, err = OpenLog(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if err := l.Append(batch(100, 180)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	off4, err := r.ReadFrom(off, func(tr txn.Transaction) error {
+		if want := ds.DB.At(100 + n); tr.TID != want.TID {
+			t.Fatalf("resumed txn %d has TID %d, want %d", n, tr.TID, want.TID)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 80 || off4.Txns != 180 {
+		t.Fatalf("resume read: n=%d off=%+v err=%v", n, off4, err)
+	}
+}
+
+// TestCrashTruncationRecovery truncates a finished log at every byte of its
+// last segment: OpenLog must always recover to a clean frame boundary (a
+// prefix of the appended transactions, possibly empty) and accept further
+// appends that a reader then sees seamlessly.
+func TestCrashTruncationRecovery(t *testing.T) {
+	ds := smallDataset(t)
+	src := t.TempDir()
+	l, err := OpenLog(src, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns []txn.Transaction
+	for i := 0; i < 40; i++ {
+		txns = append(txns, ds.DB.At(i))
+	}
+	// Three frames on one segment so truncation crosses frame boundaries.
+	for lo := 0; lo < 40; lo += 15 {
+		hi := lo + 15
+		if hi > 40 {
+			hi = 40
+		}
+		if err := l.Append(txns[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(src, segName(0))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := OpenLog(dir, Options{SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		got := int(l2.Len())
+		if got != 0 && got != 15 && got != 30 && got != 40 {
+			t.Fatalf("cut=%d: recovered %d txns, not a frame boundary", cut, got)
+		}
+		// The log must accept appends right where it recovered to.
+		if err := l2.Append([]txn.Transaction{ds.DB.At(got)}); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenReader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		_, err = r.ReadFrom(Offset{}, func(tr txn.Transaction) error {
+			if want := ds.DB.At(n); tr.TID != want.TID {
+				t.Fatalf("cut=%d: txn %d TID %d, want %d", cut, n, tr.TID, want.TID)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut=%d: replay after recovery: %v", cut, err)
+		}
+		if n != got+1 {
+			t.Fatalf("cut=%d: replayed %d, want %d", cut, n, got+1)
+		}
+	}
+}
+
+// TestLogRejectsCorruption flips one payload byte in a complete interior
+// frame: both the writer's recovery and the reader must refuse it.
+func TestLogRejectsCorruption(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	writeLog(t, dir, ds, []int{200})
+	segPath := filepath.Join(dir, segName(0))
+	b, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+frameHeaderSize+3] ^= 0xff
+	if err := os.WriteFile(segPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrom(Offset{}, func(txn.Transaction) error { return nil }); err == nil {
+		t.Fatal("reader accepted corrupt frame")
+	}
+}
+
+// TestAppendValidation: the writer refuses descending TIDs and
+// non-canonical baskets.
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ok := []txn.Transaction{{TID: 5, Items: []item.Item{1, 2, 9}}}
+	if err := l.Append(ok); err != nil {
+		t.Fatalf("valid append: %v", err)
+	}
+	if err := l.Append([]txn.Transaction{{TID: 5, Items: []item.Item{1}}}); err == nil {
+		t.Fatal("accepted duplicate TID")
+	}
+	if err := l.Append([]txn.Transaction{{TID: 9, Items: []item.Item{3, 3}}}); err == nil {
+		t.Fatal("accepted non-canonical basket")
+	}
+	if err := l.Append([]txn.Transaction{{TID: 9, Items: nil}}); err == nil {
+		t.Fatal("accepted empty basket")
+	}
+}

@@ -1,7 +1,6 @@
 package txn
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -203,164 +202,19 @@ type BlockScanner interface {
 // tax supplies the ancestor closure for the skip filters and its fingerprint
 // for the header; a nil tax writes filters over the literal items with a zero
 // fingerprint, which any taxonomy-carrying predicate refuses to skip on.
-func WriteColumnar(path string, db *DB, tax *taxonomy.Taxonomy, txnsPerBlock int) (err error) {
-	if txnsPerBlock <= 0 {
-		txnsPerBlock = DefaultTxnsPerBlock
-	}
-	if txnsPerBlock > maxTxnsPerBlock {
-		return fmt.Errorf("txn: txnsPerBlock %d exceeds %d", txnsPerBlock, maxTxnsPerBlock)
-	}
-	f, err := os.Create(path)
+// It is a convenience wrapper over the streaming ColumnarWriter.
+func WriteColumnar(path string, db *DB, tax *taxonomy.Taxonomy, txnsPerBlock int) error {
+	cw, err := NewColumnarWriter(path, tax, txnsPerBlock)
 	if err != nil {
-		return fmt.Errorf("txn: create %s: %w", path, err)
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("txn: close %s: %w", path, cerr)
-		}
-	}()
-	w := bufio.NewWriterSize(f, 1<<20)
-	if err := writeColumnar(w, db, tax, txnsPerBlock); err != nil {
-		return fmt.Errorf("txn: write %s: %w", path, err)
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("txn: flush %s: %w", path, err)
-	}
-	return nil
-}
-
-func writeColumnar(w *bufio.Writer, db *DB, tax *taxonomy.Taxonomy, txnsPerBlock int) error {
-	var hdr [columnarHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], columnarMagic)
-	hdr[4] = columnarVersion
-	var fp uint64
-	if tax != nil {
-		fp = tax.Fingerprint()
-	}
-	binary.BigEndian.PutUint64(hdr[5:13], fp)
-	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	offset := int64(columnarHeaderSize)
-
-	// seen marks closure members of the block under construction; closure
-	// collects them for min/max + bloom build and drives the reset.
-	var seen []bool
-	if tax != nil {
-		seen = make([]bool, tax.NumItems())
-	}
-	var closure []item.Item
-	var body []byte
-	dir := wire.AppendUvarint(nil, uint64((db.Len()+txnsPerBlock-1)/txnsPerBlock))
-
-	prevTID, firstTxn := int64(0), true
-	for start := 0; start < db.Len(); start += txnsPerBlock {
-		end := start + txnsPerBlock
-		if end > db.Len() {
-			end = db.Len()
-		}
-		blk := db.txns[start:end]
-
-		// Validate exactly as the row writer does, then collect the closure.
-		closure = closure[:0]
-		for _, t := range blk {
-			if t.TID < 0 || (!firstTxn && t.TID <= prevTID) {
-				return fmt.Errorf("TIDs not strictly ascending: %d after %d", t.TID, prevTID)
-			}
-			prevTID, firstTxn = t.TID, false
-			if !item.IsSorted(t.Items) {
-				return fmt.Errorf("transaction %d items not canonical", t.TID)
-			}
-			for _, x := range t.Items {
-				if tax != nil {
-					for cur := x; cur != item.None; cur = tax.Parent(cur) {
-						if !seen[cur] {
-							seen[cur] = true
-							closure = append(closure, cur)
-						}
-					}
-				} else {
-					if int(x) >= len(seen) {
-						grown := make([]bool, int(x)+1)
-						copy(grown, seen)
-						seen = grown
-					}
-					if !seen[x] {
-						seen[x] = true
-						closure = append(closure, x)
-					}
-				}
-			}
-		}
-		for _, x := range closure {
-			seen[x] = false
-		}
-		minIt, maxIt := item.Item(1), item.Item(0) // min > max: empty closure
-		for i, x := range closure {
-			if i == 0 || x < minIt {
-				minIt = x
-			}
-			if i == 0 || x > maxIt {
-				maxIt = x
-			}
-		}
-		var bloom []byte
-		var mask uint32
-		if len(closure) > 0 {
-			bits := bloomBitsFor(len(closure))
-			mask = bits - 1
-			bloom = make([]byte, bits/8)
-			for _, x := range closure {
-				bloomSet(bloom, mask, x)
-			}
-		}
-
-		// Encode the three columns.
-		body = body[:0]
-		for _, t := range blk {
-			body = wire.AppendUvarint(body, uint64(len(t.Items)))
-		}
-		prev := blk[0].TID
-		for _, t := range blk[1:] {
-			body = wire.AppendUvarint(body, uint64(t.TID-prev))
-			prev = t.TID
-		}
-		for _, t := range blk {
-			pi := item.Item(0)
-			for i, x := range t.Items {
-				d := uint64(x - pi)
-				if i == 0 {
-					d = uint64(x)
-				}
-				body = wire.AppendUvarint(body, d)
-				pi = x
-			}
-		}
-		if _, err := w.Write(body); err != nil {
+	for _, t := range db.txns {
+		if err := cw.Append(t); err != nil {
+			cw.Close()
 			return err
 		}
-
-		dir = wire.AppendUvarint(dir, uint64(offset))
-		dir = wire.AppendUvarint(dir, uint64(len(body)))
-		dir = wire.AppendUvarint(dir, uint64(len(blk)))
-		dir = wire.AppendUvarint(dir, uint64(blk[0].TID))
-		dir = wire.AppendUvarint(dir, uint64(minIt))
-		dir = wire.AppendUvarint(dir, uint64(maxIt))
-		dir = wire.AppendUvarint(dir, uint64(len(bloom)))
-		dir = append(dir, bloom...)
-		offset += int64(len(body))
 	}
-
-	if _, err := w.Write(dir); err != nil {
-		return err
-	}
-	var tr [columnarTrailerSize]byte
-	binary.BigEndian.PutUint64(tr[0:8], uint64(offset))
-	binary.BigEndian.PutUint64(tr[8:16], uint64(len(dir)))
-	binary.BigEndian.PutUint32(tr[16:20], crc32.ChecksumIEEE(dir))
-	binary.BigEndian.PutUint32(tr[20:24], columnarMagic)
-	_, err := w.Write(tr[:])
-	return err
+	return cw.Close()
 }
 
 // ColumnarFile is a disk-backed columnar transaction partition. Open parses

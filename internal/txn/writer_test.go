@@ -1,0 +1,206 @@
+package txn
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgarm/internal/item"
+	"pgarm/internal/taxonomy"
+)
+
+func writerTestDB(t *testing.T) (*DB, *taxonomy.Taxonomy) {
+	t.Helper()
+	tax, err := taxonomy.Balanced(120, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{}
+	tid := int64(0)
+	for i := 0; i < 700; i++ {
+		n := 1 + i%7
+		items := make([]item.Item, 0, n)
+		for j := 0; j < n; j++ {
+			items = append(items, item.Item((i*13+j*17)%120))
+		}
+		items = item.Dedup(items)
+		tid += int64(1 + i%3)
+		db.Append(Transaction{TID: tid, Items: items})
+	}
+	return db, tax
+}
+
+// TestRowWriterByteIdentity streams the database through RowWriter and
+// asserts the spill-and-stitch output is byte-identical to WriteFile's
+// single-shot encoding.
+func TestRowWriterByteIdentity(t *testing.T) {
+	db, _ := writerTestDB(t)
+	dir := t.TempDir()
+	whole, streamed := filepath.Join(dir, "whole.ptx"), filepath.Join(dir, "stream.ptx")
+	if err := WriteFile(whole, db); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRowWriter(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]item.Item, 0, 16)
+	for i := 0; i < db.Len(); i++ {
+		tx := db.At(i)
+		// Reuse one scratch buffer across appends: the writer must not
+		// depend on the caller's Items surviving the call.
+		scratch = append(scratch[:0], tx.Items...)
+		if err := rw.Append(Transaction{TID: tx.TID, Items: scratch}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := rw.Count(), int64(db.Len()); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streamed row file differs from WriteFile output (%d vs %d bytes)", len(b), len(a))
+	}
+	// No spill temp left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("unexpected leftover files in %s: %v", dir, ents)
+	}
+}
+
+// TestColumnarWriterByteIdentity streams the database through
+// ColumnarWriter — with a caller-reused Items buffer, exercising the arena
+// clone — and asserts byte identity with WriteColumnar, including a
+// partially filled final block.
+func TestColumnarWriterByteIdentity(t *testing.T) {
+	db, tax := writerTestDB(t)
+	for _, blk := range []int{64, 256, 1024} {
+		dir := t.TempDir()
+		whole, streamed := filepath.Join(dir, "whole.ptc"), filepath.Join(dir, "stream.ptc")
+		if err := WriteColumnar(whole, db, tax, blk); err != nil {
+			t.Fatal(err)
+		}
+		cw, err := NewColumnarWriter(streamed, tax, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch := make([]item.Item, 0, 16)
+		for i := 0; i < db.Len(); i++ {
+			tx := db.At(i)
+			scratch = append(scratch[:0], tx.Items...)
+			if err := cw.Append(Transaction{TID: tx.TID, Items: scratch}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := os.ReadFile(whole)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(streamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("block=%d: streamed columnar file differs from WriteColumnar output (%d vs %d bytes)", blk, len(b), len(a))
+		}
+		cf, err := OpenColumnar(streamed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf.Len() != db.Len() {
+			t.Fatalf("block=%d: reopened count %d, want %d", blk, cf.Len(), db.Len())
+		}
+	}
+}
+
+// TestWritersEmpty checks both streaming writers produce valid, openable
+// zero-transaction files.
+func TestWritersEmpty(t *testing.T) {
+	dir := t.TempDir()
+	row := filepath.Join(dir, "empty.ptx")
+	rw, err := NewRowWriter(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("empty row file reports %d txns", f.Len())
+	}
+
+	col := filepath.Join(dir, "empty.ptc")
+	cw, err := NewColumnarWriter(col, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := OpenColumnar(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Len() != 0 {
+		t.Fatalf("empty columnar file reports %d txns", cf.Len())
+	}
+}
+
+// TestWritersRejectInvalid checks validation parity with the whole-DB
+// writers and that a failed stream leaves no destination file behind.
+func TestWritersRejectInvalid(t *testing.T) {
+	dir := t.TempDir()
+	row := filepath.Join(dir, "bad.ptx")
+	rw, err := NewRowWriter(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(Transaction{TID: 5, Items: []item.Item{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(Transaction{TID: 5, Items: []item.Item{3}}); err == nil {
+		t.Fatal("duplicate TID accepted")
+	}
+	if err := rw.Close(); err == nil {
+		t.Fatal("Close after sticky error reported success")
+	}
+	if _, err := os.Stat(row); !os.IsNotExist(err) {
+		t.Fatalf("failed stream left destination behind: %v", err)
+	}
+
+	col := filepath.Join(dir, "bad.ptc")
+	cw, err := NewColumnarWriter(col, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Append(Transaction{TID: 1, Items: []item.Item{4, 2}}); err == nil {
+		t.Fatal("non-canonical itemset accepted")
+	}
+	if err := cw.Close(); err == nil {
+		t.Fatal("Close after sticky error reported success")
+	}
+	if _, err := os.Stat(col); !os.IsNotExist(err) {
+		t.Fatalf("failed stream left destination behind: %v", err)
+	}
+}
