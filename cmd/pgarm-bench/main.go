@@ -23,6 +23,14 @@
 //
 //	pgarm-bench -experiment adapt -scale 0.005 -nodes 4 -zipf 1.5 -json adapt.json
 //
+// -experiment fpg is the miner-family head-to-head: the same partitioned
+// dataset mined at every swept support by the Cumulate-family candidate
+// engines and by the taxonomy-aware parallel FP-Growth engine (internal/fpg),
+// with wall-clock, candidate counts, the FP-Growth speedup per arm and
+// bit-identity of every arm against sequential Cumulate:
+//
+//	pgarm-bench -experiment fpg -scale 0.01 -nodes 4 -workers 4 -json fpg.json
+//
 // -trace writes a Chrome trace_event file (load it in chrome://tracing or
 // https://ui.perfetto.dev) covering every mining run; -json writes a
 // versioned machine-readable report with per-run, per-pass and per-node
@@ -70,12 +78,15 @@ type benchReport struct {
 	// Stream holds the incremental-mining checkpoints (recount fractions,
 	// append→servable freshness, bit-identity) when `-experiment stream` ran.
 	Stream []metrics.StreamReport `json:"stream,omitempty"`
+	// Fpg holds the FP-Growth vs. Cumulate-family head-to-head arms when
+	// `-experiment fpg` ran.
+	Fpg []metrics.FpgReport `json:"fpg,omitempty"`
 }
 
 func main() {
 	def := experiment.Defaults()
 	var (
-		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan, adapt, stream or all")
+		exp      = flag.String("experiment", "all", "table5, table6, fig13, fig14, fig15, fig16, seq, serve, scan, adapt, stream, fpg or all")
 		scale    = flag.Float64("scale", def.Scale, "fraction of the paper's 3.2M transactions")
 		nodes    = flag.Int("nodes", def.Nodes, "cluster size for the fixed-size experiments")
 		budget   = flag.Int64("budget", 0, "per-node memory budget in bytes (0 = auto-derived)")
@@ -96,6 +107,10 @@ func main() {
 		scanWork   = flag.Int("scan-workers", scdef.Workers, "scan bench: scan workers per measurement")
 		scanBlock  = flag.Int("scan-block", scdef.TxnsPerBlock, "scan bench: transactions per columnar block (mining arm)")
 		scanMinSup = flag.Float64("scan-minsup", scdef.MinSup, "scan bench: mining-arm support threshold")
+		mmapOn     = flag.Bool("mmap", false, "scan bench: map columnar partitions instead of pread (falls back to pread where unsupported)")
+
+		fdef    = experiment.FpgDefaults()
+		fpgSups = flag.String("fpg-minsups", "", "fpg bench: comma-separated support sweep (default from FpgDefaults)")
 
 		stdef       = experiment.StreamDefaults()
 		streamCkpts = flag.Int("checkpoints", stdef.Checkpoints, "stream bench: number of ingested deltas / incremental checkpoints")
@@ -242,6 +257,7 @@ func main() {
 		so.Workers = *scanWork
 		so.TxnsPerBlock = *scanBlock
 		so.MinSup = *scanMinSup
+		so.Mmap = *mmapOn
 		ts, reps, err := env.Scan(so)
 		if err != nil {
 			logx.Fatal(logger, "experiment failed", "err", err)
@@ -287,6 +303,30 @@ func main() {
 		fmt.Println(t.Render())
 		adaptReports = reps
 	}
+	var fpgReports []metrics.FpgReport
+	// The fpg bench races real wall-clock of the two miner families, so it
+	// too is opt-in rather than part of "all".
+	if *exp == "fpg" {
+		ran = true
+		step("FP-Growth head-to-head bench")
+		fo := fdef
+		if *fpgSups != "" {
+			fo.MinSups = nil
+			for _, s := range strings.Split(*fpgSups, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					logx.Fatal(logger, "bad -fpg-minsups entry", "entry", s, "err", err)
+				}
+				fo.MinSups = append(fo.MinSups, v)
+			}
+		}
+		t, reps, err := env.Fpg(fo)
+		if err != nil {
+			logx.Fatal(logger, "experiment failed", "err", err)
+		}
+		fmt.Println(t.Render())
+		fpgReports = reps
+	}
 	if !ran {
 		logx.Fatal(logger, "unknown experiment", "experiment", *exp)
 	}
@@ -317,6 +357,7 @@ func main() {
 		rep.Scan = scanReports
 		rep.Adapt = adaptReports
 		rep.Stream = streamReports
+		rep.Fpg = fpgReports
 		b, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
 			logx.Fatal(logger, "report marshal failed", "err", err)

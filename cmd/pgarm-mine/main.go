@@ -9,6 +9,12 @@
 // patterns with the [SK98] miners (NPSPM, SPSPM, HPSPM) over a generated
 // customer-sequence database (-customers, -items, -roots, -fanout).
 //
+// -engine selects the miner family (internal/engines): the six candidate-
+// based algorithms of the paper, or FPG — the taxonomy-aware parallel
+// FP-Growth engine (internal/fpg), bit-identical output at any node and
+// worker count. -mmap memory-maps columnar partition files instead of
+// reading blocks with pread.
+//
 // With -rules the run continues past itemset mining into rule derivation
 // (internal/rules) at the -minconf threshold; with -o the complete mined
 // model — taxonomy, large itemsets, rules, generation metadata — is written
@@ -28,6 +34,7 @@
 // Examples:
 //
 //	pgarm-mine -algorithm H-HPGM-FGD -dataset R30F5 -scale 0.005 -nodes 8 -minsup 0.005
+//	pgarm-mine -engine FPG -dataset R30F5 -scale 0.005 -nodes 4 -minsup 0.003
 //	pgarm-mine -algorithm HPGM -dataset R30F5 -in /tmp/r30f5.n00.ptx,/tmp/r30f5.n01.ptx -minsup 0.01 -rules -minconf 0.6
 //	pgarm-mine -dataset R30F5 -scale 0.002 -minsup 0.01 -minconf 0.3 -o /tmp/model.pgarm -quiet
 //	pgarm-mine -follow -log /tmp/stream -dataset R30F5 -minsup 0.01 -delta-txns 2000 -o /tmp/model.pgarm -reload-url http://localhost:8080/reload
@@ -44,9 +51,13 @@ import (
 
 	"pgarm/internal/core"
 	"pgarm/internal/driver"
+	"pgarm/internal/engines"
+	"pgarm/internal/fpg"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/itemset"
 	"pgarm/internal/logx"
+	"pgarm/internal/metrics"
 	"pgarm/internal/model"
 	"pgarm/internal/obs"
 	"pgarm/internal/obshttp"
@@ -82,6 +93,7 @@ func main() {
 	var (
 		mode     = flag.String("mode", "itemset", "itemset (association rules) or seq (sequential patterns)")
 		algName  = flag.String("algorithm", "", "itemset: NPGM, HPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD or H-HPGM-FGD (default H-HPGM-FGD); seq: NPSPM, SPSPM or HPSPM (default HPSPM)")
+		engName  = flag.String("engine", "", "itemset mining engine, overrides -algorithm: "+engines.Names()+" (FPG = pattern growth, no candidate sets)")
 		dataset  = flag.String("dataset", "R30F5", "dataset configuration (defines the hierarchy): R30F5, R30F3 or R30F10")
 		cust     = flag.Int("customers", 2000, "seq mode: customers to generate")
 		seqItems = flag.Int("items", 300, "seq mode: item universe size")
@@ -100,6 +112,7 @@ func main() {
 		adaptive = flag.Bool("adaptive", false, "H-HPGM family: escalate duplication granules per hot taxonomy subtree from observed barrier skew")
 		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = run to completion)")
 		tcp      = flag.Bool("tcp", false, "run the nodes over loopback TCP instead of channels")
+		mmapOn   = flag.Bool("mmap", false, "-in: map columnar partition files instead of pread (falls back where unsupported)")
 		quiet    = flag.Bool("quiet", false, "suppress the itemset listing, print stats only")
 		topN     = flag.Int("top", 25, "how many itemsets/rules to list per section")
 		workers  = flag.Int("workers", 0, "scan workers per node (0 or 1 = scan on the node goroutine)")
@@ -131,6 +144,9 @@ func main() {
 		if *mode != "itemset" {
 			logx.Fatal(logger, "-follow requires -mode itemset")
 		}
+		if *engName != "" {
+			logx.Fatal(logger, "-engine applies to batch itemset mining; -follow always uses the incremental Cumulate miner")
+		}
 		followStream(logger, followOptions{
 			logDir:    *streamLog,
 			dataset:   *dataset,
@@ -151,6 +167,9 @@ func main() {
 	if *mode == "seq" {
 		if *outModel != "" {
 			logx.Fatal(logger, "-o snapshots require -mode itemset (sequential patterns have no serving format yet)")
+		}
+		if *engName != "" {
+			logx.Fatal(logger, "-engine applies to -mode itemset; seq selects its miner with -algorithm")
 		}
 		mineSequences(logger, seqOptions{
 			algorithm: *algName,
@@ -174,12 +193,23 @@ func main() {
 	if *mode != "itemset" {
 		logx.Fatal(logger, "unknown mode (itemset or seq)", "mode", *mode)
 	}
-	if *algName == "" {
-		*algName = "H-HPGM-FGD"
+	eng := engines.Engine(core.HHPGMFGD)
+	switch {
+	case *engName != "":
+		var err error
+		eng, err = engines.Parse(*engName)
+		if err != nil {
+			logx.Fatal(logger, "bad engine", "err", err)
+		}
+	case *algName != "":
+		alg, err := core.ParseAlgorithm(*algName)
+		if err != nil {
+			logx.Fatal(logger, "bad algorithm", "err", err)
+		}
+		eng = engines.Engine(alg)
 	}
-	alg, err := core.ParseAlgorithm(*algName)
-	if err != nil {
-		logx.Fatal(logger, "bad algorithm", "err", err)
+	if eng.IsFPG() && (*budget != 0 || *adaptive) {
+		logx.Fatal(logger, "-budget and -adaptive apply to the candidate engines only, not FPG")
 	}
 	params, err := gen.ByName(*dataset)
 	if err != nil {
@@ -197,7 +227,7 @@ func main() {
 			// txn.Open sniffs the magic, so row and columnar partitions (and
 			// mixtures) all work; columnar ones additionally scan block-sharded
 			// with per-pass skip filters.
-			f, err := txn.Open(strings.TrimSpace(path))
+			f, err := txn.OpenWith(strings.TrimSpace(path), txn.OpenOptions{Mmap: *mmapOn})
 			if err != nil {
 				logx.Fatal(logger, "open partition", "err", err)
 			}
@@ -217,34 +247,63 @@ func main() {
 		}
 	}
 
-	cfg := core.Config{
-		Algorithm:    alg,
-		MinSupport:   *minsup,
-		MaxK:         *maxK,
-		MemoryBudget: *budget,
-		Workers:      *workers,
-		Adaptive:     *adaptive,
-	}
-	if *tcp {
-		cfg.Fabric = core.FabricTCP
-	}
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
-		cfg.Tracer = tracer
 	}
+	var reg *obs.Registry
+	var view *driver.ClusterView
 	if *httpAddr != "" {
-		reg := obs.NewRegistry()
-		view := &driver.ClusterView{}
-		cfg.Registry = reg
-		cfg.View = view
-		serveTelemetry(*httpAddr, string(alg), len(parts), reg, view, logger)
+		reg = obs.NewRegistry()
+		view = &driver.ClusterView{}
+		serveTelemetry(*httpAddr, string(eng), len(parts), reg, view, logger)
 	}
-	logger.Info("mining", "algorithm", string(alg), "nodes", len(parts), "minsup", *minsup)
-	res, err := core.Mine(tax, parts, cfg)
-	if err != nil {
-		logx.Fatal(logger, "mining failed", "err", err)
+	logger.Info("mining", "engine", string(eng), "nodes", len(parts), "minsup", *minsup)
+
+	// Both families produce the same result shape — large itemsets with exact
+	// counts in canonical order plus run stats — so everything downstream
+	// (listing, rule derivation, model snapshots) is engine-agnostic.
+	var large [][]itemset.Counted
+	var stats *metrics.RunStats
+	if eng.IsFPG() {
+		cfg := fpg.Config{
+			MinSupport: *minsup,
+			MaxK:       *maxK,
+			Workers:    *workers,
+			Tracer:     tracer,
+			Registry:   reg,
+			View:       view,
+		}
+		if *tcp {
+			cfg.Fabric = fpg.FabricTCP
+		}
+		res, err := fpg.Mine(tax, parts, cfg)
+		if err != nil {
+			logx.Fatal(logger, "mining failed", "err", err)
+		}
+		large, stats = res.Large, res.Stats
+	} else {
+		cfg := core.Config{
+			Algorithm:    eng.Algorithm(),
+			MinSupport:   *minsup,
+			MaxK:         *maxK,
+			MemoryBudget: *budget,
+			Workers:      *workers,
+			Adaptive:     *adaptive,
+			Tracer:       tracer,
+			Registry:     reg,
+			View:         view,
+		}
+		if *tcp {
+			cfg.Fabric = core.FabricTCP
+		}
+		res, err := core.Mine(tax, parts, cfg)
+		if err != nil {
+			logx.Fatal(logger, "mining failed", "err", err)
+		}
+		large, stats = res.Large, res.Stats
 	}
+	stats.Dataset = params.Name
 	if tracer != nil {
 		if d := tracer.Dropped(); d > 0 {
 			logger.Warn("tracer dropped spans; trace file is truncated", "dropped", d)
@@ -255,10 +314,10 @@ func main() {
 		logger.Info("wrote trace", "spans", tracer.Spans(), "path", *traceOut)
 	}
 
-	fmt.Print(res.Stats.String())
+	fmt.Print(stats.String())
 	if !*quiet {
-		for k := 1; k <= len(res.Large); k++ {
-			lk := res.LargeK(k)
+		for k := 1; k <= len(large); k++ {
+			lk := large[k-1]
 			fmt.Printf("\nL_%d: %d itemsets", k, len(lk))
 			if k == 1 {
 				fmt.Println()
@@ -280,8 +339,8 @@ func main() {
 		for _, p := range parts {
 			total += p.Len()
 		}
-		support := res.SupportIndex()
-		rs, err := rules.Derive(tax, res.All(), support, rules.Config{
+		support := supportIndex(large)
+		rs, err := rules.Derive(tax, allItemsets(large), support, rules.Config{
 			MinConfidence: *minconf,
 			NumTxns:       total,
 		})
@@ -307,16 +366,16 @@ func main() {
 			m := &model.Model{
 				Meta: model.Meta{
 					Dataset:       params.Name,
-					Algorithm:     string(alg),
+					Algorithm:     string(eng),
 					Tool:          model.ToolVersion,
 					NumTxns:       int64(total),
 					MinSupport:    *minsup,
 					MinConfidence: *minconf,
 					CreatedUnix:   time.Now().Unix(),
-					Granules:      res.Stats.FinalPlan().GranuleMap(),
+					Granules:      stats.FinalPlan().GranuleMap(),
 				},
 				Taxonomy: tax,
-				Large:    res.Large,
+				Large:    large,
 				Rules:    rs,
 			}
 			if err := model.WriteFile(*outModel, m); err != nil {
@@ -326,6 +385,27 @@ func main() {
 				"itemsets", m.NumItemsets(), "rules", len(m.Rules))
 		}
 	}
+}
+
+// allItemsets flattens a level pyramid into one slice, the shape rule
+// derivation consumes (mirrors core.Result.All / fpg.Result.All).
+func allItemsets(large [][]itemset.Counted) []itemset.Counted {
+	var out []itemset.Counted
+	for _, l := range large {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// supportIndex builds itemset-key -> support over every large itemset.
+func supportIndex(large [][]itemset.Counted) map[string]int64 {
+	idx := make(map[string]int64)
+	for _, level := range large {
+		for _, c := range level {
+			idx[itemset.Key(c.Items)] = c.Count
+		}
+	}
+	return idx
 }
 
 // seqOptions are the flags relevant to -mode seq.

@@ -28,12 +28,21 @@
 // the whole cluster, including the per-pass skew section). If a peer process
 // dies mid-run, the remaining workers exit non-zero with the lost peer named
 // instead of hanging.
+//
+// -engine selects the miner family: any of the six candidate engines or FPG,
+// the taxonomy-aware parallel FP-Growth engine; it must match on every
+// worker. With -verify (a comma-separated list of EVERY node's partition
+// file) the coordinator additionally re-mines the whole database with the
+// sequential Cumulate reference after the parallel run and embeds an
+// "identical" bit-identity verdict in its -json report — the smoke check CI
+// asserts over a real process mesh.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -41,9 +50,13 @@ import (
 
 	"pgarm/internal/cluster"
 	"pgarm/internal/core"
+	"pgarm/internal/cumulate"
 	"pgarm/internal/driver"
+	"pgarm/internal/engines"
+	"pgarm/internal/fpg"
 	"pgarm/internal/gen"
 	"pgarm/internal/item"
+	"pgarm/internal/itemset"
 	"pgarm/internal/logx"
 	"pgarm/internal/metrics"
 	"pgarm/internal/obs"
@@ -58,12 +71,15 @@ func main() {
 		addrs    = flag.String("addrs", "", "comma-separated listen addresses of every node, in id order")
 		inFile   = flag.String("in", "", "this node's transaction partition (from pgarm-gen -nodes)")
 		dataset  = flag.String("dataset", "R30F5", "dataset configuration defining the hierarchy")
-		algName  = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm")
+		algName  = flag.String("algorithm", "H-HPGM-FGD", "mining algorithm (candidate family)")
+		engName  = flag.String("engine", "", "mining engine, overrides -algorithm: "+engines.Names()+" (must match on every worker)")
 		minsup   = flag.Float64("minsup", 0.005, "minimum support fraction")
 		budget   = flag.Int64("budget", 0, "per-node candidate memory budget in bytes")
 		adaptive = flag.Bool("adaptive", false, "H-HPGM family: escalate duplication granules per hot taxonomy subtree from observed barrier skew (must match on every worker)")
 		maxK     = flag.Int("maxk", 0, "stop after this pass (0 = completion)")
 		workers  = flag.Int("workers", 0, "scan workers on this node (0 or 1 = scan on the node goroutine)")
+		mmapOn   = flag.Bool("mmap", false, "map the columnar partition instead of pread (falls back where unsupported)")
+		verify   = flag.String("verify", "", "coordinator: comma-separated partition files of EVERY node; re-mine sequentially after the run and report bit-identity in -json")
 		timeout  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peers to come up")
 		topN     = flag.Int("top", 20, "itemsets to list per level (coordinator)")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/cluster and /debug/pprof on this address")
@@ -81,9 +97,22 @@ func main() {
 	if *inFile == "" {
 		logx.Fatal(logger, "missing -in partition file")
 	}
-	alg, err := core.ParseAlgorithm(*algName)
-	if err != nil {
-		logx.Fatal(logger, "bad algorithm", "err", err)
+	eng := engines.Engine(core.HHPGMFGD)
+	if *engName != "" {
+		var err error
+		eng, err = engines.Parse(*engName)
+		if err != nil {
+			logx.Fatal(logger, "bad engine", "err", err)
+		}
+	} else {
+		alg, err := core.ParseAlgorithm(*algName)
+		if err != nil {
+			logx.Fatal(logger, "bad algorithm", "err", err)
+		}
+		eng = engines.Engine(alg)
+	}
+	if eng.IsFPG() && (*budget != 0 || *adaptive) {
+		logx.Fatal(logger, "-budget and -adaptive apply to the candidate engines only, not FPG")
 	}
 	params, err := gen.ByName(*dataset)
 	if err != nil {
@@ -93,7 +122,7 @@ func main() {
 	if err != nil {
 		logx.Fatal(logger, "taxonomy", "err", err)
 	}
-	local, err := txn.Open(*inFile)
+	local, err := txn.OpenWith(*inFile, txn.OpenOptions{Mmap: *mmapOn})
 	if err != nil {
 		logx.Fatal(logger, "open partition", "err", err)
 	}
@@ -116,7 +145,7 @@ func main() {
 		mux := obshttp.NewMux(obshttp.Config{
 			Node:      *nodeID,
 			Nodes:     len(addrList),
-			Algorithm: string(alg),
+			Algorithm: string(eng),
 			Registry:  reg,
 			Endpoint:  ep,
 			Cluster:   view,
@@ -131,42 +160,59 @@ func main() {
 			"endpoints", "/metrics /healthz /debug/cluster /debug/pprof")
 	}
 
-	cfg := core.Config{
-		Algorithm:    alg,
-		MinSupport:   *minsup,
-		MaxK:         *maxK,
-		MemoryBudget: *budget,
-		Workers:      *workers,
-		Adaptive:     *adaptive,
-		Tracer:       tracer,
-		Registry:     reg,
-		// The coordinator rebases remote span timestamps with the offsets
-		// estimated during the mesh handshake; nil everywhere else.
-		ClockOffsets: mesh.ClockOffsets(),
-		View:         view,
-		// Progress callbacks fire on the coordinator only; followers stay
-		// quiet and expose the same numbers over -http instead.
-		OnPassStart: func(pass, cands int) {
-			logger.Info("pass starting", "pass", pass, "k", pass, "candidates", cands)
-		},
-		OnPass: func(p core.PassProgress) {
-			logger.Info("pass done",
-				"pass", p.Pass, "k", p.Pass, "candidates", p.Candidates, "large", p.Large,
-				"elapsed", p.Elapsed.Round(time.Millisecond),
-				"bytes_in", p.BytesIn, "bytes_out", p.BytesOut)
-		},
+	// Progress callbacks fire on the coordinator only; followers stay quiet
+	// and expose the same numbers over -http instead.
+	onPassStart := func(pass, cands int) {
+		logger.Info("pass starting", "pass", pass, "k", pass, "candidates", cands)
 	}
-	logger.Info("mining", "algorithm", string(alg), "txns", local.Len(), "minsup", *minsup)
-	res, err := core.MineWorker(tax, local, cfg, ep)
-	mineDone.Store(true)
-	if err != nil {
-		// A dead peer tears the endpoint down and records the cause; name
-		// the lost peer instead of surfacing only the secondary protocol
-		// error, and exit non-zero so supervisors notice.
-		if ferr := ep.Err(); ferr != nil {
-			logx.Fatal(logger, "aborted", "cause", ferr, "protocol_err", err)
+	onPass := func(p driver.PassProgress) {
+		logger.Info("pass done",
+			"pass", p.Pass, "k", p.Pass, "candidates", p.Candidates, "large", p.Large,
+			"elapsed", p.Elapsed.Round(time.Millisecond),
+			"bytes_in", p.BytesIn, "bytes_out", p.BytesOut)
+	}
+	logger.Info("mining", "engine", string(eng), "txns", local.Len(), "minsup", *minsup)
+	var large [][]itemset.Counted
+	var stats *metrics.RunStats
+	if eng.IsFPG() {
+		res, err := fpg.MineWorker(tax, local, fpg.Config{
+			MinSupport: *minsup,
+			MaxK:       *maxK,
+			Workers:    *workers,
+			Tracer:     tracer,
+			Registry:   reg,
+			// The coordinator rebases remote span timestamps with the offsets
+			// estimated during the mesh handshake; nil everywhere else.
+			ClockOffsets: mesh.ClockOffsets(),
+			View:         view,
+			OnPassStart:  onPassStart,
+			OnPass:       onPass,
+		}, ep)
+		mineDone.Store(true)
+		if err != nil {
+			fatalMineErr(logger, ep, err)
 		}
-		logx.Fatal(logger, "mining failed", "err", err)
+		large, stats = res.Large, res.Stats
+	} else {
+		res, err := core.MineWorker(tax, local, core.Config{
+			Algorithm:    eng.Algorithm(),
+			MinSupport:   *minsup,
+			MaxK:         *maxK,
+			MemoryBudget: *budget,
+			Workers:      *workers,
+			Adaptive:     *adaptive,
+			Tracer:       tracer,
+			Registry:     reg,
+			ClockOffsets: mesh.ClockOffsets(),
+			View:         view,
+			OnPassStart:  onPassStart,
+			OnPass:       onPass,
+		}, ep)
+		mineDone.Store(true)
+		if err != nil {
+			fatalMineErr(logger, ep, err)
+		}
+		large, stats = res.Large, res.Stats
 	}
 
 	if tracer != nil {
@@ -178,18 +224,37 @@ func main() {
 		}
 		logger.Info("wrote trace", "spans", tracer.Spans(), "path", *traceOut)
 	}
+	// -verify: the coordinator re-mines the WHOLE database (every node's
+	// partition, as listed) with the sequential Cumulate reference and embeds
+	// the bit-identity verdict in its report — the cross-process analogue of
+	// the in-process identity sweeps.
+	verified := false
+	identical := false
+	if *verify != "" && *nodeID == 0 {
+		identical, err = verifyIdentity(tax, *verify, *minsup, *maxK, *mmapOn, large)
+		if err != nil {
+			logx.Fatal(logger, "verification failed", "err", err)
+		}
+		verified = true
+		logger.Info("verified against sequential reference", "identical", identical)
+	}
+
 	if *jsonOut != "" {
-		rep := metrics.BuildReport(res.Stats, tracer)
-		if err := writeJSON(*jsonOut, &rep); err != nil {
+		rep := metrics.BuildReport(stats, tracer)
+		var doc any = &rep
+		if verified {
+			doc = &verifiedReport{Report: rep, Identical: identical}
+		}
+		if err := writeJSON(*jsonOut, doc); err != nil {
 			logx.Fatal(logger, "report write failed", "err", err)
 		}
 		logger.Info("wrote report", "passes", len(rep.Passes), "path", *jsonOut)
 	}
 
 	if *nodeID == 0 {
-		fmt.Print(res.Stats.String())
-		for k := 1; k <= len(res.Large); k++ {
-			lk := res.LargeK(k)
+		fmt.Print(stats.String())
+		for k := 1; k <= len(large); k++ {
+			lk := large[k-1]
 			fmt.Printf("L_%d: %d itemsets\n", k, len(lk))
 			if k == 1 {
 				continue
@@ -203,8 +268,62 @@ func main() {
 			}
 		}
 	} else {
-		logger.Info("done", "large_levels", len(res.Large))
+		logger.Info("done", "large_levels", len(large))
 	}
+}
+
+// verifiedReport is the -verify -json envelope: the usual run report plus the
+// coordinator's bit-identity verdict, for CI to assert with jq.
+type verifiedReport struct {
+	metrics.Report
+	Identical bool `json:"identical"`
+}
+
+// fatalMineErr exits with the most useful cause: a dead peer tears the
+// endpoint down and records why — name the lost peer instead of surfacing
+// only the secondary protocol error, and exit non-zero so supervisors notice.
+func fatalMineErr(logger *slog.Logger, ep cluster.Endpoint, err error) {
+	if ferr := ep.Err(); ferr != nil {
+		logx.Fatal(logger, "aborted", "cause", ferr, "protocol_err", err)
+	}
+	logx.Fatal(logger, "mining failed", "err", err)
+}
+
+// verifyIdentity re-mines every listed partition sequentially with Cumulate
+// and compares levels, itemsets and counts against the parallel result.
+func verifyIdentity(tax *taxonomy.Taxonomy, list string, minsup float64, maxK int, mmapOn bool, large [][]itemset.Counted) (bool, error) {
+	whole := txn.NewDB(nil)
+	for _, path := range strings.Split(list, ",") {
+		src, err := txn.OpenWith(strings.TrimSpace(path), txn.OpenOptions{Mmap: mmapOn})
+		if err != nil {
+			return false, err
+		}
+		if err := src.Scan(func(t txn.Transaction) error {
+			whole.Append(txn.Transaction{TID: t.TID, Items: item.Clone(t.Items)})
+			return nil
+		}); err != nil {
+			return false, err
+		}
+	}
+	ref, err := cumulate.Mine(tax, whole, cumulate.Config{MinSupport: minsup, MaxK: maxK})
+	if err != nil {
+		return false, err
+	}
+	if len(ref.Large) != len(large) {
+		return false, nil
+	}
+	for k := range large {
+		w, g := ref.Large[k], large[k]
+		if len(w) != len(g) {
+			return false, nil
+		}
+		for i := range w {
+			if w[i].Count != g[i].Count || !item.Equal(w[i].Items, g[i].Items) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
 }
 
 func writeTrace(path string, tr *obs.Tracer) error {

@@ -51,6 +51,7 @@ const (
 	KLarge                       // coord -> node: global F_k broadcast
 	KTelemetry                   // node -> coord: per-pass stats + span batches (see telemetry.go)
 	KPlan                        // coord -> node: pass-k skew hint for the plan phase (see plan.go)
+	KCondBase                    // node -> node: FP-Growth conditional pattern-base batch (see internal/fpg)
 )
 
 // FabricKind selects the interconnect emulation for in-process clusters.

@@ -30,6 +30,7 @@ import (
 // trails a peer's KDone.
 type Exchange struct {
 	n     *Node
+	kind  uint8 // data-batch message kind (KData for count-support, KCondBase for pattern bases)
 	apply func(batch []byte) (int64, error)
 	selfq chan []byte
 	done  chan error
@@ -56,8 +57,17 @@ type Exchange struct {
 // accounting for remote batches); ItemsApplier adapts the common
 // one-itemset-per-unit shape.
 func (n *Node) StartExchange(apply func(batch []byte) (int64, error)) *Exchange {
+	return n.StartExchangeKind(KData, apply)
+}
+
+// StartExchangeKind is StartExchange with an explicit data-batch message
+// kind. The count-support phase uses KData; the FP-Growth engine routes
+// conditional pattern bases as KCondBase so the per-kind byte accounting
+// separates the two streams. Termination is KDone in either case.
+func (n *Node) StartExchangeKind(kind uint8, apply func(batch []byte) (int64, error)) *Exchange {
 	ex := &Exchange{
 		n:     n,
+		kind:  kind,
 		apply: apply,
 		selfq: make(chan []byte, 64),
 		done:  make(chan error, 1),
@@ -69,7 +79,7 @@ func (n *Node) StartExchange(apply func(batch []byte) (int64, error)) *Exchange 
 	var pre []cluster.Message
 	rest := n.pending[:0]
 	for _, m := range n.pending {
-		if m.Kind == KData || m.Kind == KDone {
+		if m.Kind == kind || m.Kind == KDone {
 			pre = append(pre, m)
 		} else {
 			rest = append(rest, m)
@@ -92,7 +102,7 @@ func (ex *Exchange) loop(pre []cluster.Message) error {
 	peersLeft := ex.n.numPeers()
 	for _, m := range pre {
 		switch m.Kind {
-		case KData:
+		case ex.kind:
 			if err := ex.applyBatch(m.Payload, true); err != nil {
 				return err
 			}
@@ -112,7 +122,7 @@ func (ex *Exchange) loop(pre []cluster.Message) error {
 				return fmt.Errorf("driver: node %d inbox closed mid count phase", ex.n.id)
 			}
 			switch m.Kind {
-			case KData:
+			case ex.kind:
 				if err := ex.applyBatch(m.Payload, true); err != nil {
 					return err
 				}
@@ -262,7 +272,7 @@ func (b *Batcher) Flush(dest int) error {
 		b.ex.selfq <- buf
 		return nil
 	}
-	return b.ex.n.ep.Send(dest, KData, buf)
+	return b.ex.n.ep.Send(dest, b.ex.kind, buf)
 }
 
 // FlushAll drains every destination buffer.

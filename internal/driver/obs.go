@@ -13,7 +13,7 @@ import (
 
 // kindNames maps the mining protocol's message kinds to stable display names
 // (index = kind value).
-var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large", "telemetry", "plan"}
+var kindNames = [...]string{"", "size", "counts1", "data", "done", "local-large", "dup-counts", "large", "telemetry", "plan", "cond-base"}
 
 func kindName(k uint8) string {
 	if int(k) < len(kindNames) {
@@ -59,9 +59,14 @@ func (n *Node) capturePassComm() {
 	n.cur.ByKind = kindDeltas(ks, n.baseKind)
 	// The count-support data plane (Table 6's sent side) is exactly the
 	// KData slice of this window: data batches are only sent during the
-	// node's own count phase, never across a pass boundary.
+	// node's own count phase, never across a pass boundary. The FP-Growth
+	// engine's conditional-base stream (KCondBase) is the same plane under a
+	// different kind, so it folds in too.
 	if int(KData) < len(n.cur.ByKind) {
 		n.cur.DataBytesSent = n.cur.ByKind[KData].BytesSent
+	}
+	if int(KCondBase) < len(n.cur.ByKind) {
+		n.cur.DataBytesSent += n.cur.ByKind[KCondBase].BytesSent
 	}
 	n.base = st
 	n.baseKind = ks

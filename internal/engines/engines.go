@@ -1,0 +1,63 @@
+// Package engines is the CLI-facing registry of miner engines: the six
+// candidate-generate-and-count algorithms of internal/core plus the
+// pattern-growth engine of internal/fpg. It gives pgarm-mine and pgarm-worker
+// one flag vocabulary — `-engine` — that spans both families, with
+// validation that names every valid choice.
+package engines
+
+import (
+	"fmt"
+	"strings"
+
+	"pgarm/internal/core"
+	"pgarm/internal/fpg"
+)
+
+// Engine is a validated engine name: a core.Algorithm or fpg.Engine.
+type Engine string
+
+// FPG is the taxonomy-aware parallel FP-Growth engine (internal/fpg).
+const FPG = Engine(fpg.Engine)
+
+// List returns every runnable engine in presentation order: the paper's six
+// candidate engines first, then the pattern-growth engine.
+func List() []Engine {
+	var out []Engine
+	for _, a := range core.Algorithms() {
+		out = append(out, Engine(a))
+	}
+	return append(out, FPG)
+}
+
+// Names renders List for flag help and error messages.
+func Names() string {
+	var names []string
+	for _, e := range List() {
+		names = append(names, string(e))
+	}
+	return strings.Join(names, ", ")
+}
+
+// Parse resolves a name (case-sensitive, as printed by List) to an Engine.
+// An unknown name errors with the complete engine list, so a typo at the
+// command line always shows every valid choice.
+func Parse(s string) (Engine, error) {
+	for _, e := range List() {
+		if string(e) == s {
+			return e, nil
+		}
+	}
+	return "", fmt.Errorf("engines: unknown engine %q (valid: %s)", s, Names())
+}
+
+// IsFPG reports whether e selects the pattern-growth family.
+func (e Engine) IsFPG() bool { return e == FPG }
+
+// Algorithm returns the core algorithm for a candidate-family engine; it
+// panics on FPG (guard with IsFPG first).
+func (e Engine) Algorithm() core.Algorithm {
+	if e.IsFPG() {
+		panic("engines: FPG has no core algorithm")
+	}
+	return core.Algorithm(e)
+}

@@ -1,0 +1,57 @@
+package engines
+
+import (
+	"strings"
+	"testing"
+
+	"pgarm/internal/core"
+)
+
+func TestParseAcceptsEveryListedEngine(t *testing.T) {
+	for _, e := range List() {
+		got, err := Parse(string(e))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e, err)
+		}
+		if got != e {
+			t.Fatalf("Parse(%q) = %q", e, got)
+		}
+	}
+	if n := len(List()); n != len(core.Algorithms())+1 {
+		t.Fatalf("List has %d engines, want %d core + FPG", n, len(core.Algorithms()))
+	}
+}
+
+func TestParseUnknownNamesEveryEngine(t *testing.T) {
+	_, err := Parse("fpg") // case matters, like core.ParseAlgorithm
+	if err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+	for _, e := range List() {
+		if !strings.Contains(err.Error(), string(e)) {
+			t.Errorf("error %q does not name engine %s", err, e)
+		}
+	}
+}
+
+func TestFamilyDispatch(t *testing.T) {
+	if !FPG.IsFPG() {
+		t.Error("FPG.IsFPG() = false")
+	}
+	e, err := Parse("H-HPGM-FGD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IsFPG() {
+		t.Error("H-HPGM-FGD classified as FPG")
+	}
+	if e.Algorithm() != core.HHPGMFGD {
+		t.Errorf("Algorithm() = %q", e.Algorithm())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FPG.Algorithm() did not panic")
+		}
+	}()
+	_ = FPG.Algorithm()
+}

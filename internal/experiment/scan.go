@@ -42,6 +42,9 @@ type ScanOptions struct {
 	TxnsPerBlock int
 	// Nodes is the mining arm's cluster size for the parallel identity sweep.
 	Nodes int
+	// Mmap opens columnar partitions through a read-only mapping instead of
+	// per-scan preads (falls back to pread where mmap is unavailable).
+	Mmap bool
 }
 
 // ScanDefaults returns the scan bench configuration used by pgarm-bench.
@@ -124,7 +127,7 @@ func (e *Env) Scan(o ScanOptions) ([]*Table, []metrics.ScanReport, error) {
 			if format == "columnar" {
 				path = colPath
 			}
-			src, err := txn.Open(path)
+			src, err := txn.OpenWith(path, txn.OpenOptions{Mmap: o.Mmap})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -232,7 +235,7 @@ func (e *Env) scanMineArm(o ScanOptions, ds *gen.Dataset, dir string) (*Table, [
 			if format == "columnar" {
 				path = colPath
 			}
-			f, err := txn.Open(path)
+			f, err := txn.OpenWith(path, txn.OpenOptions{Mmap: o.Mmap})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -270,7 +273,7 @@ func (e *Env) scanMineArm(o ScanOptions, ds *gen.Dataset, dir string) (*Table, [
 		if err := txn.WriteColumnar(path, part, ds.Taxonomy, o.TxnsPerBlock); err != nil {
 			return nil, nil, err
 		}
-		f, err := txn.OpenColumnar(path)
+		f, err := txn.OpenColumnarWith(path, txn.OpenOptions{Mmap: o.Mmap})
 		if err != nil {
 			return nil, nil, err
 		}

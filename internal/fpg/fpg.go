@@ -1,0 +1,200 @@
+// Package fpg is the repository's second miner family: a generalized
+// (taxonomy-aware) parallel FP-Growth engine over the shared pass driver.
+//
+// Where the Cumulate/H-HPGM family (internal/core) is
+// candidate-generate-and-count — and pays Apriori's exponential candidate
+// explosion at low minimum support — this engine grows patterns directly
+// from a compact FP-tree and never materializes a candidate set:
+//
+//   - Pass 1 is the same closure item count as Cumulate's, and fixes the
+//     global frequency order (count descending, item id ascending) — a pure
+//     function of the broadcast count vector, identical on every node.
+//   - Each node builds an FP-tree forest (one arena-allocated tree per scan
+//     worker, header-table links, no maps on the hot path) over the
+//     ancestor-closure of its local partition, restricted to large items.
+//   - Mining decomposes into independent per-suffix-item tasks: the patterns
+//     whose highest-frequency-rank item is r come exactly from r's
+//     conditional pattern base, so the tasks partition the output and fan
+//     out across nodes (rank mod N) and Workers with no deduplication.
+//   - In cluster mode each suffix rank's conditional base is shipped to its
+//     owner through the driver's exchange machinery as a dedicated fabric
+//     message kind (KCondBase) with exact per-kind byte accounting; once
+//     exchanged the bases are global, so mined counts are exact global
+//     supports and the barrier needs no replicated count reduce.
+//   - The taxonomy is enforced by construction: prefix items in the ancestor
+//     relation with the suffix item are filtered as each base is extracted,
+//     which excludes exactly the item/ancestor pairs Cumulate prunes from
+//     C_2 (and by apriori closure, from every C_k).
+//
+// The result is bit-identical to cumulate.Mine — same levels, same counts,
+// same canonical (size, lex) order — at any node count, worker count and
+// fabric, which the bit-identity sweep in fpg_test.go asserts.
+package fpg
+
+import (
+	"fmt"
+	"time"
+
+	"pgarm/internal/cluster"
+	"pgarm/internal/driver"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/obs"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+)
+
+// Engine is the engine name this family registers under (see
+// internal/engines); also the algorithm label in run reports.
+const Engine = "FPG"
+
+// FabricKind selects the interconnect emulation (see internal/driver).
+type FabricKind = driver.FabricKind
+
+const (
+	// FabricChan runs the nodes over in-process channels (default).
+	FabricChan = driver.FabricChan
+	// FabricTCP runs the nodes over loopback TCP connections.
+	FabricTCP = driver.FabricTCP
+)
+
+// Config parameterizes a parallel FP-Growth run. The knobs mirror
+// core.Config where they overlap, so callers can drive either family from
+// the same flag set.
+type Config struct {
+	MinSupport float64 // fraction of |D|, e.g. 0.003 for 0.3%
+	MaxK       int     // 0 = grow patterns of every size; k bounds pattern length
+
+	// Workers is the number of goroutines each node uses for the local scan,
+	// the tree build, the base shipping and the suffix-task mining. 0 or 1
+	// runs everything on the node goroutine itself. Results are
+	// bit-identical for every setting.
+	Workers int
+
+	Fabric       FabricKind
+	FabricBuffer int // per-inbox message buffer; 0 = default
+	BatchBytes   int // cond-base send batching threshold; 0 = default (4KB)
+
+	// Tracer/Registry/OnPassStart/OnPass/ClockOffsets/View: see core.Config;
+	// the driver wires them identically for every miner family.
+	Tracer       *obs.Tracer
+	Registry     *obs.Registry
+	OnPassStart  func(pass, candidates int)
+	OnPass       func(driver.PassProgress)
+	ClockOffsets []time.Duration
+	View         *driver.ClusterView
+}
+
+// driverConfig maps the runtime half of the Config onto the shared driver.
+// The whole pattern growth happens in driver pass 2 (Generate(3) returns 0),
+// so the driver's MaxK only matters for MaxK == 1 — pattern length is
+// bounded inside the recursion instead.
+func (c *Config) driverConfig() driver.Config {
+	maxK := 0
+	if c.MaxK == 1 {
+		maxK = 1
+	}
+	return driver.Config{
+		MinSupport:   c.MinSupport,
+		MaxK:         maxK,
+		Workers:      c.Workers,
+		BatchBytes:   c.BatchBytes,
+		Tracer:       c.Tracer,
+		Registry:     c.Registry,
+		OnPassStart:  c.OnPassStart,
+		OnPass:       c.OnPass,
+		ClockOffsets: c.ClockOffsets,
+		View:         c.View,
+	}
+}
+
+// Result is the outcome of a parallel FP-Growth run; the shape mirrors
+// core.Result so downstream consumers (rule derivation, model snapshots)
+// work with either family.
+type Result struct {
+	// Large[k-1] holds the global large k-itemsets with exact support
+	// counts, lexicographically ordered — identical to sequential Cumulate.
+	Large [][]itemset.Counted
+	Stats *metrics.RunStats
+}
+
+// LargeK returns the large k-itemsets, or nil when the run ended before k.
+func (r *Result) LargeK(k int) []itemset.Counted {
+	if k < 1 || k > len(r.Large) {
+		return nil
+	}
+	return r.Large[k-1]
+}
+
+// All returns every large itemset across all sizes.
+func (r *Result) All() []itemset.Counted {
+	var out []itemset.Counted
+	for _, l := range r.Large {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// SupportIndex builds itemset-key -> support over all large itemsets.
+func (r *Result) SupportIndex() map[string]int64 {
+	idx := make(map[string]int64)
+	for _, level := range r.Large {
+		for _, c := range level {
+			idx[itemset.Key(c.Items)] = c.Count
+		}
+	}
+	return idx
+}
+
+// Mine runs generalized FP-Growth over a cluster of len(parts) in-process
+// nodes; parts[i] is node i's local database partition. The taxonomy is
+// shared read-only, as the paper assumes.
+func Mine(tax *taxonomy.Taxonomy, parts []txn.Scanner, cfg Config) (*Result, error) {
+	n := len(parts)
+	if n == 0 {
+		return nil, fmt.Errorf("fpg: no database partitions")
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("fpg: minimum support %g out of (0,1]", cfg.MinSupport)
+	}
+	fabric, err := driver.NewFabric(cfg.Fabric, n, cfg.FabricBuffer)
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+
+	miners := make([]driver.Miner, n)
+	coord := (*fpgMiner)(nil)
+	for i := 0; i < n; i++ {
+		m := newFpgMiner(tax, parts[i], cfg)
+		if i == 0 {
+			coord = m
+		}
+		miners[i] = m
+	}
+	nodes, elapsed, err := driver.Run(fabric, cfg.driverConfig(), miners)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Large: coord.large}
+	res.Stats = driver.AssembleStats(Engine, cfg.MinSupport, nodes, elapsed)
+	return res, nil
+}
+
+// MineWorker runs a single node of the FP-Growth protocol over a caller-
+// provided endpoint — the multi-process entry point (cmd/pgarm-worker via
+// cluster.DialMesh). Every worker must run the same Config; node 0 acts as
+// coordinator.
+func MineWorker(tax *taxonomy.Taxonomy, local txn.Scanner, cfg Config, ep cluster.Endpoint) (*Result, error) {
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return nil, fmt.Errorf("fpg: minimum support %g out of (0,1]", cfg.MinSupport)
+	}
+	m := newFpgMiner(tax, local, cfg)
+	nd, elapsed, err := driver.RunWorker(ep, cfg.driverConfig(), m)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Large: m.large}
+	res.Stats = driver.AssembleClusterStats(Engine, cfg.MinSupport, nd, elapsed)
+	return res, nil
+}

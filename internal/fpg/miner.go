@@ -1,0 +1,568 @@
+package fpg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgarm/internal/driver"
+	"pgarm/internal/item"
+	"pgarm/internal/itemset"
+	"pgarm/internal/metrics"
+	"pgarm/internal/taxonomy"
+	"pgarm/internal/txn"
+	"pgarm/internal/wire"
+)
+
+// fpgMiner is the pattern-growth half of a node: the driver.Miner that plugs
+// the generalized FP-Growth engine into the shared-nothing runtime. One
+// instance per node; the runtime calls its hooks from the node goroutine in
+// protocol order.
+//
+// The whole pattern-growth phase maps onto a single driver pass (k = 2):
+// Generate(2) reports the number of per-suffix-item tasks, CountPass(2)
+// builds the local FP-tree forest, ships conditional pattern bases to their
+// owners (KCondBase) and mines every owned suffix task, and the pass barrier
+// then merges ALL frequent itemsets of size >= 2 at once. Generate(3)
+// returns 0, ending the run on every node identically.
+type fpgMiner struct {
+	tax *taxonomy.Taxonomy
+	db  txn.Scanner
+	cfg Config
+
+	// Global mining state, identical on every node after the pass-1 barrier.
+	itemCounts []int64     // global pass-1 closure counts per item
+	rank       []int32     // item -> frequency rank, -1 when not large
+	itemAt     []item.Item // frequency rank -> item
+	numLarge   int
+	numNodes   int
+	nodeID     int
+
+	// bases[q] is the conditional pattern base of owned suffix rank
+	// id + q*NumNodes, accumulated by the cond-base exchange receiver.
+	bases []*pathSet
+
+	// own is this node's mined share of the pass-2 barrier (all pattern
+	// sizes mixed); the coordinator merges it directly in MergeFrequents.
+	own []itemset.Counted
+
+	// Result accumulation, filled where the runtime keeps results.
+	large [][]itemset.Counted
+}
+
+func newFpgMiner(tax *taxonomy.Taxonomy, db txn.Scanner, cfg Config) *fpgMiner {
+	return &fpgMiner{tax: tax, db: db, cfg: cfg}
+}
+
+func (m *fpgMiner) LocalSize() int { return m.db.Len() }
+
+func (m *fpgMiner) NumItems() int { return m.tax.NumItems() }
+
+// CountPass1 counts every item and all its ancestors over the local
+// partition — identical to the Cumulate family's pass 1, which is what fixes
+// the frequency order from the same vector the candidate engines use.
+func (m *fpgMiner) CountPass1(n *driver.Node, st *metrics.NodeStats) ([]int64, error) {
+	W := n.Workers()
+	wcounts := driver.WorkerVectors(W, m.tax.NumItems())
+	wstats := make([]metrics.NodeStats, W)
+	wext := driver.WorkerScratch(W, 64)
+	err := driver.ScanTxnShards(m.db, nil, W, n.ShardObs("scan"), wstats, func(w int, t txn.Transaction) error {
+		wstats[w].TxnsScanned++
+		ext := m.tax.ExtendTransaction(wext[w][:0], t.Items)
+		wext[w] = ext
+		counts := wcounts[w]
+		for _, x := range ext {
+			counts[x]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := driver.MergeWorkerVectors(wcounts)
+	driver.MergeWorkerStats(st, wstats)
+	return counts, nil
+}
+
+// FinishPass1 records F_1 and derives the global frequency order: large
+// items ranked by (closure count descending, item id ascending). The order
+// is a pure function of the broadcast count vector, so every node derives
+// the identical ranking — the root of the engine's bit-identity at any node
+// and worker count.
+func (m *fpgMiner) FinishPass1(n *driver.Node, global []int64) (int, error) {
+	m.itemCounts = global
+	m.rank = make([]int32, m.tax.NumItems())
+	for i := range m.rank {
+		m.rank[i] = -1
+	}
+	var l1 []itemset.Counted
+	for i, c := range global {
+		if c >= n.MinCount() {
+			m.itemAt = append(m.itemAt, item.Item(i))
+			l1 = append(l1, itemset.Counted{Items: []item.Item{item.Item(i)}, Count: c})
+		}
+	}
+	sort.Slice(m.itemAt, func(a, b int) bool {
+		ia, ib := m.itemAt[a], m.itemAt[b]
+		if global[ia] != global[ib] {
+			return global[ia] > global[ib]
+		}
+		return ia < ib
+	})
+	for r, it := range m.itemAt {
+		m.rank[it] = int32(r)
+	}
+	m.numLarge = len(m.itemAt)
+	if n.Keep() {
+		m.large = append(m.large, l1)
+	}
+	return len(l1), nil
+}
+
+// Generate reports the pattern-growth task count for the single growth pass:
+// one task per suffix rank 1..numLarge-1 (rank 0's prefix paths are always
+// empty). Returning 0 — fewer than two large items, or k >= 3 — ends the run
+// identically on every node.
+func (m *fpgMiner) Generate(_ *driver.Node, k int) (int, error) {
+	if k != 2 {
+		return 0, nil
+	}
+	if m.numLarge < 2 {
+		return 0, nil
+	}
+	return m.numLarge - 1, nil
+}
+
+// PlanPass records the static suffix-task assignment: suffix rank r is mined
+// by node r mod N. Frequency ranks of hot items are low and the modulo
+// stripes them across nodes, so the heaviest conditional trees spread evenly
+// without any skew feedback.
+func (m *fpgMiner) PlanPass(n *driver.Node, k int, _ *metrics.SkewReport) (driver.PlanDecision, error) {
+	m.numNodes = n.NumNodes()
+	m.nodeID = n.ID()
+	return driver.PlanDecision{
+		Partitioner: "suffix-rank-mod",
+		Granule:     "none",
+		Candidates:  m.numLarge - 1,
+	}, nil
+}
+
+// conflicts reports whether two items are in the ancestor relation (either
+// direction) — the pairs Cumulate prunes from C_2, which pattern growth must
+// exclude from every grown set.
+func (m *fpgMiner) conflicts(a, b item.Item) bool {
+	return m.tax.IsAncestor(a, b) || m.tax.IsAncestor(b, a)
+}
+
+// CountPass runs the entire pattern-growth phase: build the local FP-tree
+// forest, ship every suffix rank's conditional pattern base to its owner
+// through the KCondBase exchange, then mine the owned suffix tasks across
+// Workers. The outcome is this node's complete set of frequent itemsets of
+// size >= 2 with exact global counts (bases are global once exchanged, so no
+// replicated count vectors are needed).
+func (m *fpgMiner) CountPass(n *driver.Node, k int, st *metrics.NodeStats) (driver.PassOutcome, error) {
+	if k != 2 {
+		return driver.PassOutcome{}, fmt.Errorf("fpg: unexpected pass %d", k)
+	}
+	scanStart := time.Now()
+	forest, err := m.buildForest(n, st)
+	if err != nil {
+		return driver.PassOutcome{}, err
+	}
+
+	slots := 0
+	if n.ID() < m.numLarge {
+		slots = (m.numLarge-1-n.ID())/m.numNodes + 1
+	}
+	m.bases = make([]*pathSet, slots)
+	ex := n.StartExchangeKind(driver.KCondBase, m.applyBases)
+	shipErr := m.shipBases(n, ex, forest, st)
+	finErr := ex.Finish()
+	st.ScanTime += time.Since(scanStart)
+	if shipErr != nil {
+		return driver.PassOutcome{}, shipErr
+	}
+	if finErr != nil {
+		return driver.PassOutcome{}, finErr
+	}
+	forest = nil
+
+	if err := m.mineOwned(n, st); err != nil {
+		return driver.PassOutcome{}, err
+	}
+	m.bases = nil
+
+	po := driver.PassOutcome{}
+	if !n.IsCoord() {
+		sets := make([][]item.Item, len(m.own))
+		counts := make([]int64, len(m.own))
+		for i, c := range m.own {
+			sets[i] = c.Items
+			counts[i] = c.Count
+		}
+		po.Owned = wire.AppendCounted(nil, sets, counts)
+	}
+	return po, nil
+}
+
+// buildForest builds one FP-tree per scan worker over the ancestor-closure
+// of the local partition, restricted to large items and mapped to frequency
+// ranks. The trees are never merged: conditional-base extraction walks a
+// rank's header chain in every tree, and counts are exact sums either way.
+func (m *fpgMiner) buildForest(n *driver.Node, st *metrics.NodeStats) ([]*fpTree, error) {
+	W := n.Workers()
+	sp := n.Span("build-forest")
+	defer sp.End()
+	trees := make([]*fpTree, W)
+	for w := range trees {
+		trees[w] = newFPTree(m.numLarge)
+	}
+	wstats := make([]metrics.NodeStats, W)
+	wext := driver.WorkerScratch(W, 64)
+	wranks := driver.WorkerScratch(W, 64)
+	err := driver.ScanTxnShards(m.db, nil, W, n.ShardObs("build"), wstats, func(w int, t txn.Transaction) error {
+		wstats[w].TxnsScanned++
+		ext := m.tax.ExtendTransaction(wext[w][:0], t.Items)
+		wext[w] = ext
+		rs := wranks[w][:0]
+		for _, x := range ext {
+			if r := m.rank[x]; r >= 0 {
+				rs = append(rs, item.Item(r))
+			}
+		}
+		item.Sort(rs) // ascending rank = frequency-descending item order
+		wranks[w] = rs
+		trees[w].add(rs, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	driver.MergeWorkerStats(st, wstats)
+	var nodes int64
+	for _, t := range trees {
+		nodes += int64(len(t.nodes) - 1)
+	}
+	sp.Arg("tree-nodes", nodes)
+	return trees, nil
+}
+
+// shipBases extracts every suffix rank's conditional pattern base from the
+// local forest and routes it to the rank's owner through the exchange,
+// sharded over Workers. The taxonomy filter runs at the sender: prefix items
+// in the ancestor relation with the suffix item can never co-occur with it
+// in a frequent set, so they are dropped before they cost wire bytes.
+func (m *fpgMiner) shipBases(n *driver.Node, ex *driver.Exchange, forest []*fpTree, st *metrics.NodeStats) error {
+	sp := n.Span("ship-bases")
+	defer sp.End()
+	W := n.Workers()
+	numTasks := m.numLarge - 1
+	werrs := make([]error, W)
+	wsent := make([]int64, W)
+	itemset.ForShards(numTasks, W, itemset.Hook(n.ShardObs("ship").Hook()), func(w, lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				werrs[w] = fmt.Errorf("fpg: ship worker %d panicked: %v", w, r)
+			}
+		}()
+		b := ex.NewBatcher()
+		var unit []byte
+		var climb []item.Item
+		for t := lo; t < hi; t++ {
+			r := item.Item(t + 1) // suffix ranks start at 1
+			x := m.itemAt[r]
+			dest := int(r) % m.numNodes
+			skip := func(pr item.Item) bool { return m.conflicts(m.itemAt[pr], x) }
+			var err error
+			climb, err = extractPaths(forest, r, skip, climb, func(path []item.Item, count int64) error {
+				unit = wire.AppendUvarint(unit[:0], uint64(r))
+				unit = wire.AppendUvarint(unit, uint64(count))
+				unit = wire.AppendItems(unit, path)
+				if dest != n.ID() {
+					wsent[w] += int64(len(path))
+				}
+				return b.AddRaw(dest, unit)
+			})
+			if err != nil {
+				werrs[w] = err
+				return
+			}
+		}
+		werrs[w] = b.FlushAll()
+	})
+	for _, it := range wsent {
+		st.ItemsSent += it
+	}
+	for _, err := range werrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyBases is the cond-base exchange's receive callback: it decodes one
+// batch of (suffix rank, count, path) units into the owned bases. Runs on
+// the exchange receiver goroutine only, which has exclusive access to
+// m.bases until Finish returns.
+func (m *fpgMiner) applyBases(b []byte) (int64, error) {
+	var items int64
+	dec := make([]item.Item, 0, 32)
+	for off := 0; off < len(b); {
+		r, used, err := wire.Uvarint(b[off:])
+		if err != nil {
+			return items, err
+		}
+		off += used
+		count, used, err := wire.Uvarint(b[off:])
+		if err != nil {
+			return items, err
+		}
+		off += used
+		path, used, err := wire.Items(b[off:], dec[:0])
+		if err != nil {
+			return items, err
+		}
+		dec = path
+		off += used
+		items += int64(len(path))
+		q := int(r) / m.numNodes
+		if int(r) >= m.numLarge || int(r)%m.numNodes != m.nodeID || q >= len(m.bases) {
+			return items, fmt.Errorf("fpg: cond base for foreign rank %d", r)
+		}
+		if m.bases[q] == nil {
+			m.bases[q] = &pathSet{}
+		}
+		m.bases[q].add(path, int64(count))
+	}
+	return items, nil
+}
+
+// mineOwned mines every owned suffix task across Workers. Tasks are claimed
+// dynamically (conditional tree sizes are highly skewed — a static split
+// would strand workers), but each task's output lands in its own slot and
+// the slots are concatenated in rank order, so the result is independent of
+// scheduling.
+func (m *fpgMiner) mineOwned(n *driver.Node, st *metrics.NodeStats) error {
+	sp := n.Span("mine")
+	defer sp.End()
+	var tasks []item.Item
+	start := n.ID()
+	if start == 0 {
+		start = m.numNodes
+	}
+	for r := start; r < m.numLarge; r += m.numNodes {
+		tasks = append(tasks, item.Item(r))
+	}
+	results := make([][]itemset.Counted, len(tasks))
+	W := n.Workers()
+	if W > len(tasks) {
+		W = len(tasks)
+	}
+	if W < 1 {
+		W = 1
+	}
+	hook := itemset.Hook(n.BoundaryObs("mine shard").Hook())
+	minCount := n.MinCount()
+	var next atomic.Int64
+	var incs atomic.Int64
+	werrs := make([]error, W)
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			done := hook.Begin(w)
+			defer done()
+			defer func() {
+				if r := recover(); r != nil {
+					werrs[w] = fmt.Errorf("fpg: mine worker %d panicked: %v", w, r)
+				}
+			}()
+			sc := newMineScratch(m.numLarge)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					break
+				}
+				results[i] = m.mineTask(tasks[i], minCount, sc)
+			}
+			incs.Add(sc.increments)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return err
+		}
+	}
+	st.Increments += incs.Load()
+	m.own = m.own[:0]
+	for _, res := range results {
+		m.own = append(m.own, res...)
+	}
+	sp.Arg("tasks", int64(len(tasks)))
+	sp.Arg("patterns", int64(len(m.own)))
+	return nil
+}
+
+// mineTask grows every frequent pattern whose highest-frequency-rank item is
+// the suffix rank r, from r's (now global) conditional pattern base.
+func (m *fpgMiner) mineTask(r item.Item, minCount int64, sc *mineScratch) []itemset.Counted {
+	ps := m.bases[int(r)/m.numNodes]
+	if ps == nil || ps.size() == 0 {
+		return nil
+	}
+	t := sc.getTree(m.numLarge)
+	for i := 0; i < ps.size(); i++ {
+		t.add(ps.path(i), ps.counts[i])
+	}
+	var out []itemset.Counted
+	m.grow([]*fpTree{t}, []item.Item{m.itemAt[r]}, 2, minCount, sc, &out)
+	sc.putTree(t)
+	return out
+}
+
+// grow is the conditional pattern-base recursion: tally the trees' per-rank
+// totals, emit suffix+item for every rank at or above minCount, and recurse
+// into each survivor's conditional tree. size is the size of the sets
+// emitted at this level; suffix holds size-1 items. The base was filtered
+// against every suffix item as it was added, so no tree path contains an
+// item in the ancestor relation with any suffix item.
+func (m *fpgMiner) grow(trees []*fpTree, suffix []item.Item, size int, minCount int64, sc *mineScratch, out *[]itemset.Counted) {
+	touched := sc.touched[:0]
+	for _, t := range trees {
+		for _, r := range t.present {
+			var sum int64
+			for ni := t.heads[r]; ni != -1; ni = t.nodes[ni].next {
+				sum += t.nodes[ni].count
+				sc.increments++
+			}
+			if sc.tally[r] == 0 && sum > 0 {
+				touched = append(touched, r)
+			}
+			sc.tally[r] += sum
+		}
+	}
+	sc.touched = touched[:0] // consumed below; recursion may reuse the buffer
+
+	var surv []rankCount
+	for _, r := range touched {
+		if sc.tally[r] >= minCount {
+			surv = append(surv, rankCount{rank: r, count: sc.tally[r]})
+		}
+		sc.tally[r] = 0
+	}
+	if len(surv) == 0 {
+		return
+	}
+	sort.Slice(surv, func(a, b int) bool { return surv[a].rank < surv[b].rank })
+
+	for _, s := range surv {
+		r, x := s.rank, m.itemAt[s.rank]
+		set := make([]item.Item, 0, size)
+		set = append(set, suffix...)
+		set = append(set, x)
+		item.Sort(set)
+		*out = append(*out, itemset.Counted{Items: set, Count: s.count})
+
+		if m.cfg.MaxK > 0 && size >= m.cfg.MaxK {
+			continue
+		}
+		ps := sc.getPaths()
+		skip := func(pr item.Item) bool { return m.conflicts(m.itemAt[pr], x) }
+		var err error
+		sc.climb, err = extractPaths(trees, r, skip, sc.climb, func(path []item.Item, count int64) error {
+			ps.add(path, count)
+			return nil
+		})
+		if err == nil && ps.size() > 0 {
+			sub := sc.getTree(m.numLarge)
+			for i := 0; i < ps.size(); i++ {
+				sub.add(ps.path(i), ps.counts[i])
+			}
+			m.grow([]*fpTree{sub}, set, size+1, minCount, sc, out)
+			sc.putTree(sub)
+		}
+		sc.putPaths(ps)
+	}
+}
+
+// rankCount pairs a surviving rank with its exact tally.
+type rankCount struct {
+	rank  item.Item
+	count int64
+}
+
+// MergeFrequents merges the coordinator's own mined share with the peers'
+// into the global result. Unlike the level-wise engines this one barrier
+// carries every pattern size at once: the merged sets are grouped by size,
+// each level sorted canonically, and the broadcast payload is the levels'
+// concatenation in (size, lex) order — byte-identical regardless of node
+// count, worker count or task scheduling.
+func (m *fpgMiner) MergeFrequents(n *driver.Node, _ int, peerOwned [][]byte, _ []int64) ([]byte, int, error) {
+	all := m.own
+	for _, p := range peerOwned {
+		sets, counts, _, err := wire.Counted(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fpg: decode owned patterns: %w", err)
+		}
+		for i := range sets {
+			all = append(all, itemset.Counted{Items: sets[i], Count: counts[i]})
+		}
+	}
+	bySize := make(map[int][]itemset.Counted)
+	for _, c := range all {
+		bySize[len(c.Items)] = append(bySize[len(c.Items)], c)
+	}
+	var levels [][]itemset.Counted
+	total := 0
+	for s := 2; ; s++ {
+		lk := bySize[s]
+		if len(lk) == 0 {
+			// Closure support is monotone and subsets of ancestor-free sets
+			// are ancestor-free, so frequent levels are contiguous; the first
+			// empty size is the last. (A non-contiguous set would indicate a
+			// bug — mirroring Cumulate, nothing past the gap is recorded.)
+			break
+		}
+		itemset.SortCounted(lk)
+		levels = append(levels, lk)
+		total += len(lk)
+	}
+	if n.Keep() {
+		m.large = append(m.large, levels...)
+	}
+	var sets [][]item.Item
+	var counts []int64
+	for _, lk := range levels {
+		for _, c := range lk {
+			sets = append(sets, c.Items)
+			counts = append(counts, c.Count)
+		}
+	}
+	return wire.AppendCounted(nil, sets, counts), total, nil
+}
+
+// FinishPass decodes the coordinator's broadcast on a follower and regroups
+// it into per-size levels (the payload is (size, lex)-ordered).
+func (m *fpgMiner) FinishPass(n *driver.Node, _ int, payload []byte) (int, error) {
+	sets, counts, _, err := wire.Counted(payload)
+	if err != nil {
+		return 0, fmt.Errorf("fpg: decode pattern broadcast: %w", err)
+	}
+	if n.Keep() {
+		var levels [][]itemset.Counted
+		for i := range sets {
+			s := len(sets[i])
+			if len(levels) == 0 || len(levels[len(levels)-1][0].Items) != s {
+				levels = append(levels, nil)
+			}
+			levels[len(levels)-1] = append(levels[len(levels)-1], itemset.Counted{Items: sets[i], Count: counts[i]})
+		}
+		m.large = append(m.large, levels...)
+	}
+	return len(sets), nil
+}

@@ -1,0 +1,34 @@
+package metrics
+
+// FpgReport is one arm × minsup cell of the FP-Growth head-to-head
+// (`pgarm-bench -experiment fpg`): the same partitioned dataset mined by a
+// Cumulate-family engine and by the pattern-growth engine, swept into the
+// low-minsup regime where Apriori's candidate explosion dominates.
+type FpgReport struct {
+	// Arm names the engine this row measured ("FPG" or a core algorithm);
+	// Dataset names the source.
+	Arm     string  `json:"arm"`
+	Dataset string  `json:"dataset"`
+	MinSup  float64 `json:"min_sup"`
+	Nodes   int     `json:"nodes"`
+	Workers int     `json:"workers"`
+
+	// ElapsedMS is the arm's mining wall-clock at this minsup.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Levels/Itemsets summarize the result (identical across arms when
+	// Identical holds).
+	Levels   int `json:"levels"`
+	Itemsets int `json:"itemsets"`
+	// Candidates is the total candidate count across k >= 2 passes for the
+	// generate-and-count arms (the quantity that explodes at low minsup);
+	// for FPG it is the suffix-task count.
+	Candidates int `json:"candidates"`
+
+	// SpeedupX is this arm's elapsed relative to the FPG arm at the same
+	// minsup (>1 means FPG is faster); 1 for the FPG row itself.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+
+	// Identical reports bit-identity of the arm's large itemsets (items,
+	// counts and order) against sequential Cumulate over the same data.
+	Identical bool `json:"identical"`
+}

@@ -17,7 +17,10 @@ import (
 //	3 — adds the per-pass "plan" section (partitioner, granule, escalations)
 //	4 — adds the "stream" section (incremental checkpoints: delta/recount
 //	    fractions, append→servable freshness, bit-identity)
-const ReportVersion = 4
+//	5 — adds the "fpg" section (FP-Growth vs. Cumulate-family head-to-head:
+//	    per-minsup elapsed, speedup over the best candidate engine,
+//	    bit-identity against sequential Cumulate)
+const ReportVersion = 5
 
 // Report is the machine-readable form of one mining run: RunStats flattened
 // into stable JSON plus span rollups from the tracer (when tracing was on).

@@ -173,18 +173,30 @@ func IncrementalMine(tax *taxonomy.Taxonomy, prior *model.MiningState, prefix tx
 		stats.Candidates += len(cands)
 
 		// Seed known candidates with their exact prefix counts; collect the
-		// rest for the scoped prefix rescan.
+		// rest for the scoped prefix rescan. The classification is a pure
+		// per-candidate lookup (itemset key + concurrent-read-safe map), so it
+		// shards across workers; per-shard collections concatenated in shard
+		// order keep newCands in ascending candidate-id order, exactly as the
+		// serial loop produced.
 		seeded := priorLevel(k)
 		candCounts := make([]int64, len(cands))
+		shardCands := make([][][]item.Item, W)
+		shardIDs := make([][]int, W)
+		itemset.ForShards(len(cands), W, nil, func(w, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				if cnt, ok := seeded[itemset.Key(cands[id])]; ok {
+					candCounts[id] = cnt
+				} else {
+					shardCands[w] = append(shardCands[w], cands[id])
+					shardIDs[w] = append(shardIDs[w], id)
+				}
+			}
+		})
 		var newCands [][]item.Item
 		var newIDs []int
-		for id, c := range cands {
-			if cnt, ok := seeded[itemset.Key(c)]; ok {
-				candCounts[id] = cnt
-			} else {
-				newCands = append(newCands, c)
-				newIDs = append(newIDs, id)
-			}
+		for w := 0; w < W; w++ {
+			newCands = append(newCands, shardCands[w]...)
+			newIDs = append(newIDs, shardIDs[w]...)
 		}
 		stats.Recounted += len(newCands)
 
@@ -248,20 +260,28 @@ func IncrementalMine(tax *taxonomy.Taxonomy, prior *model.MiningState, prefix tx
 		// The state stores every candidate with its union count — the full
 		// positive and negative border the next checkpoint seeds from. The
 		// level is stored even when L_k comes out empty: those "not large
-		// yet" counts are exactly what makes a later promotion cheap.
+		// yet" counts are exactly what makes a later promotion cheap. Both
+		// assemblies shard across workers: the border writes to disjoint
+		// slots, and the large survivors concatenate in shard order —
+		// candidate order, as the serial loop collected them — before the
+		// canonical lexicographic sort.
 		level := make([]itemset.Counted, len(cands))
-		for id, c := range cands {
-			level[id] = itemset.Counted{Items: c, Count: candCounts[id]}
-		}
+		shardLarge := make([][]itemset.Counted, W)
+		itemset.ForShards(len(cands), W, nil, func(w, lo, hi int) {
+			for id := lo; id < hi; id++ {
+				level[id] = itemset.Counted{Items: cands[id], Count: candCounts[id]}
+				if candCounts[id] >= minCount {
+					shardLarge[w] = append(shardLarge[w], level[id])
+				}
+			}
+		})
 		state.Levels = append(state.Levels, level)
 
 		// L_k mirrors itemset.Table.Large: collect in candidate order, then
 		// sort lexicographically.
 		var lk []itemset.Counted
-		for id, c := range cands {
-			if candCounts[id] >= minCount {
-				lk = append(lk, itemset.Counted{Items: c, Count: candCounts[id]})
-			}
+		for w := 0; w < W; w++ {
+			lk = append(lk, shardLarge[w]...)
 		}
 		itemset.SortCounted(lk)
 		if len(lk) == 0 {

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package txn
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap syscall reports unsupported;
+// OpenColumnarWith falls back to the pread path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("txn: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

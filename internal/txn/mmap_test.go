@@ -1,0 +1,92 @@
+package txn
+
+import (
+	"runtime"
+	"testing"
+
+	"pgarm/internal/item"
+)
+
+// TestColumnarMmapMatchesPread opens the same columnar file through both
+// access paths and asserts scans are identical, including under block
+// sharding and repeated/concurrent use of the mapping.
+func TestColumnarMmapMatchesPread(t *testing.T) {
+	db := sampleDB()
+	path := writeColumnarOrDie(t, db, testTaxonomy(t), 2)
+
+	pread, err := OpenColumnar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenColumnarWith(path, OpenOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd":
+		if !mapped.Mapped() {
+			t.Fatalf("Mmap requested on %s but file is not mapped", runtime.GOOS)
+		}
+	}
+
+	want := scanAll(t, pread)
+	for round := 0; round < 2; round++ {
+		got := scanAll(t, mapped)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: mmap scan saw %d txns, pread %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].TID != want[i].TID || !item.Equal(got[i].Items, want[i].Items) {
+				t.Fatalf("round %d txn %d: mmap %v != pread %v", round, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Sharded block scans over the shared mapping, as worker scans issue them.
+	total := 0
+	for shard := 0; shard < 2; shard++ {
+		err := mapped.ScanBlocks(BlockScanOptions{Shard: shard, NumShards: 2}, func(b Block) error {
+			total += len(b.Txns)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != db.Len() {
+		t.Fatalf("sharded mmap scan saw %d txns, want %d", total, db.Len())
+	}
+
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if mapped.Mapped() {
+		t.Fatal("still mapped after Close")
+	}
+	// After Close the file silently reverts to pread scans.
+	if got := scanAll(t, mapped); len(got) != len(want) {
+		t.Fatalf("post-Close scan saw %d txns, want %d", len(got), len(want))
+	}
+}
+
+// TestOpenWithMmapAutodetects routes the option through the format sniffer:
+// columnar files come back mapped, row files ignore the option.
+func TestOpenWithMmapAutodetects(t *testing.T) {
+	path := writeColumnarOrDie(t, sampleDB(), nil, 2)
+	s, err := OpenWith(path, OpenOptions{Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ok := s.(*ColumnarFile)
+	if !ok {
+		t.Fatalf("OpenWith returned %T, want *ColumnarFile", s)
+	}
+	defer cf.Close()
+	if got := scanAll(t, cf); len(got) != sampleDB().Len() {
+		t.Fatalf("scan saw %d txns, want %d", len(got), sampleDB().Len())
+	}
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package txn
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared. The mapping outlives the
+// descriptor (POSIX keeps pages valid after close), so the caller may close f
+// immediately; the bytes stay valid until munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("txn: empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("txn: file size %d exceeds address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("txn: mmap: %w", err)
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
